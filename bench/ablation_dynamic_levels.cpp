@@ -1,0 +1,150 @@
+// Ablation: dynamic oversubscription levels (paper §VIII perspective).
+//
+// A dual-EPYC PM hosts a 3:1 vNode whose tenants alternate between a quiet
+// night and a busy day (diurnal signals). Three strategies are compared on
+// the p90 response time of the busy hours and the cores consumed:
+//   * static 3:1 (the paper's vNodes);
+//   * static 1:1-sized (maximum QoS, maximum cores);
+//   * dynamic: a DynamicLevelController retunes the vNode every 30 minutes
+//     from a p95 peak prediction over the last observation window.
+#include <cstdio>
+#include <vector>
+
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "core/peak_prediction.hpp"
+#include "core/stats.hpp"
+#include "local/dynamic_level.hpp"
+#include "perf/contention.hpp"
+#include "topology/builders.hpp"
+
+using namespace slackvm;
+
+namespace {
+
+/// Office-hours load: quiet baseline at night, +0.4 per vCPU during the
+/// 9h-18h window, with a per-tenant jitter. A shared phase (unlike the
+/// decorrelated workload::UsageSignal) is what makes dynamic retuning
+/// worthwhile: the whole pool breathes together.
+struct Tenant {
+  core::VmId id;
+  core::VmSpec spec;
+  double base;
+
+  [[nodiscard]] double usage_at(core::SimTime t) const {
+    const double hour = std::fmod(t / 3600.0, 24.0);
+    const bool busy = hour >= 9.0 && hour < 18.0;
+    return base + (busy ? 0.40 : 0.0);
+  }
+};
+
+double node_demand(const std::vector<Tenant>& tenants, core::SimTime t) {
+  double demand = 0.0;
+  for (const Tenant& tenant : tenants) {
+    demand += static_cast<double>(tenant.spec.vcpus) * tenant.usage_at(t);
+  }
+  return demand;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = bench::arg_u64(argc, argv, "--seed", 42);
+  const topo::CpuTopology machine = topo::make_dual_epyc_7662();
+  const perf::ContentionModel model;
+
+  // A 3:1 vNode of interactive tenants with diurnal load.
+  std::vector<Tenant> tenants;
+  core::SplitMix64 rng(seed);
+  for (std::uint64_t i = 1; i <= 60; ++i) {
+    core::VmSpec spec;
+    spec.vcpus = static_cast<core::VcpuCount>(1 + rng.below(2));
+    spec.mem_mib = core::gib(2);
+    spec.level = core::OversubLevel{3};
+    spec.usage = core::UsageClass::kInteractive;
+    tenants.push_back(Tenant{core::VmId{i}, spec, rng.uniform(0.10, 0.20)});
+  }
+
+  struct Strategy {
+    const char* name;
+    bool dynamic;
+    std::uint8_t static_ratio;
+  };
+  const Strategy strategies[] = {
+      {"static 3:1 (paper vNodes)", false, 3},
+      {"static 1:1-sized", false, 1},
+      {"dynamic (p95 predictor)", true, 3},
+  };
+
+  bench::print_header("Dynamic-level ablation — 60 interactive VMs, diurnal 3:1 vNode");
+  std::printf("%-28s | %10s | %12s | %12s | %9s\n", "strategy", "cores avg",
+              "p90 busy(ms)", "p90 quiet(ms)", "retunes");
+  bench::print_rule(86);
+
+  for (const Strategy& strategy : strategies) {
+    local::VNodeManager manager(machine);
+    local::VNodeId vnode = 0;
+    for (const Tenant& tenant : tenants) {
+      const auto result = manager.deploy(tenant.id, tenant.spec);
+      vnode = result->vnode;
+    }
+    if (!strategy.dynamic && strategy.static_ratio != 3) {
+      (void)manager.retune(vnode, core::OversubLevel{strategy.static_ratio});
+    }
+
+    const core::PercentilePredictor predictor(95.0);
+    const local::DynamicLevelController controller(predictor);
+
+    std::vector<double> busy_p90;
+    std::vector<double> quiet_p90;
+    double core_sum = 0.0;
+    std::size_t samples = 0;
+    std::size_t retunes = 0;
+    core::SplitMix64 noise(seed ^ 0xabcdef);
+
+    const core::SimTime horizon = 48.0 * 3600;
+    for (core::SimTime t = 0; t < horizon; t += 1800.0) {
+      if (strategy.dynamic) {
+        // Observe the last window's per-vCPU usage across tenants.
+        const auto outcomes = controller.retune_all(
+            manager, [&tenants, t](const local::VNode&) {
+              std::vector<double> window;
+              for (const Tenant& tenant : tenants) {
+                for (core::SimTime s = t > 3600 ? t - 3600 : 0; s <= t; s += 600) {
+                  window.push_back(tenant.usage_at(s));
+                }
+              }
+              return window;
+            });
+        for (const auto& outcome : outcomes) {
+          if (outcome.applied && outcome.target != outcome.previous) {
+            ++retunes;
+          }
+        }
+      }
+      const local::VNode& node = manager.vnodes().at(vnode);
+      const double capacity = static_cast<double>(node.core_count()) /
+                              static_cast<double>(machine.smt_width());
+      const double q = node_demand(tenants, t) / capacity;
+      core_sum += node.core_count();
+      ++samples;
+
+      std::vector<double> responses;
+      for (int r = 0; r < 24; ++r) {
+        responses.push_back(model.sample_response_ms(q, 0.0, true, noise));
+      }
+      const double p90 = core::percentile(responses, 90.0) * model.p90_calibration_scale();
+      const double hour = std::fmod(t / 3600.0, 24.0);
+      ((hour >= 9 && hour < 18) ? busy_p90 : quiet_p90).push_back(p90);
+    }
+
+    std::printf("%-28s | %10.1f | %12.2f | %12.2f | %9zu\n", strategy.name,
+                core_sum / static_cast<double>(samples), core::median(busy_p90),
+                core::median(quiet_p90), retunes);
+  }
+  std::printf("\nreading: the dynamic controller buys near-premium busy-hour latency\n"
+              "with far fewer cores than a static 1:1 sizing, relaxing back to 3:1\n"
+              "overnight — the knob §VIII proposes for SLA tuning.\n");
+  return 0;
+}

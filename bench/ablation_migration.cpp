@@ -1,0 +1,59 @@
+// Ablation: live-migration rebalancing (paper §VII-B2a future work).
+//
+// The same SlackVM shared cluster replays the same one-week traces with and
+// without periodic drain-and-consolidate passes, at several migration
+// budgets. Consolidation cannot reduce the PMs already opened, but it
+// empties PMs earlier (peak active PMs drops) and the freed slack absorbs
+// later arrivals (opened PMs drop too on churn-heavy traces).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/experiment.hpp"
+#include "sim/replay.hpp"
+
+using namespace slackvm;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = bench::arg_u64(argc, argv, "--seed", 42);
+  const std::uint64_t population = bench::arg_u64(argc, argv, "--population", 400);
+  const core::Resources host_config{32, core::gib(128)};
+
+  bench::print_header("Migration ablation — ovhcloud distribution F, SlackVM cluster");
+  workload::GeneratorConfig gen;
+  gen.target_population = population;
+  gen.seed = seed;
+  // Shorter lifetimes -> more churn -> more consolidation opportunities.
+  gen.mean_lifetime = 1.0 * 24 * 3600;
+  const workload::Trace trace =
+      workload::Generator(workload::ovhcloud_catalog(), workload::distribution('F'), gen)
+          .generate();
+  std::printf("trace: %zu VMs over one week, peak population %zu\n\n", trace.size(),
+              trace.peak_population());
+
+  struct Row {
+    const char* label;
+    std::optional<sim::RebalanceOptions> options;
+  };
+  const Row rows[] = {
+      {"no rebalancing", std::nullopt},
+      {"every 24h, budget 16", sim::RebalanceOptions{24.0 * 3600, 16}},
+      {"every 6h,  budget 16", sim::RebalanceOptions{6.0 * 3600, 16}},
+      {"every 6h,  budget 64", sim::RebalanceOptions{6.0 * 3600, 64}},
+      {"every 1h,  budget 64", sim::RebalanceOptions{1.0 * 3600, 64}},
+  };
+
+  std::printf("%-24s | %10s | %12s | %10s | %13s\n", "schedule", "opened PMs",
+              "peak active", "migrations", "stranded cpu");
+  bench::print_rule(86);
+  for (const Row& row : rows) {
+    sim::Datacenter dc =
+        sim::Datacenter::shared(host_config, sched::make_progress_policy);
+    const sim::RunResult result = sim::replay(dc, trace, row.options);
+    std::printf("%-24s | %10zu | %12zu | %10zu | %12.1f%%\n", row.label,
+                result.opened_pms, result.peak_active_pms, result.migrations,
+                result.avg_unalloc_cpu_share * 100);
+  }
+  std::printf("\nreading: more frequent/larger-budget consolidation lowers the peak of\n"
+              "active PMs (power-down opportunities) and can avoid opening new PMs.\n");
+  return 0;
+}

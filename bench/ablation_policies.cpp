@@ -1,0 +1,94 @@
+// Ablation: how much of SlackVM's gain comes from co-hosting levels versus
+// the Algorithm-2 progress score versus plain packing pressure?
+//
+// Five shared-cluster policies (random, worst-fit, first-fit, best-fit,
+// Algorithm-2 progress) plus two structural variants (shared cluster with a
+// level-exclusive filter == dedicated PMs inside one pool; true dedicated
+// First-Fit clusters == the paper's baseline) run the same one-week traces.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "sched/filter.hpp"
+#include "sim/experiment.hpp"
+#include "sim/replay.hpp"
+
+using namespace slackvm;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool dedicated;        // true = per-level clusters
+  bool level_exclusive;  // shared pool but one level per PM
+  sim::PolicyFactory factory;
+};
+
+sim::RunResult run_variant(const Variant& variant, const workload::Trace& trace,
+                           const core::Resources& host_config,
+                           const workload::LevelMix& mix) {
+  if (variant.dedicated) {
+    std::vector<core::OversubLevel> levels;
+    for (std::uint8_t ratio : core::kPaperLevelRatios) {
+      if (mix.share(core::OversubLevel{ratio}) > 0.0) {
+        levels.emplace_back(ratio);
+      }
+    }
+    sim::Datacenter dc = sim::Datacenter::dedicated(host_config, levels, variant.factory);
+    return sim::replay(dc, trace);
+  }
+  sim::Datacenter dc = sim::Datacenter::shared(host_config, variant.factory);
+  if (variant.level_exclusive) {
+    dc.cluster(0).set_filter(std::make_unique<sched::LevelExclusiveFilter>());
+  }
+  return sim::replay(dc, trace);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = bench::arg_u64(argc, argv, "--seed", 42);
+  const std::uint64_t population = bench::arg_u64(argc, argv, "--population", 500);
+  const core::Resources host_config{32, core::gib(128)};
+
+  const Variant variants[] = {
+      {"dedicated first-fit (paper baseline)", true, false, sched::make_first_fit},
+      {"shared + level-exclusive filter", false, true, sched::make_progress_policy},
+      {"shared random-fit", false, false, [seed] { return sched::make_random_fit(seed); }},
+      {"shared worst-fit", false, false, sched::make_worst_fit},
+      {"shared first-fit", false, false, sched::make_first_fit},
+      {"shared best-fit", false, false, sched::make_best_fit},
+      {"shared progress (Algorithm 2 alone)", false, false,
+       sched::make_progress_policy},
+      {"shared progress+packing (SlackVM)", false, false,
+       [] { return sched::make_slackvm_policy(0.5); }},
+  };
+
+  for (char dist : {'F', 'E', 'I'}) {
+    const workload::LevelMix& mix = workload::distribution(dist);
+    bench::print_header("Policy ablation — ovhcloud distribution " + mix.name + " (" +
+                        std::to_string(static_cast<int>(mix.share_1to1 * 100)) + "/" +
+                        std::to_string(static_cast<int>(mix.share_2to1 * 100)) + "/" +
+                        std::to_string(static_cast<int>(mix.share_3to1 * 100)) + ")");
+    workload::GeneratorConfig gen;
+    gen.target_population = population;
+    gen.seed = seed;
+    const workload::Trace trace =
+        workload::Generator(workload::ovhcloud_catalog(), mix, gen).generate();
+
+    std::printf("%-40s | %5s | %13s | %13s\n", "variant", "PMs", "stranded cpu",
+                "stranded mem");
+    bench::print_rule(84);
+    for (const Variant& variant : variants) {
+      const sim::RunResult result = run_variant(variant, trace, host_config, mix);
+      std::printf("%-40s | %5zu | %12.1f%% | %12.1f%%\n", variant.name,
+                  result.opened_pms, result.avg_unalloc_cpu_share * 100,
+                  result.avg_unalloc_mem_share * 100);
+    }
+    std::printf("\n");
+  }
+  std::printf("reading: co-hosting (any shared variant vs dedicated/level-exclusive)\n"
+              "provides the structural gain; the progress score then matches or beats\n"
+              "the packing heuristics by keeping each PM's M/C ratio near its target.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Ablation: vNode pooling (paper §V-B).
+//
+// When a level's vNode cannot grow, pooling upgrades the VM into a stricter
+// oversubscribed vNode (its guarantee subsumes the laxer one). Because
+// vNodes are sized ceil(vcpus/ratio), the stricter node carries up to
+// ratio-1 vCPUs of integer rounding slack; pooling converts that slack into
+// placements exactly when the PM is otherwise full — small in volume, but
+// it arrives at the worst moment for a strict manager (hard rejection).
+// This bench quantifies admitted VMs and the pooled node's contention.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/stats.hpp"
+#include "local/vnode_manager.hpp"
+#include "perf/contention.hpp"
+#include "topology/builders.hpp"
+#include "workload/catalog.hpp"
+#include "workload/usage.hpp"
+
+using namespace slackvm;
+
+namespace {
+
+struct FillResult {
+  std::size_t placed_total = 0;
+  std::size_t placed_3to1 = 0;
+  std::size_t pooled = 0;
+  double node2_q = 0.0;  ///< runnable demand per core of the 2:1 node
+};
+
+FillResult fill(local::PoolingPolicy policy, std::uint64_t seed) {
+  const topo::CpuTopology machine = topo::make_dual_epyc_7662();
+  local::VNodeManager manager(machine, policy);
+  const workload::Catalog capped =
+      workload::azure_catalog().truncated(workload::kOversubMemCap);
+  core::SplitMix64 rng(seed);
+  FillResult result;
+  std::uint64_t id = 1;
+  std::vector<std::pair<core::VmId, core::VmSpec>> vms;
+
+  // Phase 1: fill the PM completely — 192 premium threads, a 2:1 vNode
+  // whose odd vCPU total leaves one vCPU of rounding slack (13 x 9 = 117
+  // vCPUs on 59 threads, bound 118), and a final premium VM taking the
+  // last 5 free threads. The 3:1 level has no vNode and no room for one.
+  core::VmSpec premium;
+  premium.vcpus = 16;
+  premium.mem_mib = core::gib(32);
+  premium.level = core::OversubLevel{1};
+  for (int i = 0; i < 12; ++i) {  // 192 threads premium
+    if (manager.deploy(core::VmId{id}, premium)) {
+      ++id;
+      ++result.placed_total;
+    }
+  }
+  core::VmSpec two;
+  two.vcpus = 9;
+  two.mem_mib = core::gib(8);
+  two.level = core::OversubLevel{2};
+  for (int i = 0; i < 13; ++i) {  // 117 vCPUs -> 59 threads at 2:1
+    if (const auto r = manager.deploy(core::VmId{id}, two)) {
+      vms.emplace_back(core::VmId{id}, two);
+      ++id;
+      ++result.placed_total;
+    }
+  }
+  core::VmSpec filler;
+  filler.vcpus = 5;
+  filler.mem_mib = core::gib(8);
+  filler.level = core::OversubLevel{1};
+  if (manager.deploy(core::VmId{id}, filler)) {  // machine now 256/256 threads
+    ++id;
+    ++result.placed_total;
+  }
+
+  // Phase 2: 3:1 customers arrive; without pooling they are rejected.
+  for (int i = 0; i < 24; ++i) {
+    core::VmSpec three;
+    three.vcpus = 1;
+    three.mem_mib = core::gib(2);
+    three.level = core::OversubLevel{3};
+    (void)rng;
+    if (const auto r = manager.deploy(core::VmId{id}, three)) {
+      vms.emplace_back(core::VmId{id}, three);
+      ++id;
+      ++result.placed_total;
+      ++result.placed_3to1;
+      if (r->pooled) {
+        ++result.pooled;
+      }
+    }
+  }
+
+  // QoS of the 2:1 node (which absorbed the pooled VMs).
+  if (const local::VNode* node = manager.find_level(core::OversubLevel{2})) {
+    double demand = 0.0;
+    for (const auto& [vm, spec] : vms) {
+      if (node->hosts(vm)) {
+        demand += static_cast<double>(spec.vcpus) *
+                  workload::UsageSignal(vm, core::UsageClass::kSteady).mean();
+      }
+    }
+    result.node2_q = demand / (static_cast<double>(node->core_count()) /
+                               machine.smt_width());
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = bench::arg_u64(argc, argv, "--seed", 42);
+  const perf::ContentionModel model;
+
+  bench::print_header("Pooling ablation (§V-B) — premium-heavy dual-EPYC PM");
+  std::printf("%-22s | %8s | %9s | %7s | %10s | %12s\n", "policy", "placed",
+              "3:1 taken", "pooled", "2:1 q", "2:1 p90 (ms)");
+  bench::print_rule(84);
+  for (const auto& [policy, label] :
+       {std::pair{local::PoolingPolicy::kNone, "no pooling"},
+        std::pair{local::PoolingPolicy::kUpgrade, "pooling (upgrade)"}}) {
+    const FillResult result = fill(policy, seed);
+    const double p90 =
+        model.expected_response_ms(result.node2_q, 0.0, true) * 1.0;  // window median
+    std::printf("%-22s | %8zu | %9zu | %7zu | %10.2f | %12.2f\n", label,
+                result.placed_total, result.placed_3to1, result.pooled, result.node2_q,
+                p90);
+  }
+  std::printf("\nreading: on a full PM, pooling converts the 2:1 node's rounding slack\n"
+              "into 3:1 placements a strict manager must hard-reject; the pooled node's\n"
+              "vCPU count stays within its own 2:1 vCPUs-per-thread guarantee, so the\n"
+              "contention increase is marginal (q and p90 columns).\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared helpers for the experiment-reproduction binaries: tiny CLI parsing
+// and fixed-width table rendering.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace slackvm::bench {
+
+/// Parse "--key value" style options; returns fallback when absent.
+inline std::uint64_t arg_u64(int argc, char** argv, const char* key,
+                             std::uint64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], key) == 0) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+inline bool arg_flag(int argc, char** argv, const char* key) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], key) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+inline void print_rule(int width = 72) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+inline void print_header(const std::string& title) {
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  print_rule();
+}
+
+}  // namespace slackvm::bench

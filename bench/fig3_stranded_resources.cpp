@@ -1,0 +1,72 @@
+// Reproduces Fig. 3: share of unallocated (stranded) CPU and memory across
+// the minimal cluster, for distributions A..O, dedicated First-Fit clusters
+// (baseline) vs the shared SlackVM cluster — OVHcloud setup by default,
+// Azure with --provider-azure.
+//
+// Paper shape: low-oversubscription distributions strand memory (CPU
+// bottleneck), high-oversubscription distributions strand CPU (memory
+// bottleneck); SlackVM reduces both for most mixed distributions.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+
+void print_bar(double share) {
+  const int n = static_cast<int>(share * 50.0 + 0.5);
+  for (int i = 0; i < n; ++i) {
+    std::putchar('#');
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace slackvm;
+  sim::ExperimentConfig config;
+  config.generator.seed = bench::arg_u64(argc, argv, "--seed", 42);
+  config.generator.target_population =
+      bench::arg_u64(argc, argv, "--population", 500);
+  config.repetitions = bench::arg_u64(argc, argv, "--reps", 3);
+  const workload::Catalog& catalog = bench::arg_flag(argc, argv, "--provider-azure")
+                                         ? workload::azure_catalog()
+                                         : workload::ovhcloud_catalog();
+
+  bench::print_header("Fig. 3 — unallocated resource shares, baseline vs SlackVM (" +
+                      catalog.provider() + ")");
+  std::printf("protocol: %zu-VM target, one-week trace, 32c/128GiB PMs, %zu reps\n\n",
+              config.generator.target_population, config.repetitions);
+  std::printf("%4s %10s | %-26s | %-26s\n", "dist", "(1/2/3:1)", "baseline unalloc cpu|mem",
+              "slackvm  unalloc cpu|mem");
+  bench::print_rule(96);
+
+  const auto sweep = sim::run_distribution_sweep(catalog, config);
+  for (const sim::PackingComparison& cmp : sweep) {
+    const workload::LevelMix& mix = workload::distribution(cmp.distribution[0]);
+    std::printf("%4s %3.0f/%3.0f/%3.0f | cpu %5.1f%%  mem %5.1f%%      | cpu %5.1f%%  "
+                "mem %5.1f%%      | PMs %3zu -> %3zu (%+5.1f%%)\n",
+                cmp.distribution.c_str(), mix.share_1to1 * 100, mix.share_2to1 * 100,
+                mix.share_3to1 * 100, cmp.baseline.avg_unalloc_cpu_share * 100,
+                cmp.baseline.avg_unalloc_mem_share * 100,
+                cmp.slackvm.avg_unalloc_cpu_share * 100,
+                cmp.slackvm.avg_unalloc_mem_share * 100, cmp.baseline.opened_pms,
+                cmp.slackvm.opened_pms, -cmp.pm_saving_pct());
+  }
+  bench::print_rule(96);
+
+  std::printf("\nbar view (baseline stranded CPU ### / memory ===):\n");
+  for (const sim::PackingComparison& cmp : sweep) {
+    std::printf("%3s cpu |", cmp.distribution.c_str());
+    print_bar(cmp.baseline.avg_unalloc_cpu_share);
+    std::printf("\n    mem |");
+    const int n = static_cast<int>(cmp.baseline.avg_unalloc_mem_share * 50.0 + 0.5);
+    for (int i = 0; i < n; ++i) {
+      std::putchar('=');
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper shape: memory stranded on the left (A..), CPU stranded on the\n"
+              "right (..O); SlackVM reduces stranded totals on mixed distributions.\n");
+  return 0;
+}

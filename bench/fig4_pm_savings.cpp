@@ -1,0 +1,67 @@
+// Reproduces Fig. 4: SlackVM PM savings (%) across the (share 1:1,
+// share 2:1) grid in 25% steps, for both providers; the 3:1 share is the
+// complement. The paper's peaks: 9.6% (OVHcloud, distribution F = 50/0/50)
+// and 8.8% (Azure, low 1:1 share).
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+
+void print_heatmap(const std::vector<slackvm::sim::HeatmapCell>& cells) {
+  std::map<std::pair<int, int>, double> grid;
+  for (const auto& cell : cells) {
+    grid[{cell.pct_1to1, cell.pct_2to1}] = cell.saving_pct;
+  }
+  std::printf("%8s", "2:1 \\ 1:1");
+  for (int s1 = 0; s1 <= 100; s1 += 25) {
+    std::printf("  %4d%%", s1);
+  }
+  std::printf("\n");
+  for (int s2 = 100; s2 >= 0; s2 -= 25) {
+    std::printf("%7d%% ", s2);
+    for (int s1 = 0; s1 <= 100; s1 += 25) {
+      const auto it = grid.find({s1, s2});
+      if (it == grid.end()) {
+        std::printf("  %5s", ".");
+      } else {
+        std::printf("  %4.1f%%", it->second);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace slackvm;
+  sim::ExperimentConfig config;
+  config.generator.seed = bench::arg_u64(argc, argv, "--seed", 42);
+  config.generator.target_population =
+      bench::arg_u64(argc, argv, "--population", 500);
+  config.repetitions = bench::arg_u64(argc, argv, "--reps", 3);
+
+  for (const workload::Catalog* catalog :
+       {&workload::ovhcloud_catalog(), &workload::azure_catalog()}) {
+    bench::print_header("Fig. 4 — SlackVM PM savings (%) — " + catalog->provider());
+    const auto cells = sim::run_savings_heatmap(*catalog, config);
+    print_heatmap(cells);
+
+    double best = 0.0;
+    std::pair<int, int> best_cell{0, 0};
+    for (const auto& cell : cells) {
+      if (cell.saving_pct > best) {
+        best = cell.saving_pct;
+        best_cell = {cell.pct_1to1, cell.pct_2to1};
+      }
+    }
+    std::printf("\npeak saving: %.1f%% at 1:1=%d%% / 2:1=%d%% / 3:1=%d%%\n\n", best,
+                best_cell.first, best_cell.second, 100 - best_cell.first - best_cell.second);
+  }
+  std::printf("paper peaks: ovhcloud 9.6%% at F (50/0/50); azure up to 8.8%% at low\n"
+              "1:1 shares; near-zero on the no-3:1 diagonal (threshold effect only).\n");
+  return 0;
+}

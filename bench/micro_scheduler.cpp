@@ -1,0 +1,110 @@
+// Engineering micro-benchmarks (google-benchmark): scheduling throughput of
+// the placement policies across cluster sizes, and the cost of Algorithm 2
+// scoring relative to plain First-Fit — the ablation DESIGN.md calls out.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "sched/policy.hpp"
+#include "sched/vcluster.hpp"
+#include "workload/catalog.hpp"
+#include "workload/level_mix.hpp"
+
+namespace {
+
+using namespace slackvm;
+
+core::VmSpec random_spec(core::SplitMix64& rng) {
+  const workload::LevelMix mix = workload::make_mix(34, 33, 33);
+  core::VmSpec spec;
+  spec.level = mix.sample(rng);
+  const workload::Catalog& catalog =
+      spec.level.oversubscribed()
+          ? workload::azure_catalog().truncated(workload::kOversubMemCap)
+          : workload::azure_catalog();
+  const workload::Flavor& flavor = catalog.sample(rng);
+  spec.vcpus = flavor.vcpus;
+  spec.mem_mib = flavor.mem_mib;
+  return spec;
+}
+
+/// Pre-fill a cluster with `hosts` PMs at ~60% load.
+std::vector<sched::HostState> make_cluster(std::size_t hosts, core::SplitMix64& rng) {
+  std::vector<sched::HostState> cluster;
+  std::uint64_t id = 1;
+  for (std::size_t h = 0; h < hosts; ++h) {
+    sched::HostState host(static_cast<sched::HostId>(h), {32, core::gib(128)});
+    while (host.alloc().cores < 20) {
+      const core::VmSpec spec = random_spec(rng);
+      if (!host.can_host(spec)) {
+        break;
+      }
+      host.add(core::VmId{id++}, spec);
+    }
+    cluster.push_back(std::move(host));
+  }
+  return cluster;
+}
+
+void BM_FirstFitSelect(benchmark::State& state) {
+  core::SplitMix64 rng(1);
+  const auto cluster = make_cluster(static_cast<std::size_t>(state.range(0)), rng);
+  const sched::FirstFitPolicy policy;
+  const core::VmSpec spec = random_spec(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.select(cluster, spec));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FirstFitSelect)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ProgressSelect(benchmark::State& state) {
+  core::SplitMix64 rng(2);
+  const auto cluster = make_cluster(static_cast<std::size_t>(state.range(0)), rng);
+  const auto policy = sched::make_progress_policy();
+  const core::VmSpec spec = random_spec(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->select(cluster, spec));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProgressSelect)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ProgressScoreSingleHost(benchmark::State& state) {
+  core::SplitMix64 rng(3);
+  auto cluster = make_cluster(1, rng);
+  const sched::ProgressScorer scorer;
+  const core::VmSpec spec = random_spec(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scorer.score(cluster.front(), spec));
+  }
+}
+BENCHMARK(BM_ProgressScoreSingleHost);
+
+void BM_VClusterChurn(benchmark::State& state) {
+  // Steady-state place/remove churn through a whole VCluster.
+  core::SplitMix64 rng(4);
+  sched::VCluster cluster("bench", {32, core::gib(128)}, sched::make_progress_policy());
+  std::vector<core::VmId> alive;
+  std::uint64_t id = 1;
+  for (int i = 0; i < 400; ++i) {
+    const core::VmId vm{id++};
+    cluster.place(vm, random_spec(rng));
+    alive.push_back(vm);
+  }
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    cluster.remove(alive[cursor]);
+    const core::VmId vm{id++};
+    cluster.place(vm, random_spec(rng));
+    alive[cursor] = vm;
+    cursor = (cursor + 1) % alive.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VClusterChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

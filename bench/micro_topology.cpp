@@ -1,0 +1,78 @@
+// Engineering micro-benchmarks (google-benchmark): Algorithm 1 distance
+// computation, distance-matrix construction, and local-scheduler vNode
+// resize costs on the paper's dual-EPYC testbed topology.
+#include <benchmark/benchmark.h>
+
+#include "core/rng.hpp"
+#include "local/placement.hpp"
+#include "local/vnode_manager.hpp"
+#include "topology/builders.hpp"
+#include "topology/distance.hpp"
+
+namespace {
+
+using namespace slackvm;
+
+void BM_CoreDistance(benchmark::State& state) {
+  const topo::CpuTopology epyc = topo::make_dual_epyc_7662();
+  core::SplitMix64 rng(1);
+  for (auto _ : state) {
+    const auto a = static_cast<topo::CpuId>(rng.below(epyc.cpu_count()));
+    const auto b = static_cast<topo::CpuId>(rng.below(epyc.cpu_count()));
+    benchmark::DoNotOptimize(topo::core_distance(epyc, a, b));
+  }
+}
+BENCHMARK(BM_CoreDistance);
+
+void BM_DistanceMatrixBuild(benchmark::State& state) {
+  const topo::CpuTopology epyc = topo::make_dual_epyc_7662();
+  for (auto _ : state) {
+    const topo::DistanceMatrix dm(epyc);
+    benchmark::DoNotOptimize(dm(0, 255));
+  }
+}
+BENCHMARK(BM_DistanceMatrixBuild);
+
+void BM_VNodeDeployRemove(benchmark::State& state) {
+  // One deploy + one remove at steady state on a loaded dual-EPYC PM.
+  const topo::CpuTopology epyc = topo::make_dual_epyc_7662();
+  local::VNodeManager manager(epyc);
+  core::SplitMix64 rng(2);
+  std::uint64_t id = 1;
+  core::VmSpec spec;
+  spec.vcpus = 4;
+  spec.mem_mib = core::gib(8);
+  // Load three levels to ~60%.
+  for (int i = 0; i < 30; ++i) {
+    spec.level = core::OversubLevel{static_cast<std::uint8_t>(1 + i % 3)};
+    (void)manager.deploy(core::VmId{id++}, spec);
+  }
+  for (auto _ : state) {
+    spec.level = core::OversubLevel{static_cast<std::uint8_t>(1 + rng.below(3))};
+    const core::VmId vm{id++};
+    if (manager.deploy(vm, spec)) {
+      manager.remove(vm);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VNodeDeployRemove);
+
+void BM_SeedSelection(benchmark::State& state) {
+  const topo::CpuTopology epyc = topo::make_dual_epyc_7662();
+  const topo::DistanceMatrix dm(epyc);
+  topo::CpuSet occupied(epyc.cpu_count());
+  for (topo::CpuId cpu = 0; cpu < 64; ++cpu) {
+    occupied.set(cpu);
+  }
+  topo::CpuSet free_cpus = epyc.all_cpus();
+  free_cpus -= occupied;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(local::choose_seed_cpus(dm, free_cpus, occupied, 8));
+  }
+}
+BENCHMARK(BM_SeedSelection);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Effective-utilization report (§I: the motivating "low resource usage per
+// PM"). For each provisioning mode, the monitor samples the fleet's runnable
+// CPU demand hourly over the week: SlackVM's tighter packing raises the
+// effective utilization of every powered PM without pushing hosts into
+// overload (demand above physical capacity).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/experiment.hpp"
+#include "sim/replay.hpp"
+
+using namespace slackvm;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = bench::arg_u64(argc, argv, "--seed", 42);
+  const std::uint64_t population = bench::arg_u64(argc, argv, "--population", 500);
+  const core::Resources worker{32, core::gib(128)};
+
+  bench::print_header("Effective utilization — hourly demand sampling, one week");
+  std::printf("%4s %-9s | %-28s | %-28s\n", "dist", "provider",
+              "baseline util fleet|alloc|ovl", "slackvm  util fleet|alloc|ovl");
+  bench::print_rule(96);
+
+  for (const workload::Catalog* catalog :
+       {&workload::ovhcloud_catalog(), &workload::azure_catalog()}) {
+    for (char dist : {'A', 'E', 'F', 'O'}) {
+      const workload::LevelMix& mix = workload::distribution(dist);
+      workload::GeneratorConfig gen;
+      gen.target_population = population;
+      gen.seed = seed;
+      const workload::Trace trace = workload::Generator(*catalog, mix, gen).generate();
+
+      std::vector<core::OversubLevel> levels;
+      for (std::uint8_t ratio : core::kPaperLevelRatios) {
+        if (mix.share(core::OversubLevel{ratio}) > 0.0) {
+          levels.emplace_back(ratio);
+        }
+      }
+      sim::Datacenter baseline =
+          sim::Datacenter::dedicated(worker, levels, sched::make_first_fit);
+      sim::UsageMonitor base_monitor(3600.0);
+      (void)sim::replay(baseline, trace, std::nullopt, &base_monitor);
+      const sim::UsageReport base = base_monitor.report();
+
+      sim::Datacenter slackvm =
+          sim::Datacenter::shared(worker, sched::make_progress_policy);
+      sim::UsageMonitor slack_monitor(3600.0);
+      (void)sim::replay(slackvm, trace, std::nullopt, &slack_monitor);
+      const sim::UsageReport slack = slack_monitor.report();
+
+      std::printf("%4c %-9s | %6.1f%% | %6.1f%% | %5.1f hh | %6.1f%% | %6.1f%% | %5.1f hh\n",
+                  dist, catalog->provider().c_str(), base.avg_fleet_utilization * 100,
+                  base.avg_alloc_heat * 100, base.overload_host_hours,
+                  slack.avg_fleet_utilization * 100, slack.avg_alloc_heat * 100,
+                  slack.overload_host_hours);
+    }
+  }
+  std::printf("\ncolumns: fleet = demand / all opened cores; alloc = demand /\n"
+              "vNode-allocated cores (the oversubscription 'heat'); ovl = host-hours\n"
+              "with demand above physical capacity. SlackVM lifts fleet utilization\n"
+              "on mixed distributions by powering fewer PMs for the same demand, and\n"
+              "co-hosting *dilutes* overload: dedicated 3:1 PMs spend hundreds of\n"
+              "host-hours above capacity while the shared PMs, padded by low-density\n"
+              "premium vNodes, spend none (E/F rows).\n");
+  return 0;
+}

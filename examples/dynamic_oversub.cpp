@@ -1,0 +1,66 @@
+// Dynamic oversubscription walkthrough (paper §VIII perspective): a 3:1
+// vNode tightens to 1:1 as its tenants ramp up and relaxes back overnight,
+// driven by peak prediction over observed usage.
+//
+//   ./dynamic_oversub
+#include <cstdio>
+#include <vector>
+
+#include "core/peak_prediction.hpp"
+#include "local/dynamic_level.hpp"
+#include "topology/builders.hpp"
+
+using namespace slackvm;
+
+int main() {
+  const topo::CpuTopology machine = topo::make_dual_epyc_7662();
+  local::VNodeManager manager(machine);
+
+  // Ten 2-vCPU VMs sold at 3:1.
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    core::VmSpec spec;
+    spec.vcpus = 2;
+    spec.mem_mib = core::gib(4);
+    spec.level = core::OversubLevel{3};
+    manager.deploy(core::VmId{i}, spec);
+  }
+  const local::VNodeId vnode = manager.vnodes().begin()->first;
+
+  const core::PercentilePredictor predictor(95.0);
+  const local::DynamicLevelController controller(predictor);
+
+  struct Phase {
+    const char* label;
+    std::vector<double> usage;  // observed per-vCPU usage window
+  };
+  const Phase day[] = {
+      {"03:00  night, mostly idle", {0.05, 0.08, 0.06, 0.10, 0.07}},
+      {"09:00  morning ramp-up", {0.25, 0.35, 0.40, 0.45, 0.42}},
+      {"13:00  peak load", {0.70, 0.85, 0.90, 0.80, 0.88}},
+      {"19:00  cooling down", {0.35, 0.30, 0.28, 0.33, 0.31}},
+      {"23:00  night again", {0.10, 0.08, 0.12, 0.09, 0.11}},
+  };
+
+  std::printf("vNode sold at %s, 20 vCPUs committed\n\n",
+              core::to_string(manager.vnodes().at(vnode).level()).c_str());
+  std::printf("%-28s | %9s | %-10s | %7s | %s\n", "time / observation", "p95 usage",
+              "effective", "threads", "pinned to");
+  for (const Phase& phase : day) {
+    const auto outcomes =
+        controller.retune_all(manager, [&phase](const local::VNode&) {
+          return phase.usage;
+        });
+    const local::VNode& node = manager.vnodes().at(vnode);
+    const double p95 = predictor.predict(phase.usage);
+    std::printf("%-28s | %8.2f  | %-10s | %7u | {%s}%s\n", phase.label, p95,
+                core::to_string(node.effective_level()).c_str(), node.core_count(),
+                node.cpus().to_string().c_str(),
+                (!outcomes.empty() && !outcomes.front().applied) ? "  [blocked: PM full]"
+                                                                 : "");
+  }
+
+  std::printf("\nThe effective ratio tracks 1/p95(usage) within [1:1, 3:1]; the vNode\n"
+              "grows to premium sizing under load and gives the threads back at night\n"
+              "— the SLA-tuning knob the paper's conclusion proposes.\n");
+  return 0;
+}

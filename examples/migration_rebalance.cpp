@@ -1,0 +1,83 @@
+// Live-migration consolidation walkthrough (paper §VII-B2a future work):
+// after a burst of departures leaves several PMs half empty, plan and apply
+// a drain-and-consolidate pass and watch PMs free up.
+//
+//   ./migration_rebalance [--seed S]
+#include <cstdio>
+#include <cstring>
+
+#include "sched/policy.hpp"
+#include "sched/rebalancer.hpp"
+#include "workload/catalog.hpp"
+
+using namespace slackvm;
+
+namespace {
+
+void show(const sched::VCluster& cluster) {
+  std::printf("  cluster state: %zu PMs opened, %zu VMs\n", cluster.opened_hosts(),
+              cluster.vm_count());
+  for (const sched::HostState& host : cluster.hosts()) {
+    const core::Resources alloc = host.alloc();
+    std::printf("    PM %u: %2zu VMs, %3u/%u threads, %4.0f/%.0f GiB%s\n", host.id(),
+                host.vm_count(), alloc.cores, host.config().cores,
+                core::mib_to_gib(alloc.mem_mib), core::mib_to_gib(host.config().mem_mib),
+                host.empty() ? "  [idle - can power down]" : "");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 42;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+
+  sched::VCluster cluster("region-a", {32, core::gib(128)},
+                          sched::make_progress_policy());
+  const workload::Catalog& catalog = workload::ovhcloud_catalog();
+  const workload::Catalog capped = catalog.truncated(workload::kOversubMemCap);
+
+  // Fill four PMs worth of mixed VMs.
+  core::SplitMix64 rng(seed);
+  std::vector<core::VmId> vms;
+  for (std::uint64_t i = 1; i <= 40; ++i) {
+    core::VmSpec spec;
+    spec.level = core::OversubLevel{static_cast<std::uint8_t>(1 + rng.below(3))};
+    const workload::Flavor& flavor =
+        (spec.level.oversubscribed() ? capped : catalog).sample(rng);
+    spec.vcpus = flavor.vcpus;
+    spec.mem_mib = flavor.mem_mib;
+    cluster.place(core::VmId{i}, spec);
+    vms.push_back(core::VmId{i});
+  }
+  std::printf("after 40 deployments:\n");
+  show(cluster);
+
+  // 60% of tenants leave — classic fragmentation.
+  std::size_t removed = 0;
+  for (const core::VmId vm : vms) {
+    if (rng.uniform() < 0.6) {
+      cluster.remove(vm);
+      ++removed;
+    }
+  }
+  std::printf("\nafter %zu departures (fragmented):\n", removed);
+  show(cluster);
+
+  const sched::Rebalancer rebalancer;
+  const sched::MigrationPlan plan = rebalancer.plan(cluster, 32);
+  std::printf("\nrebalancer plan: %zu migrations, %zu host(s) emptied\n",
+              plan.migrations.size(), plan.hosts_emptied);
+  for (const sched::Migration& m : plan.migrations) {
+    std::printf("  migrate VM %llu: PM %u -> PM %u\n",
+                static_cast<unsigned long long>(m.vm.value), m.from, m.to);
+  }
+  sched::Rebalancer::apply_plan(cluster, plan);
+  std::printf("\nafter consolidation:\n");
+  show(cluster);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Topology explorer: print the Algorithm-1 distance structure of several
+// machines and show how the local scheduler's CPU selection policies behave
+// on each — useful to understand vNode placement on new hardware.
+//
+//   ./topology_explorer
+#include <cstdio>
+
+#include "local/placement.hpp"
+#include "topology/builders.hpp"
+#include "topology/distance.hpp"
+
+using namespace slackvm;
+
+namespace {
+
+void explore(const topo::CpuTopology& machine) {
+  std::printf("=== %s ===\n", machine.name().c_str());
+  std::printf("threads %zu, sockets %zu, NUMA nodes %zu, SMT width %u, M/C %.1f\n",
+              machine.cpu_count(), machine.socket_count(), machine.numa_count(),
+              machine.smt_width(), machine.target_ratio());
+
+  // Distance profile from thread 0.
+  std::printf("distance from cpu0: ");
+  std::uint32_t last = 0xffffffff;
+  for (std::size_t cpu = 0; cpu < machine.cpu_count(); ++cpu) {
+    const auto d = topo::core_distance(machine, 0, static_cast<topo::CpuId>(cpu));
+    if (d != last) {
+      std::printf("cpu%zu:%u ", cpu, d);
+      last = d;
+    }
+  }
+  std::printf("(distance changes only shown)\n");
+
+  // Show seed/extension decisions.
+  const topo::DistanceMatrix dm(machine);
+  topo::CpuSet occupied(machine.cpu_count());
+  const std::size_t first_node = std::min<std::size_t>(machine.cpu_count() / 4, 16);
+  const auto seed_a = local::choose_seed_cpus(dm, machine.all_cpus(), occupied, first_node);
+  std::printf("vNode A (%zu threads) seeded at: {%s}\n", first_node,
+              seed_a->to_string().c_str());
+  occupied |= *seed_a;
+  topo::CpuSet free_cpus = machine.all_cpus();
+  free_cpus -= occupied;
+  const auto seed_b = local::choose_seed_cpus(dm, free_cpus, occupied, first_node);
+  std::printf("vNode B (%zu threads) lands far away: {%s}\n", first_node,
+              seed_b->to_string().c_str());
+  free_cpus -= *seed_b;
+  const auto grow = local::choose_extension_cpus(dm, free_cpus, *seed_a, 4);
+  std::printf("growing vNode A by 4 picks neighbours: {%s}\n\n",
+              grow->to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  explore(topo::make_dual_epyc_7662());
+  explore(topo::make_dual_xeon_6230());
+  explore(topo::make_sim_worker());
+
+  // A custom machine: single-socket, NPS2, big L3 slices.
+  topo::GenericSpec spec;
+  spec.name = "custom 48c NPS2";
+  spec.cores_per_socket = 48;
+  spec.smt = 2;
+  spec.cores_per_l3 = 8;
+  spec.numa_per_socket = 2;
+  spec.total_mem = core::gib(384);
+  explore(topo::make_generic(spec));
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Error handling utilities.
+//
+// The library throws `SlackError` for API misuse and unrecoverable state
+// violations. Cheap internal invariants are checked with SLACKVM_ASSERT which
+// is active in all build types (the checks guard scheduling correctness and
+// are far from any hot loop).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace slackvm::core {
+
+/// Exception thrown on API misuse or broken invariants.
+class SlackError : public std::runtime_error {
+ public:
+  explicit SlackError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  throw SlackError(std::string("assertion failed: ") + expr + " at " + file + ":" +
+                   std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace slackvm::core
+
+/// Always-on assertion used for scheduler invariants.
+#define SLACKVM_ASSERT(expr)                                               \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::slackvm::core::detail::assert_fail(#expr, __FILE__, __LINE__);     \
+    }                                                                      \
+  } while (false)
+
+/// Throw a SlackError with the given message.
+#define SLACKVM_THROW(msg) throw ::slackvm::core::SlackError(msg)

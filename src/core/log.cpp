@@ -1,0 +1,32 @@
+#include "core/log.hpp"
+
+namespace slackvm::core {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+std::string_view level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?????";
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+namespace detail {
+void emit(LogLevel level, std::string_view msg) {
+  std::clog << "[slackvm " << level_tag(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace slackvm::core

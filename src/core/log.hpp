@@ -1,0 +1,46 @@
+// Minimal leveled logger. Off by default; benches and examples raise the
+// level via --verbose-style flags. Not thread-safe by design: the simulator
+// is single-threaded and deterministic.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace slackvm::core {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log threshold; messages above it are discarded.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void emit(LogLevel level, std::string_view msg);
+}
+
+/// Stream-style log statement: SLACKVM_LOG(kInfo) << "opened PM " << id;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace slackvm::core
+
+#define SLACKVM_LOG(level)                                                  \
+  if (static_cast<int>(::slackvm::core::LogLevel::level) <=                 \
+      static_cast<int>(::slackvm::core::log_level()))                       \
+  ::slackvm::core::LogLine(::slackvm::core::LogLevel::level)

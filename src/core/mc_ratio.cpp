@@ -1,0 +1,55 @@
+#include "core/mc_ratio.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace slackvm::core {
+
+double progress_towards_target_ratio(const ProgressInputs& in) {
+  SLACKVM_ASSERT(in.config.cores > 0);
+  SLACKVM_ASSERT(in.vm.cores > 0 || in.vm.mem_mib > 0);
+
+  // Line 1: targetRatio <- configPM(mem) / configPM(cpu)
+  const double target_ratio = mc_ratio_gib_per_core(in.config);
+
+  double current_ratio = 0.0;
+  double next_ratio = 0.0;
+  if (in.alloc.cores > 0) {
+    // Lines 3-4: ratios of the current workload and of the workload with the
+    // candidate VM added.
+    current_ratio = mc_ratio_gib_per_core(in.alloc);
+    next_ratio = mc_ratio_gib_per_core(in.alloc + in.vm);
+  } else {
+    // Lines 6-7: an idle PM is regarded as having an ideal ratio, so the
+    // first deployment's progress is -|vmRatio - target| (<= 0), and busy
+    // PMs whose bias the VM corrects are preferred over idle ones.
+    current_ratio = target_ratio;
+    next_ratio = in.vm.cores > 0 ? mc_ratio_gib_per_core(in.vm)
+                                 : target_ratio + mib_to_gib(in.vm.mem_mib);
+  }
+
+  // Lines 9-11.
+  const double current_delta = std::abs(current_ratio - target_ratio);
+  const double next_delta = std::abs(next_ratio - target_ratio);
+  double progress = current_delta - next_delta;
+
+  // Lines 12-15: negative progress is amplified on loaded PMs so large
+  // unbalanced VMs are steered toward lightly loaded PMs.
+  if (progress < 0) {
+    const double factor =
+        1.0 + static_cast<double>(in.alloc.cores) / static_cast<double>(in.config.cores);
+    progress *= factor;
+  }
+  return progress;
+}
+
+double ratio_delta(const Resources& alloc, const Resources& config) {
+  const double target = mc_ratio_gib_per_core(config);
+  if (alloc.cores == 0) {
+    return 0.0;
+  }
+  return std::abs(mc_ratio_gib_per_core(alloc) - target);
+}
+
+}  // namespace slackvm::core

@@ -1,0 +1,34 @@
+// Memory-per-Core (M/C) ratio machinery, including the paper's Algorithm 2.
+//
+// Algorithm 2 ("Progress towards target ratio computation") is the new
+// scoring metric SlackVM adds to score-based global schedulers. Given the PM
+// hardware configuration, its current allocation (both in physical cores /
+// MiB) and a candidate VM footprint, it returns a signed *progress* value:
+//  > 0  — deploying the VM moves the hosted M/C ratio toward the PM's target
+//         (hardware) ratio;
+//  < 0  — the deployment moves the ratio away; the magnitude is additionally
+//         amplified by how full the PM already is (lines 12-15), so that
+//         unavoidable unbalanced VMs land on lightly loaded PMs where the
+//         bias can still be counterbalanced later.
+// An idle PM is treated as already sitting at the ideal ratio (line 6), which
+// makes busy PMs more attractive than empty ones and thus consolidates.
+#pragma once
+
+#include "core/resources.hpp"
+
+namespace slackvm::core {
+
+/// Inputs of Algorithm 2 expressed in PM currency.
+struct ProgressInputs {
+  Resources config;  ///< PM hardware configuration (total cores, total MiB)
+  Resources alloc;   ///< current PM allocation (vNode cores, committed MiB)
+  Resources vm;      ///< candidate VM footprint at its oversubscription level
+};
+
+/// Paper Algorithm 2, line by line. `config.cores` must be non-zero.
+[[nodiscard]] double progress_towards_target_ratio(const ProgressInputs& in);
+
+/// |current - target| distance helper used by tests and diagnostics.
+[[nodiscard]] double ratio_delta(const Resources& alloc, const Resources& config);
+
+}  // namespace slackvm::core

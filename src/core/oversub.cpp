@@ -1,0 +1,15 @@
+#include "core/oversub.hpp"
+
+#include <ostream>
+
+namespace slackvm::core {
+
+std::string to_string(OversubLevel level) {
+  return std::to_string(static_cast<int>(level.ratio())) + ":1";
+}
+
+std::ostream& operator<<(std::ostream& os, OversubLevel level) {
+  return os << to_string(level);
+}
+
+}  // namespace slackvm::core

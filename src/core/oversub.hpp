@@ -1,0 +1,70 @@
+// Oversubscription levels.
+//
+// A level n:1 exposes n vCPUs per physical core (paper §II-A). Level 1:1 is
+// the premium, non-oversubscribed tier. Memory is never oversubscribed in
+// this reproduction, matching the paper's second hypothesis (§III-A).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+
+namespace slackvm::core {
+
+/// CPU oversubscription ratio n:1, n in [1, 16].
+class OversubLevel {
+ public:
+  static constexpr std::uint8_t kMaxRatio = 16;
+
+  constexpr OversubLevel() = default;
+
+  constexpr explicit OversubLevel(std::uint8_t ratio) : ratio_(ratio) {
+    if (ratio < 1 || ratio > kMaxRatio) {
+      SLACKVM_THROW("OversubLevel ratio out of range [1,16]");
+    }
+  }
+
+  /// vCPUs exposed per physical core.
+  [[nodiscard]] constexpr std::uint8_t ratio() const noexcept { return ratio_; }
+
+  [[nodiscard]] constexpr bool oversubscribed() const noexcept { return ratio_ > 1; }
+
+  /// Physical cores needed to host `vcpus` at this level (integer-core
+  /// accounting: a vNode always owns whole cores).
+  [[nodiscard]] constexpr CoreCount cores_for(VcpuCount vcpus) const noexcept {
+    return ceil_div<CoreCount>(vcpus, ratio_);
+  }
+
+  /// vCPUs a pool of `cores` physical cores may expose at this level.
+  [[nodiscard]] constexpr VcpuCount vcpus_for(CoreCount cores) const noexcept {
+    return cores * ratio_;
+  }
+
+  /// A level `a` is *stricter* than `b` when it promises less contention
+  /// (lower ratio). Pooling (§V-B) requires the pooled set to honour the
+  /// strictest member level.
+  [[nodiscard]] constexpr bool stricter_than(OversubLevel other) const noexcept {
+    return ratio_ < other.ratio_;
+  }
+
+  friend constexpr auto operator<=>(OversubLevel a, OversubLevel b) noexcept {
+    return a.ratio_ <=> b.ratio_;
+  }
+  friend constexpr bool operator==(OversubLevel, OversubLevel) noexcept = default;
+
+ private:
+  std::uint8_t ratio_ = 1;
+};
+
+/// The three levels studied throughout the paper's evaluation.
+inline constexpr std::array<std::uint8_t, 3> kPaperLevelRatios{1, 2, 3};
+
+[[nodiscard]] std::string to_string(OversubLevel level);
+std::ostream& operator<<(std::ostream& os, OversubLevel level);
+
+}  // namespace slackvm::core

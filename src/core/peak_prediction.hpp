@@ -1,0 +1,60 @@
+// Peak-usage prediction.
+//
+// Dynamic oversubscription (paper §VIII perspective; Bashir et al. [1] and
+// Resource Central [24] in §II-A) sizes resources against a *predicted peak*
+// of observed usage rather than the allocation. This module provides the
+// classical predictor family: max, percentile, and mean + k*stddev.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+namespace slackvm::core {
+
+/// Predicts the near-future peak of a usage signal (values in [0, 1] per
+/// vCPU) from a window of past samples. Implementations are pure functions
+/// of the window; an empty window predicts 1.0 (fail-safe: assume full use).
+class PeakPredictor {
+ public:
+  virtual ~PeakPredictor() = default;
+  [[nodiscard]] virtual double predict(std::span<const double> usage) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// The observed maximum — the most conservative predictor.
+class MaxPredictor final : public PeakPredictor {
+ public:
+  [[nodiscard]] double predict(std::span<const double> usage) const override;
+  [[nodiscard]] std::string name() const override { return "max"; }
+};
+
+/// A high percentile of the window (Resource Central-style [24]).
+class PercentilePredictor final : public PeakPredictor {
+ public:
+  explicit PercentilePredictor(double q = 95.0);
+  [[nodiscard]] double predict(std::span<const double> usage) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double q_;
+};
+
+/// mean + k * stddev (Take-it-to-the-limit-style [1]).
+class MeanStdDevPredictor final : public PeakPredictor {
+ public:
+  explicit MeanStdDevPredictor(double k = 3.0);
+  [[nodiscard]] double predict(std::span<const double> usage) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double k_;
+};
+
+/// Largest oversubscription ratio (clamped to [1, max_ratio]) that keeps
+/// predicted_peak * ratio <= 1 per thread, i.e. the safe dynamic level for
+/// a pool whose per-vCPU peak is `predicted_peak`.
+[[nodiscard]] std::uint8_t safe_ratio_for_peak(double predicted_peak,
+                                               std::uint8_t max_ratio);
+
+}  // namespace slackvm::core

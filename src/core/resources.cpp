@@ -1,0 +1,26 @@
+#include "core/resources.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace slackvm::core {
+
+double mc_ratio_gib_per_core(const Resources& r) {
+  if (r.cores == 0) {
+    SLACKVM_THROW("mc_ratio_gib_per_core: zero cores");
+  }
+  return mib_to_gib(r.mem_mib) / static_cast<double>(r.cores);
+}
+
+std::string to_string(const Resources& r) {
+  std::ostringstream os;
+  os << r;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Resources& r) {
+  os << r.cores << "c/" << mib_to_gib(r.mem_mib) << "GiB";
+  return os;
+}
+
+}  // namespace slackvm::core

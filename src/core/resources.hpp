@@ -1,0 +1,70 @@
+// Two-dimensional resource vectors (physical cores, memory).
+//
+// `Resources` is the currency of the packing problem: a PM configuration, a
+// PM allocation and a VM footprint are all Resources. CPU is counted in
+// *physical cores* — oversubscription translates exposed vCPUs into physical
+// cores before any Resources arithmetic happens (see oversub.hpp), which is
+// exactly how the paper's Algorithm 2 accounts allocations ("oversubscribed
+// vNodes are considered through the PM allocation, not the sum of exposed
+// vCPUs", §VI).
+#pragma once
+
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+
+namespace slackvm::core {
+
+/// A (cores, memory) pair with saturating-free exact integer arithmetic.
+struct Resources {
+  CoreCount cores = 0;
+  MemMib mem_mib = 0;
+
+  friend constexpr bool operator==(const Resources&, const Resources&) = default;
+
+  /// True when both dimensions fit inside `other`.
+  [[nodiscard]] constexpr bool fits_within(const Resources& other) const noexcept {
+    return cores <= other.cores && mem_mib <= other.mem_mib;
+  }
+
+  /// True when both dimensions are zero.
+  [[nodiscard]] constexpr bool empty() const noexcept { return cores == 0 && mem_mib == 0; }
+
+  constexpr Resources& operator+=(const Resources& rhs) noexcept {
+    cores += rhs.cores;
+    mem_mib += rhs.mem_mib;
+    return *this;
+  }
+
+  /// Component-wise subtraction; throws if it would underflow.
+  Resources& operator-=(const Resources& rhs) {
+    SLACKVM_ASSERT(rhs.cores <= cores && rhs.mem_mib <= mem_mib);
+    cores -= rhs.cores;
+    mem_mib -= rhs.mem_mib;
+    return *this;
+  }
+
+  friend constexpr Resources operator+(Resources lhs, const Resources& rhs) noexcept {
+    lhs += rhs;
+    return lhs;
+  }
+
+  friend Resources operator-(Resources lhs, const Resources& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+};
+
+/// Memory-per-core ratio in GiB per core; the PM "target ratio" of the paper.
+/// A zero-core input has no meaningful ratio and throws.
+[[nodiscard]] double mc_ratio_gib_per_core(const Resources& r);
+
+/// Render as e.g. "16c/64.0GiB".
+[[nodiscard]] std::string to_string(const Resources& r);
+
+std::ostream& operator<<(std::ostream& os, const Resources& r);
+
+}  // namespace slackvm::core

@@ -1,0 +1,58 @@
+#include "core/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slackvm::core {
+
+double SplitMix64::exponential(double mean) noexcept {
+  // Inverse transform on (0,1]; uniform() returns [0,1) so flip it.
+  const double u = 1.0 - uniform();
+  return -mean * std::log(u);
+}
+
+std::size_t SplitMix64::weighted_index(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    SLACKVM_ASSERT(w >= 0.0);
+    total += w;
+  }
+  SLACKVM_ASSERT(total > 0.0);
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;  // numerical tail
+}
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  SLACKVM_ASSERT(!weights.empty());
+  cumulative_.reserve(weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    SLACKVM_ASSERT(w >= 0.0);
+    total += w;
+    cumulative_.push_back(total);
+  }
+  SLACKVM_ASSERT(total > 0.0);
+  for (double& c : cumulative_) {
+    c /= total;
+  }
+  cumulative_.back() = 1.0;
+}
+
+std::size_t DiscreteSampler::sample(SplitMix64& rng) const noexcept {
+  const double u = rng.uniform();
+  const auto it = std::ranges::lower_bound(cumulative_, u);
+  return static_cast<std::size_t>(std::distance(cumulative_.begin(), it));
+}
+
+double DiscreteSampler::probability(std::size_t i) const {
+  SLACKVM_ASSERT(i < cumulative_.size());
+  return i == 0 ? cumulative_[0] : cumulative_[i] - cumulative_[i - 1];
+}
+
+}  // namespace slackvm::core

@@ -1,0 +1,100 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace slackvm::core {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void TimeWeightedMean::record(SimTime time, double value) {
+  if (!started_) {
+    started_ = true;
+    first_time_ = time;
+  } else {
+    SLACKVM_ASSERT(time >= last_time_);
+    weighted_sum_ += last_value_ * (time - last_time_);
+  }
+  last_time_ = time;
+  last_value_ = value;
+}
+
+double TimeWeightedMean::finish(SimTime end_time) const {
+  if (!started_) {
+    return 0.0;
+  }
+  SLACKVM_ASSERT(end_time >= last_time_);
+  const double total = weighted_sum_ + last_value_ * (end_time - last_time_);
+  const SimTime span = end_time - first_time_;
+  return span > 0 ? total / span : last_value_;
+}
+
+double percentile(std::span<const double> samples, double q) {
+  SLACKVM_ASSERT(!samples.empty());
+  SLACKVM_ASSERT(q >= 0.0 && q <= 100.0);
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::ranges::sort(sorted);
+  const double rank = (q / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> samples) { return percentile(samples, 50.0); }
+
+double mean(std::span<const double> samples) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (double s : samples) {
+    total += s;
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  SLACKVM_ASSERT(hi > lo && bins > 0);
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins + 1, 0);  // +1 overflow bucket
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++counts_.front();
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  ++counts_[std::min(bin, counts_.size() - 1)];
+}
+
+double Histogram::bin_low(std::size_t bin) const noexcept {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_high(std::size_t bin) const noexcept {
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+}  // namespace slackvm::core

@@ -1,0 +1,86 @@
+// Streaming and batch statistics used by the metrics and QoS subsystems.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace slackvm::core {
+
+/// Welford's online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Time-weighted mean of a piecewise-constant signal (e.g. the unallocated
+/// resource share of a cluster over a simulated week).
+class TimeWeightedMean {
+ public:
+  /// Record that the signal holds `value` starting at `time`. Times must be
+  /// non-decreasing.
+  void record(SimTime time, double value);
+
+  /// Close the signal at `end_time` and return the time-weighted mean.
+  /// Returns 0 when no interval was observed.
+  [[nodiscard]] double finish(SimTime end_time) const;
+
+  [[nodiscard]] bool started() const noexcept { return started_; }
+
+ private:
+  bool started_ = false;
+  SimTime last_time_ = 0;
+  double last_value_ = 0.0;
+  double weighted_sum_ = 0.0;
+  SimTime first_time_ = 0;
+};
+
+/// Percentile of a sample set with linear interpolation (type-7 / numpy
+/// default). `q` in [0, 100]. The input is copied and sorted.
+[[nodiscard]] double percentile(std::span<const double> samples, double q);
+
+/// Convenience: median.
+[[nodiscard]] double median(std::span<const double> samples);
+
+/// Mean of a sample set (0 for empty input).
+[[nodiscard]] double mean(std::span<const double> samples);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets plus an overflow
+/// bucket; used to render Fig 2-style distributions as text.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_low(std::size_t bin) const noexcept;
+  [[nodiscard]] double bin_high(std::size_t bin) const noexcept;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;  // last bucket = overflow
+  std::size_t total_ = 0;
+};
+
+}  // namespace slackvm::core

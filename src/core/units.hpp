@@ -1,0 +1,45 @@
+// Basic units and integer helpers shared across the library.
+//
+// Conventions:
+//  * memory is tracked in MiB as a signed 64-bit integer (negative values are
+//    reserved for deltas);
+//  * CPU capacity is tracked in physical cores (hardware threads, see
+//    topo::CpuTopology) as unsigned 32-bit integers;
+//  * virtual CPUs (vCPUs) are also 32-bit unsigned integers;
+//  * ratios (e.g. memory-per-core) are doubles in GiB per core.
+#pragma once
+
+#include <cstdint>
+
+namespace slackvm::core {
+
+/// Memory quantity in MiB.
+using MemMib = std::int64_t;
+
+/// Count of physical cores (or hardware threads).
+using CoreCount = std::uint32_t;
+
+/// Count of virtual CPUs.
+using VcpuCount = std::uint32_t;
+
+/// Simulation time in seconds.
+using SimTime = double;
+
+/// One GiB expressed in MiB.
+inline constexpr MemMib kMibPerGib = 1024;
+
+/// Convert a GiB quantity to MiB.
+[[nodiscard]] constexpr MemMib gib(std::int64_t g) noexcept { return g * kMibPerGib; }
+
+/// Convert MiB to (fractional) GiB.
+[[nodiscard]] constexpr double mib_to_gib(MemMib m) noexcept {
+  return static_cast<double>(m) / static_cast<double>(kMibPerGib);
+}
+
+/// Ceiling division for non-negative integers.
+template <typename T>
+[[nodiscard]] constexpr T ceil_div(T num, T den) noexcept {
+  return den == 0 ? T{0} : static_cast<T>((num + den - 1) / den);
+}
+
+}  // namespace slackvm::core

@@ -1,0 +1,27 @@
+#include "core/vm.hpp"
+
+#include <ostream>
+
+namespace slackvm::core {
+
+std::string to_string(UsageClass c) {
+  switch (c) {
+    case UsageClass::kIdle:
+      return "idle";
+    case UsageClass::kSteady:
+      return "steady";
+    case UsageClass::kBursty:
+      return "bursty";
+    case UsageClass::kInteractive:
+      return "interactive";
+  }
+  return "unknown";
+}
+
+std::ostream& operator<<(std::ostream& os, const VmSpec& spec) {
+  os << spec.vcpus << "vCPU/" << mib_to_gib(spec.mem_mib) << "GiB@" << spec.level << "/"
+     << to_string(spec.usage);
+  return os;
+}
+
+}  // namespace slackvm::core

@@ -1,0 +1,79 @@
+// Virtual machine identity and specification.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "core/oversub.hpp"
+#include "core/resources.hpp"
+#include "core/units.hpp"
+
+namespace slackvm::core {
+
+/// Opaque VM identifier, unique within a trace / datacenter run.
+struct VmId {
+  std::uint64_t value = 0;
+  friend constexpr auto operator<=>(VmId, VmId) noexcept = default;
+};
+
+/// Coarse CPU behaviour class of the tenant workload; drives the QoS model
+/// (perf::) and mirrors the paper's physical experiment mix: 10% idle, 60%
+/// CPU benchmark, 30% interactive micro-services (§VII-A1).
+enum class UsageClass : std::uint8_t {
+  kIdle,         ///< near-zero CPU usage
+  kSteady,       ///< constant medium CPU usage (stress-ng style)
+  kBursty,       ///< alternating high/low phases
+  kInteractive,  ///< request-driven (DeathStarBench social network proxy)
+};
+
+[[nodiscard]] std::string to_string(UsageClass c);
+
+/// Immutable deployment request: what the customer asked for.
+struct VmSpec {
+  VcpuCount vcpus = 1;
+  MemMib mem_mib = gib(1);
+  OversubLevel level{};
+  UsageClass usage = UsageClass::kSteady;
+
+  friend constexpr bool operator==(const VmSpec&, const VmSpec&) = default;
+
+  /// Physical cores this VM consumes at its own oversubscription level.
+  [[nodiscard]] constexpr CoreCount physical_cores() const noexcept {
+    return level.cores_for(vcpus);
+  }
+
+  /// Footprint in PM currency (physical cores at the VM's level, memory).
+  [[nodiscard]] constexpr Resources footprint() const noexcept {
+    return Resources{physical_cores(), mem_mib};
+  }
+
+  /// Requested memory-per-vCPU ratio in GiB (catalog M/C, before
+  /// oversubscription is applied).
+  [[nodiscard]] double mem_per_vcpu_gib() const noexcept {
+    return mib_to_gib(mem_mib) / static_cast<double>(vcpus);
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const VmSpec& spec);
+
+/// A VM instance as it exists in a trace: spec plus lifecycle timestamps.
+struct VmInstance {
+  VmId id{};
+  VmSpec spec{};
+  SimTime arrival = 0;
+  SimTime departure = 0;  ///< strictly greater than arrival
+
+  [[nodiscard]] SimTime lifetime() const noexcept { return departure - arrival; }
+};
+
+}  // namespace slackvm::core
+
+template <>
+struct std::hash<slackvm::core::VmId> {
+  std::size_t operator()(slackvm::core::VmId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};

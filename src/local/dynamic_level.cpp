@@ -1,0 +1,54 @@
+#include "local/dynamic_level.hpp"
+
+#include <algorithm>
+
+namespace slackvm::local {
+
+core::OversubLevel DynamicLevelController::recommend(std::span<const double> usage,
+                                                     core::OversubLevel contract) const {
+  const double peak = predictor_->predict(usage);
+  return core::OversubLevel{core::safe_ratio_for_peak(peak, contract.ratio())};
+}
+
+std::vector<RetuneOutcome> DynamicLevelController::retune_all(
+    VNodeManager& manager, const UsageWindowFn& window) const {
+  // Collect targets first: retune() mutates the node map's values (never
+  // the keys), but gathering up-front keeps the pass order-independent.
+  std::vector<RetuneOutcome> outcomes;
+  std::vector<std::pair<VNodeId, core::OversubLevel>> plan;
+  for (const auto& [id, node] : manager.vnodes()) {
+    if (!node.level().oversubscribed()) {
+      continue;  // premium nodes already run at 1:1
+    }
+    RetuneOutcome outcome;
+    outcome.vnode = id;
+    outcome.contract = node.level();
+    outcome.previous = node.effective_level();
+    outcome.target = recommend(window(node), node.level());
+    outcome.applied = outcome.target == outcome.previous;  // no-op counts as met
+    outcomes.push_back(outcome);
+    if (outcome.target != outcome.previous) {
+      plan.emplace_back(id, outcome.target);
+    }
+  }
+  // Apply relaxations first: they free CPUs that tightenings may need.
+  std::ranges::stable_sort(plan, [&manager](const auto& a, const auto& b) {
+    const auto need = [&manager](const auto& entry) {
+      const VNode& node = manager.vnodes().at(entry.first);
+      const auto needed = entry.second.cores_for(node.committed_vcpus());
+      return static_cast<long>(needed) - static_cast<long>(node.core_count());
+    };
+    return need(a) < need(b);
+  });
+  for (const auto& [id, target] : plan) {
+    const bool applied = manager.retune(id, target).has_value();
+    for (RetuneOutcome& outcome : outcomes) {
+      if (outcome.vnode == id) {
+        outcome.applied = applied;
+      }
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace slackvm::local

@@ -1,0 +1,58 @@
+// Dynamic oversubscription-level controller (paper §VIII perspective).
+//
+// The paper's vNodes adopt static levels but note they "could potentially
+// benefit from dynamically computed levels". This controller closes that
+// loop: from a window of observed per-vCPU usage it predicts the peak (via
+// core::PeakPredictor) and retunes each oversubscribed vNode to the laxest
+// ratio that keeps predicted contention below one runnable vCPU per thread
+// — bounded above by the node's contract level (customers never get less
+// than they bought) and below by 1:1.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/oversub.hpp"
+#include "core/peak_prediction.hpp"
+#include "local/vnode_manager.hpp"
+
+namespace slackvm::local {
+
+/// Provides the recent per-vCPU usage samples of a vNode's VM population
+/// (values in [0, 1]); typically backed by hypervisor telemetry, here by
+/// workload::UsageSignal in tests and benches.
+using UsageWindowFn = std::function<std::vector<double>(const VNode&)>;
+
+/// Outcome of one retuning decision.
+struct RetuneOutcome {
+  VNodeId vnode = 0;
+  core::OversubLevel contract{};
+  core::OversubLevel previous{};
+  core::OversubLevel target{};
+  bool applied = false;  ///< false when the PM lacked free CPUs to tighten
+};
+
+class DynamicLevelController {
+ public:
+  /// The controller borrows the predictor; it must outlive the controller.
+  explicit DynamicLevelController(const core::PeakPredictor& predictor)
+      : predictor_(&predictor) {}
+
+  /// Recommend an effective level for a node with the given usage window
+  /// and contract level. An empty window recommends the strictest 1:1
+  /// (fail-safe: unknown usage is treated as full usage).
+  [[nodiscard]] core::OversubLevel recommend(std::span<const double> usage,
+                                             core::OversubLevel contract) const;
+
+  /// Retune every oversubscribed vNode of `manager` according to the usage
+  /// provided by `window`. Premium (1:1) nodes are never touched. Returns
+  /// one outcome per considered node.
+  std::vector<RetuneOutcome> retune_all(VNodeManager& manager,
+                                        const UsageWindowFn& window) const;
+
+ private:
+  const core::PeakPredictor* predictor_;
+};
+
+}  // namespace slackvm::local

@@ -1,0 +1,145 @@
+#include "local/numa_memory.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/error.hpp"
+
+namespace slackvm::local {
+
+core::MemMib MemPlacement::total() const {
+  core::MemMib sum = 0;
+  for (const auto& [node, amount] : per_node) {
+    sum += amount;
+  }
+  return sum;
+}
+
+NumaMemoryMap::NumaMemoryMap(const topo::CpuTopology& topo) : topo_(&topo) {
+  const std::size_t nodes = topo.numa_count();
+  const core::MemMib per_node = topo.total_mem() / static_cast<core::MemMib>(nodes);
+  capacity_.assign(nodes, per_node);
+  capacity_[0] += topo.total_mem() - per_node * static_cast<core::MemMib>(nodes);
+  used_.assign(nodes, 0);
+}
+
+std::vector<std::uint32_t> NumaMemoryMap::nodes_by_preference(
+    const topo::CpuSet& vnode_cpus) const {
+  // Local nodes: those hosting any of the vNode's CPUs.
+  std::set<std::uint32_t> local;
+  for (topo::CpuId cpu : vnode_cpus.as_vector()) {
+    local.insert(topo_->cpu(cpu).numa);
+  }
+  std::vector<std::uint32_t> order(local.begin(), local.end());
+  if (order.empty()) {
+    order.push_back(0);  // no CPUs yet: fall back to node 0
+  }
+  // Remote nodes follow, ascending min-distance to the local set.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> remote;  // (distance, node)
+  for (std::uint32_t node = 0; node < topo_->numa_count(); ++node) {
+    if (local.contains(node)) {
+      continue;
+    }
+    std::uint32_t best = 0xffffffff;
+    for (std::uint32_t l : order) {
+      best = std::min(best, topo_->numa_distance(l, node));
+    }
+    remote.emplace_back(best, node);
+  }
+  std::ranges::sort(remote);
+  for (const auto& [distance, node] : remote) {
+    order.push_back(node);
+  }
+  return order;
+}
+
+std::optional<MemPlacement> NumaMemoryMap::commit(core::VmId vm, core::MemMib mem,
+                                                  const topo::CpuSet& vnode_cpus) {
+  SLACKVM_ASSERT(!placements_.contains(vm));
+  SLACKVM_ASSERT(mem >= 0);
+  if (mem > total_free()) {
+    return std::nullopt;
+  }
+  MemPlacement placement;
+  core::MemMib remaining = mem;
+  for (std::uint32_t node : nodes_by_preference(vnode_cpus)) {
+    if (remaining == 0) {
+      break;
+    }
+    const core::MemMib take = std::min(remaining, free_on(node));
+    if (take > 0) {
+      placement.per_node[node] = take;
+      used_[node] += take;
+      remaining -= take;
+    }
+  }
+  SLACKVM_ASSERT(remaining == 0);  // total_free() guaranteed fit
+  placements_.emplace(vm, placement);
+  return placement;
+}
+
+void NumaMemoryMap::release(core::VmId vm) {
+  const auto it = placements_.find(vm);
+  if (it == placements_.end()) {
+    SLACKVM_THROW("NumaMemoryMap::release: unknown VM");
+  }
+  for (const auto& [node, amount] : it->second.per_node) {
+    used_[node] -= amount;
+  }
+  placements_.erase(it);
+}
+
+MemPlacement NumaMemoryMap::rebalance(core::VmId vm, const topo::CpuSet& vnode_cpus) {
+  const core::MemMib mem = placement_of(vm).total();
+  release(vm);
+  const auto placement = commit(vm, mem, vnode_cpus);
+  SLACKVM_ASSERT(placement.has_value());  // same total fits by construction
+  return *placement;
+}
+
+core::MemMib NumaMemoryMap::free_on(std::uint32_t node) const {
+  SLACKVM_ASSERT(node < capacity_.size());
+  return capacity_[node] - used_[node];
+}
+
+core::MemMib NumaMemoryMap::capacity_of(std::uint32_t node) const {
+  SLACKVM_ASSERT(node < capacity_.size());
+  return capacity_[node];
+}
+
+core::MemMib NumaMemoryMap::total_free() const {
+  core::MemMib total = 0;
+  for (std::size_t node = 0; node < capacity_.size(); ++node) {
+    total += capacity_[node] - used_[node];
+  }
+  return total;
+}
+
+const MemPlacement& NumaMemoryMap::placement_of(core::VmId vm) const {
+  const auto it = placements_.find(vm);
+  if (it == placements_.end()) {
+    SLACKVM_THROW("NumaMemoryMap::placement_of: unknown VM");
+  }
+  return it->second;
+}
+
+double NumaMemoryMap::locality(core::VmId vm, const topo::CpuSet& cpus) const {
+  const MemPlacement& placement = placement_of(vm);
+  const core::MemMib total = placement.total();
+  if (total == 0) {
+    return 1.0;
+  }
+  std::set<std::uint32_t> local;
+  for (topo::CpuId cpu : cpus.as_vector()) {
+    local.insert(topo_->cpu(cpu).numa);
+  }
+  core::MemMib local_mem = 0;
+  for (const auto& [node, amount] : placement.per_node) {
+    if (local.contains(node)) {
+      local_mem += amount;
+    }
+  }
+  return static_cast<double>(local_mem) / static_cast<double>(total);
+}
+
+}  // namespace slackvm::local

@@ -1,0 +1,76 @@
+// Per-NUMA-node memory accounting (paper §VIII: "the isolation of memory
+// resources for distinct VMs ... represents a compelling area for further
+// exploration").
+//
+// The PM's memory is split across its NUMA nodes (evenly, as on typical
+// balanced DIMM populations). A VM's memory is committed local-first: nodes
+// hosting the VM's vNode CPUs are filled before spilling to remote nodes,
+// in ascending NUMA-distance order. The map reports a locality metric —
+// the fraction of committed bytes resident on the nodes of the consuming
+// CPUs — quantifying how much the topology-aware vNode placement buys for
+// memory locality.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/units.hpp"
+#include "core/vm.hpp"
+#include "topology/cpu_topology.hpp"
+#include "topology/cpuset.hpp"
+
+namespace slackvm::local {
+
+/// How a VM's memory is spread over NUMA nodes.
+struct MemPlacement {
+  /// amount committed per node (node -> MiB), only non-zero entries.
+  std::map<std::uint32_t, core::MemMib> per_node;
+
+  [[nodiscard]] core::MemMib total() const;
+};
+
+class NumaMemoryMap {
+ public:
+  /// Splits topo.total_mem() evenly across its NUMA nodes (remainder goes
+  /// to node 0).
+  explicit NumaMemoryMap(const topo::CpuTopology& topo);
+
+  /// Commit `mem` MiB for `vm` whose vNode owns `vnode_cpus`: local nodes
+  /// first, then remote nodes by ascending NUMA distance. Fails (and
+  /// changes nothing) if the PM lacks `mem` free MiB overall.
+  std::optional<MemPlacement> commit(core::VmId vm, core::MemMib mem,
+                                     const topo::CpuSet& vnode_cpus);
+
+  /// Release a VM's memory; throws for unknown VMs.
+  void release(core::VmId vm);
+
+  /// Re-evaluate a VM's placement after its vNode moved to `vnode_cpus`
+  /// (e.g. after a resize): releases and re-commits. Never fails — the
+  /// memory fit is unchanged.
+  MemPlacement rebalance(core::VmId vm, const topo::CpuSet& vnode_cpus);
+
+  [[nodiscard]] core::MemMib free_on(std::uint32_t node) const;
+  [[nodiscard]] core::MemMib capacity_of(std::uint32_t node) const;
+  [[nodiscard]] core::MemMib total_free() const;
+  [[nodiscard]] const MemPlacement& placement_of(core::VmId vm) const;
+  [[nodiscard]] bool tracks(core::VmId vm) const { return placements_.contains(vm); }
+
+  /// Fraction of `vm`'s memory resident on the NUMA nodes of `cpus`
+  /// (1.0 = fully local).
+  [[nodiscard]] double locality(core::VmId vm, const topo::CpuSet& cpus) const;
+
+  /// Capacity-weighted locality across all tracked VMs given a pin lookup.
+  [[nodiscard]] std::size_t vm_count() const noexcept { return placements_.size(); }
+
+ private:
+  [[nodiscard]] std::vector<std::uint32_t> nodes_by_preference(
+      const topo::CpuSet& vnode_cpus) const;
+
+  const topo::CpuTopology* topo_;
+  std::vector<core::MemMib> capacity_;  // per node
+  std::vector<core::MemMib> used_;      // per node
+  std::map<core::VmId, MemPlacement> placements_;
+};
+
+}  // namespace slackvm::local

@@ -1,0 +1,52 @@
+#include "local/pin_driver.hpp"
+
+#include "core/error.hpp"
+
+namespace slackvm::local {
+
+void RecordingPinBackend::apply_pin(core::VmId vm, const topo::CpuSet& cpus) {
+  SLACKVM_ASSERT(!cpus.empty());
+  const auto it = pins_.find(vm);
+  if (it != pins_.end() && it->second == cpus) {
+    ++skipped_ops_;
+    return;
+  }
+  pins_.insert_or_assign(vm, cpus);
+  ++pin_ops_;
+}
+
+void RecordingPinBackend::clear_pin(core::VmId vm) {
+  const auto erased = pins_.erase(vm);
+  SLACKVM_ASSERT(erased == 1);
+}
+
+const topo::CpuSet& RecordingPinBackend::pin_of(core::VmId vm) const {
+  const auto it = pins_.find(vm);
+  if (it == pins_.end()) {
+    SLACKVM_THROW("RecordingPinBackend::pin_of: unknown VM");
+  }
+  return it->second;
+}
+
+bool PinDriver::deploy(core::VmId id, const core::VmSpec& spec) {
+  const auto result = manager_->deploy(id, spec);
+  if (!result) {
+    return false;
+  }
+  apply(result->repins);
+  return true;
+}
+
+void PinDriver::remove(core::VmId id) {
+  const auto repins = manager_->remove(id);
+  backend_->clear_pin(id);
+  apply(repins);
+}
+
+void PinDriver::apply(std::span<const PinUpdate> repins) {
+  for (const PinUpdate& pin : repins) {
+    backend_->apply_pin(pin.vm, pin.cpus);
+  }
+}
+
+}  // namespace slackvm::local

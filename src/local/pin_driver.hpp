@@ -1,0 +1,81 @@
+// Hypervisor pinning shim.
+//
+// On a live host SlackVM's local scheduler talks to QEMU/KVM through libvirt
+// to (re)pin vCPU threads (paper §VII-A1). This module provides that last
+// mile as an interface plus an in-memory recording backend, so the rest of
+// the stack is hypervisor-agnostic and the repin traffic — the paper argues
+// it is negligible because it only happens on deploy/destroy (§V-A) — can
+// be measured by tests and the ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/vm.hpp"
+#include "local/vnode_manager.hpp"
+#include "topology/cpuset.hpp"
+
+namespace slackvm::local {
+
+/// Applies affinity changes to a hypervisor. Implementations must be
+/// idempotent: re-applying an identical pin is a no-op upstream.
+class PinBackend {
+ public:
+  virtual ~PinBackend() = default;
+
+  /// Pin all vCPUs of `vm` to `cpus` (non-empty).
+  virtual void apply_pin(core::VmId vm, const topo::CpuSet& cpus) = 0;
+
+  /// Remove any pinning state for `vm` (VM destroyed).
+  virtual void clear_pin(core::VmId vm) = 0;
+};
+
+/// In-memory backend: tracks current pins and counts operations, skipping
+/// redundant re-pins the way a libvirt driver would.
+class RecordingPinBackend final : public PinBackend {
+ public:
+  void apply_pin(core::VmId vm, const topo::CpuSet& cpus) override;
+  void clear_pin(core::VmId vm) override;
+
+  /// Current affinity of a VM; throws for unknown VMs.
+  [[nodiscard]] const topo::CpuSet& pin_of(core::VmId vm) const;
+  [[nodiscard]] bool has_pin(core::VmId vm) const { return pins_.contains(vm); }
+  [[nodiscard]] std::size_t pinned_vms() const noexcept { return pins_.size(); }
+
+  /// Number of effective (non-redundant) pin changes applied.
+  [[nodiscard]] std::uint64_t pin_ops() const noexcept { return pin_ops_; }
+  /// Number of redundant pin requests skipped.
+  [[nodiscard]] std::uint64_t skipped_ops() const noexcept { return skipped_ops_; }
+
+ private:
+  std::map<core::VmId, topo::CpuSet> pins_;
+  std::uint64_t pin_ops_ = 0;
+  std::uint64_t skipped_ops_ = 0;
+};
+
+/// Glues a VNodeManager to a PinBackend: forwards deploy/remove through the
+/// manager and pushes the resulting pin updates to the hypervisor.
+class PinDriver {
+ public:
+  PinDriver(VNodeManager& manager, PinBackend& backend)
+      : manager_(&manager), backend_(&backend) {}
+
+  /// Deploy and pin; returns false (no state change) when the PM is full.
+  bool deploy(core::VmId id, const core::VmSpec& spec);
+
+  /// Remove, clear the VM's pin and re-pin its former neighbours.
+  void remove(core::VmId id);
+
+  /// Apply a batch of pin updates (e.g. from VNodeManager::retune).
+  void apply(std::span<const PinUpdate> repins);
+
+  [[nodiscard]] VNodeManager& manager() noexcept { return *manager_; }
+
+ private:
+  VNodeManager* manager_;
+  PinBackend* backend_;
+};
+
+}  // namespace slackvm::local

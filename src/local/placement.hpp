@@ -1,0 +1,45 @@
+// Topology-driven CPU selection policies for vNode resizing (paper §V-A).
+//
+//  * Growing an existing vNode picks free CPUs *closest* (Algorithm 1
+//    distance) to the current allocation, so sibling cores integrate
+//    gradually and the node keeps resembling a smaller CPU.
+//  * Creating a vNode seeds it with the free CPU *farthest* from all CPUs
+//    already owned by other vNodes (ideally a separate socket), maximizing
+//    isolation between oversubscription levels.
+//  * Shrinking releases the CPUs that are least compact with respect to the
+//    surviving set.
+//
+// All selections are deterministic: ties break on the lowest CPU id.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "topology/cpuset.hpp"
+#include "topology/distance.hpp"
+
+namespace slackvm::local {
+
+/// Pick `count` CPUs from `free_cpus` to extend `current`, greedily
+/// minimizing the Algorithm-1 distance to the growing set. Returns
+/// std::nullopt when `free_cpus` has fewer than `count` members.
+[[nodiscard]] std::optional<topo::CpuSet> choose_extension_cpus(
+    const topo::DistanceMatrix& dm, const topo::CpuSet& free_cpus,
+    const topo::CpuSet& current, std::size_t count);
+
+/// Pick `count` CPUs from `free_cpus` for a brand-new vNode: the seed CPU
+/// maximizes the distance to `occupied` (CPUs of all other vNodes); remaining
+/// CPUs are chosen as the closest to the new node. With nothing occupied the
+/// seed is the lowest free CPU.
+[[nodiscard]] std::optional<topo::CpuSet> choose_seed_cpus(const topo::DistanceMatrix& dm,
+                                                           const topo::CpuSet& free_cpus,
+                                                           const topo::CpuSet& occupied,
+                                                           std::size_t count);
+
+/// Pick `count` CPUs of `current` to release, greedily removing the CPU with
+/// the largest total distance to the CPUs that remain. Returns the CPUs to
+/// release; `count` must not exceed |current|.
+[[nodiscard]] topo::CpuSet choose_release_cpus(const topo::DistanceMatrix& dm,
+                                               const topo::CpuSet& current, std::size_t count);
+
+}  // namespace slackvm::local

@@ -1,0 +1,65 @@
+#include "local/vnode.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace slackvm::local {
+
+VNode::VNode(VNodeId id, core::OversubLevel level, std::size_t cpu_universe)
+    : id_(id), level_(level), effective_level_(level), cpus_(cpu_universe) {}
+
+void VNode::set_effective_level(core::OversubLevel level) {
+  // Effective ratio may only tighten (or relax back toward) the contract:
+  // never expose more contention than the customers bought.
+  SLACKVM_ASSERT(level <= level_);
+  effective_level_ = level;
+}
+
+core::OversubLevel VNode::strictest_hosted_level() const {
+  core::OversubLevel strictest = level_;
+  for (const auto& [id, spec] : vms_) {
+    strictest = std::min(strictest, spec.level);
+  }
+  return strictest;
+}
+
+std::vector<core::VmId> VNode::vm_ids() const {
+  std::vector<core::VmId> out;
+  out.reserve(vms_.size());
+  for (const auto& [id, spec] : vms_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+const core::VmSpec& VNode::spec_of(core::VmId vm) const {
+  const auto it = vms_.find(vm);
+  SLACKVM_ASSERT(it != vms_.end());
+  return it->second;
+}
+
+void VNode::add_vm(core::VmId id, const core::VmSpec& spec) {
+  SLACKVM_ASSERT(!vms_.contains(id));
+  // Pooled VMs may have a *laxer* level than the node (they get upgraded to
+  // the node's stricter guarantee, §V-B); never a stricter one.
+  SLACKVM_ASSERT(!spec.level.stricter_than(level_));
+  vms_.emplace(id, spec);
+  committed_vcpus_ += spec.vcpus;
+  committed_mem_ += spec.mem_mib;
+}
+
+void VNode::remove_vm(core::VmId id) {
+  const auto it = vms_.find(id);
+  SLACKVM_ASSERT(it != vms_.end());
+  committed_vcpus_ -= it->second.vcpus;
+  committed_mem_ -= it->second.mem_mib;
+  vms_.erase(it);
+}
+
+void VNode::assign_cpus(topo::CpuSet cpus) {
+  SLACKVM_ASSERT(cpus.universe() == cpus_.universe());
+  cpus_ = std::move(cpus);
+}
+
+}  // namespace slackvm::local

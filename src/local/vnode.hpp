@@ -1,0 +1,94 @@
+// vNode: a dynamically sized, exclusive partition of a PM's hardware threads
+// hosting VMs of a single oversubscription level (paper §IV-V).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/oversub.hpp"
+#include "core/resources.hpp"
+#include "core/vm.hpp"
+#include "topology/cpuset.hpp"
+
+namespace slackvm::local {
+
+using VNodeId = std::uint32_t;
+
+/// Resource partition at a fixed *contract* oversubscription level. The
+/// VNodeManager owns resizing; VNode itself only tracks membership and
+/// commitments and enforces the capacity invariant.
+///
+/// Dynamic oversubscription (paper §VIII): a node may temporarily run at a
+/// stricter *effective* level than its contract — customers bought n:1 but
+/// currently contend at most m:1 (m <= n) because observed usage is high.
+/// The effective level drives core sizing; the contract level is what new
+/// VMs are admitted against.
+class VNode {
+ public:
+  VNode(VNodeId id, core::OversubLevel level, std::size_t cpu_universe);
+
+  [[nodiscard]] VNodeId id() const noexcept { return id_; }
+  /// The advertised (maximum) oversubscription ratio of this node.
+  [[nodiscard]] core::OversubLevel level() const noexcept { return level_; }
+  /// The ratio the node currently sizes its cores for; defaults to the
+  /// contract level, never laxer than it.
+  [[nodiscard]] core::OversubLevel effective_level() const noexcept {
+    return effective_level_;
+  }
+  /// Retune the effective ratio within [1, contract]; the caller
+  /// (VNodeManager::retune) resizes the CPU set afterwards.
+  void set_effective_level(core::OversubLevel level);
+  [[nodiscard]] const topo::CpuSet& cpus() const noexcept { return cpus_; }
+  [[nodiscard]] core::CoreCount core_count() const noexcept {
+    return static_cast<core::CoreCount>(cpus_.count());
+  }
+
+  /// Total vCPUs committed by hosted VMs.
+  [[nodiscard]] core::VcpuCount committed_vcpus() const noexcept { return committed_vcpus_; }
+  /// Total memory committed by hosted VMs.
+  [[nodiscard]] core::MemMib committed_mem() const noexcept { return committed_mem_; }
+  [[nodiscard]] std::size_t vm_count() const noexcept { return vms_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return vms_.empty(); }
+  [[nodiscard]] bool hosts(core::VmId vm) const { return vms_.contains(vm); }
+
+  /// Cores this vNode must own to satisfy its effective level.
+  [[nodiscard]] core::CoreCount required_cores() const noexcept {
+    return effective_level_.cores_for(committed_vcpus_);
+  }
+
+  /// Cores required if `extra_vcpus` more vCPUs were committed.
+  [[nodiscard]] core::CoreCount required_cores_with(core::VcpuCount extra_vcpus) const noexcept {
+    return effective_level_.cores_for(committed_vcpus_ + extra_vcpus);
+  }
+
+  /// Capacity invariant: exposed vCPUs never exceed effective ratio * cores.
+  [[nodiscard]] bool capacity_ok() const noexcept {
+    return committed_vcpus_ <= effective_level_.vcpus_for(core_count());
+  }
+
+  /// Strictest level present among hosted VMs (== level() unless the node is
+  /// pooled, see VNodeManager). Returns level() when empty.
+  [[nodiscard]] core::OversubLevel strictest_hosted_level() const;
+
+  /// Hosted VM ids (unspecified order).
+  [[nodiscard]] std::vector<core::VmId> vm_ids() const;
+
+  [[nodiscard]] const core::VmSpec& spec_of(core::VmId vm) const;
+
+  // --- mutation (VNodeManager only in practice) ---
+  void add_vm(core::VmId id, const core::VmSpec& spec);
+  void remove_vm(core::VmId id);
+  void assign_cpus(topo::CpuSet cpus);
+
+ private:
+  VNodeId id_;
+  core::OversubLevel level_;            ///< contract (maximum) ratio
+  core::OversubLevel effective_level_;  ///< current sizing ratio, <= contract
+  topo::CpuSet cpus_;
+  std::unordered_map<core::VmId, core::VmSpec> vms_;
+  core::VcpuCount committed_vcpus_ = 0;
+  core::MemMib committed_mem_ = 0;
+};
+
+}  // namespace slackvm::local

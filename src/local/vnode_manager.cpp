@@ -1,0 +1,242 @@
+#include "local/vnode_manager.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "local/placement.hpp"
+
+namespace slackvm::local {
+
+VNodeManager::VNodeManager(const topo::CpuTopology& topo, PoolingPolicy pooling,
+                           double mem_oversub)
+    : topo_(topo),
+      distances_(topo),
+      pooling_(pooling),
+      mem_oversub_(mem_oversub),
+      free_cpus_(topo.all_cpus()) {
+  SLACKVM_ASSERT(mem_oversub >= 1.0);
+}
+
+bool VNodeManager::can_host(const core::VmSpec& spec) const {
+  if (committed_mem_ + spec.mem_mib > mem_capacity()) {
+    return false;
+  }
+  return pick_target(spec).has_value();
+}
+
+bool VNodeManager::node_can_take(const VNode& node, const core::VmSpec& spec,
+                                 bool as_pool) const {
+  if (as_pool) {
+    // §V-B pooling: only among oversubscribed nodes, and only by upgrading a
+    // laxer VM into a stricter node (the stricter guarantee subsumes the
+    // laxer one — never the other way around).
+    if (!node.level().oversubscribed() || !node.level().stricter_than(spec.level)) {
+      return false;
+    }
+  } else if (node.level() != spec.level) {
+    return false;
+  }
+  const core::CoreCount needed = node.required_cores_with(spec.vcpus);
+  const core::CoreCount have = node.core_count();
+  const core::CoreCount delta = needed > have ? needed - have : 0;
+  return delta <= free_cpus_.count();
+}
+
+std::optional<VNodeManager::Target> VNodeManager::pick_target(
+    const core::VmSpec& spec) const {
+  SLACKVM_ASSERT(spec.vcpus > 0);
+  // 1. Grow the vNode of the VM's own level.
+  for (const auto& [id, node] : vnodes_) {
+    if (node.level() == spec.level) {
+      if (node_can_take(node, spec, /*as_pool=*/false)) {
+        return Target{id, false};
+      }
+      break;  // at most one node per level
+    }
+  }
+  // 2. Create a fresh vNode for this level if none exists yet.
+  if (find_level(spec.level) == nullptr &&
+      spec.level.cores_for(spec.vcpus) <= free_cpus_.count()) {
+    return Target{next_id_, false};
+  }
+  // 3. Pooling upgrade (§V-B): prefer the laxest stricter node so the VM's
+  // effective upgrade — and the core over-allocation it causes — is minimal.
+  if (pooling_ == PoolingPolicy::kUpgrade) {
+    std::optional<Target> best;
+    core::OversubLevel best_level{1};
+    for (const auto& [id, node] : vnodes_) {
+      if (node_can_take(node, spec, /*as_pool=*/true)) {
+        if (!best || best_level.stricter_than(node.level())) {
+          best = Target{id, true};
+          best_level = node.level();
+        }
+      }
+    }
+    if (best) {
+      return best;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<DeployResult> VNodeManager::deploy(core::VmId id, const core::VmSpec& spec) {
+  SLACKVM_ASSERT(!vm_to_vnode_.contains(id));
+  if (committed_mem_ + spec.mem_mib > mem_capacity()) {
+    return std::nullopt;
+  }
+  const auto target = pick_target(spec);
+  if (!target) {
+    return std::nullopt;
+  }
+
+  auto it = vnodes_.find(target->vnode);
+  if (it == vnodes_.end()) {
+    // Create a new vNode seeded as far as possible from existing ones.
+    const core::CoreCount needed = spec.level.cores_for(spec.vcpus);
+    auto seed = choose_seed_cpus(distances_, free_cpus_, occupied_cpus(), needed);
+    SLACKVM_ASSERT(seed.has_value());
+    VNode node(next_id_, spec.level, topo_.cpu_count());
+    node.assign_cpus(*seed);
+    free_cpus_ -= *seed;
+    it = vnodes_.emplace(next_id_, std::move(node)).first;
+    ++next_id_;
+  }
+
+  VNode& node = it->second;
+  node.add_vm(id, spec);
+  vm_to_vnode_.emplace(id, node.id());
+  committed_mem_ += spec.mem_mib;
+
+  DeployResult result;
+  result.vnode = node.id();
+  result.pooled = target->pooled;
+  result.repins = resize_node(node);
+  return result;
+}
+
+std::vector<PinUpdate> VNodeManager::remove(core::VmId id) {
+  const auto it = vm_to_vnode_.find(id);
+  if (it == vm_to_vnode_.end()) {
+    SLACKVM_THROW("VNodeManager::remove: unknown VM");
+  }
+  auto node_it = vnodes_.find(it->second);
+  SLACKVM_ASSERT(node_it != vnodes_.end());
+  VNode& node = node_it->second;
+
+  committed_mem_ -= node.spec_of(id).mem_mib;
+  node.remove_vm(id);
+  vm_to_vnode_.erase(it);
+
+  if (node.empty()) {
+    free_cpus_ |= node.cpus();
+    vnodes_.erase(node_it);
+    return {};
+  }
+  return resize_node(node);
+}
+
+std::optional<std::vector<PinUpdate>> VNodeManager::retune(VNodeId vnode,
+                                                           core::OversubLevel effective) {
+  const auto it = vnodes_.find(vnode);
+  if (it == vnodes_.end()) {
+    SLACKVM_THROW("VNodeManager::retune: unknown vNode");
+  }
+  VNode& node = it->second;
+  if (node.level().stricter_than(effective)) {
+    SLACKVM_THROW("VNodeManager::retune: effective level laxer than contract");
+  }
+  const core::CoreCount needed = effective.cores_for(node.committed_vcpus());
+  const core::CoreCount have = node.core_count();
+  if (needed > have && needed - have > free_cpus_.count()) {
+    return std::nullopt;  // cannot tighten: not enough free CPUs
+  }
+  node.set_effective_level(effective);
+  return resize_node(node);
+}
+
+std::vector<PinUpdate> VNodeManager::resize_node(VNode& node) {
+  const core::CoreCount needed = node.required_cores();
+  const core::CoreCount have = node.core_count();
+  if (needed > have) {
+    auto extension =
+        choose_extension_cpus(distances_, free_cpus_, node.cpus(), needed - have);
+    SLACKVM_ASSERT(extension.has_value());  // pick_target guaranteed room
+    free_cpus_ -= *extension;
+    node.assign_cpus(node.cpus() | *extension);
+  } else if (needed < have) {
+    const topo::CpuSet released = choose_release_cpus(distances_, node.cpus(), have - needed);
+    free_cpus_ |= released;
+    node.assign_cpus(node.cpus() - released);
+  }
+  return repins_for(node);
+}
+
+std::vector<PinUpdate> VNodeManager::repins_for(const VNode& node) const {
+  // Every VM of a resized vNode is (re)pinned to the node's full CPU range —
+  // the in-node choice of a specific thread is left to the OS scheduler.
+  std::vector<PinUpdate> repins;
+  auto ids = node.vm_ids();
+  std::ranges::sort(ids);
+  repins.reserve(ids.size());
+  for (core::VmId vm : ids) {
+    repins.push_back(PinUpdate{vm, node.cpus()});
+  }
+  return repins;
+}
+
+topo::CpuSet VNodeManager::occupied_cpus() const {
+  topo::CpuSet occupied(topo_.cpu_count());
+  for (const auto& [id, node] : vnodes_) {
+    occupied |= node.cpus();
+  }
+  return occupied;
+}
+
+core::Resources VNodeManager::alloc() const {
+  core::CoreCount cores = 0;
+  for (const auto& [id, node] : vnodes_) {
+    cores += node.core_count();
+  }
+  return core::Resources{cores, committed_mem_};
+}
+
+const VNode* VNodeManager::find_level(core::OversubLevel level) const {
+  for (const auto& [id, node] : vnodes_) {
+    if (node.level() == level) {
+      return &node;
+    }
+  }
+  return nullptr;
+}
+
+const topo::CpuSet& VNodeManager::pin_of(core::VmId vm) const {
+  const auto it = vm_to_vnode_.find(vm);
+  if (it == vm_to_vnode_.end()) {
+    SLACKVM_THROW("VNodeManager::pin_of: unknown VM");
+  }
+  return vnodes_.at(it->second).cpus();
+}
+
+void VNodeManager::check_invariants() const {
+  topo::CpuSet seen = free_cpus_;
+  core::MemMib mem = 0;
+  std::size_t vms = 0;
+  for (const auto& [id, node] : vnodes_) {
+    SLACKVM_ASSERT(!node.empty());
+    SLACKVM_ASSERT(node.capacity_ok());
+    SLACKVM_ASSERT(node.core_count() == node.required_cores());
+    SLACKVM_ASSERT(!seen.intersects(node.cpus()));
+    seen |= node.cpus();
+    mem += node.committed_mem();
+    vms += node.vm_count();
+    for (core::VmId vm : node.vm_ids()) {
+      SLACKVM_ASSERT(vm_to_vnode_.at(vm) == id);
+    }
+  }
+  SLACKVM_ASSERT(seen == topo_.all_cpus());
+  SLACKVM_ASSERT(mem == committed_mem_);
+  SLACKVM_ASSERT(mem <= mem_capacity());
+  SLACKVM_ASSERT(vms == vm_to_vnode_.size());
+}
+
+}  // namespace slackvm::local

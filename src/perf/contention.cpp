@@ -1,0 +1,54 @@
+#include "perf/contention.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace slackvm::perf {
+
+ContentionModel::ContentionModel(CalibrationParams params) : params_(params) {
+  SLACKVM_ASSERT(params_.base_service_ms > 0);
+  SLACKVM_ASSERT(params_.q_max > 0 && params_.knee_power > 0);
+}
+
+double ContentionModel::contention_inflation(double q) const {
+  SLACKVM_ASSERT(q >= 0);
+  // Clamp below the knee so the curve saturates instead of diverging: real
+  // schedulers throttle rather than queue unboundedly.
+  const double x = std::min(q / params_.q_max, 0.97);
+  return (1.0 + params_.linear * q) / (1.0 - std::pow(x, params_.knee_power));
+}
+
+double ContentionModel::constrained_penalty(double q, double hetero_frac) const {
+  SLACKVM_ASSERT(hetero_frac >= 0.0 && hetero_frac <= 1.0);
+  const double smt_pressure = std::max(0.0, q - 1.0);
+  return 1.0 + params_.pinning_coeff + params_.hetero_coeff * hetero_frac +
+         params_.smt_coeff * std::pow(smt_pressure, params_.smt_power);
+}
+
+double ContentionModel::expected_response_ms(double q, double hetero_frac,
+                                             bool constrained) const {
+  double response = params_.base_service_ms * contention_inflation(q);
+  if (constrained) {
+    response *= constrained_penalty(q, hetero_frac);
+  }
+  return response;
+}
+
+double ContentionModel::p90_calibration_scale() const {
+  constexpr double kZ90 = 1.2815515655446004;  // standard normal 90th quantile
+  return std::exp(-kZ90 * params_.noise_sigma);
+}
+
+double ContentionModel::sample_response_ms(double q, double hetero_frac, bool constrained,
+                                           core::SplitMix64& rng) const {
+  const double expected = expected_response_ms(q, hetero_frac, constrained);
+  // Box-Muller; the lognormal's median equals `expected`.
+  const double u1 = std::max(rng.uniform(), 1e-12);
+  const double u2 = rng.uniform();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  return expected * std::exp(params_.noise_sigma * z);
+}
+
+}  // namespace slackvm::perf

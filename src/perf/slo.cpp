@@ -1,0 +1,42 @@
+#include "perf/slo.hpp"
+
+#include "core/error.hpp"
+
+namespace slackvm::perf {
+
+SloSeries evaluate_series(std::span<const double> p90_ms, const Slo& slo) {
+  SLACKVM_ASSERT(slo.p90_target_ms > 0.0);
+  SloSeries series;
+  series.windows = p90_ms.size();
+  for (double p90 : p90_ms) {
+    if (p90 > slo.p90_target_ms) {
+      ++series.violations;
+    }
+  }
+  return series;
+}
+
+SloReport evaluate(const TestbedResult& result, const std::map<std::uint8_t, Slo>& slos) {
+  SloReport report;
+  for (const auto& [ratio, series] : result.levels) {
+    const auto slo = slos.find(ratio);
+    if (slo == slos.end()) {
+      continue;
+    }
+    report.baseline.emplace(ratio, evaluate_series(series.baseline_p90_ms, slo->second));
+    report.slackvm.emplace(ratio, evaluate_series(series.slackvm_p90_ms, slo->second));
+  }
+  return report;
+}
+
+std::map<std::uint8_t, Slo> paper_slos(double headroom) {
+  SLACKVM_ASSERT(headroom > 0.0);
+  // Table IV baseline medians (ms).
+  return {
+      {1, Slo{1.16 * headroom}},
+      {2, Slo{1.46 * headroom}},
+      {3, Slo{3.47 * headroom}},
+  };
+}
+
+}  // namespace slackvm::perf

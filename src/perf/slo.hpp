@@ -1,0 +1,51 @@
+// Service-Level Objectives over the QoS measurements.
+//
+// The paper's premise (§VII-A2): oversubscribed tiers are "less prone to
+// enforcing performance guarantees with strict SLOs" while premium tiers
+// must be preserved. This module turns the testbed's p90 series into SLO
+// violation rates so that claim is quantified rather than eyeballed.
+#pragma once
+
+#include <map>
+#include <span>
+
+#include "perf/testbed.hpp"
+
+namespace slackvm::perf {
+
+/// A response-time objective for one tier.
+struct Slo {
+  double p90_target_ms = 0.0;  ///< each window's p90 must stay below this
+};
+
+/// Violation statistics of one (tier, scenario) measurement series.
+struct SloSeries {
+  std::size_t windows = 0;
+  std::size_t violations = 0;
+
+  [[nodiscard]] double violation_rate() const {
+    return windows > 0 ? static_cast<double>(violations) / static_cast<double>(windows)
+                       : 0.0;
+  }
+};
+
+/// Per-level violation rates for both scenarios.
+struct SloReport {
+  std::map<std::uint8_t, SloSeries> baseline;  ///< keyed by level ratio
+  std::map<std::uint8_t, SloSeries> slackvm;
+};
+
+/// Count violations of `series` against `slo`.
+[[nodiscard]] SloSeries evaluate_series(std::span<const double> p90_ms, const Slo& slo);
+
+/// Evaluate a full testbed result against per-level SLOs. Levels without a
+/// configured SLO are skipped.
+[[nodiscard]] SloReport evaluate(const TestbedResult& result,
+                                 const std::map<std::uint8_t, Slo>& slos);
+
+/// SLO defaults anchored on the paper's Table IV: each tier's target is its
+/// baseline median times `headroom` (e.g. 2.0 = "no worse than twice the
+/// dedicated-cluster median").
+[[nodiscard]] std::map<std::uint8_t, Slo> paper_slos(double headroom = 2.0);
+
+}  // namespace slackvm::perf

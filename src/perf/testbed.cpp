@@ -1,0 +1,212 @@
+#include "perf/testbed.hpp"
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <unordered_map>
+
+#include "core/stats.hpp"
+#include "workload/usage.hpp"
+
+namespace slackvm::perf {
+
+namespace {
+
+/// A VM placed in one scenario with its usage signal.
+struct PlacedVm {
+  core::VmId id{};
+  core::VmSpec spec{};
+  workload::UsageSignal signal;
+};
+
+core::VmSpec sample_spec(const workload::Catalog& full, const workload::Catalog& capped,
+                         core::OversubLevel level, const TestbedConfig& cfg,
+                         core::SplitMix64& rng) {
+  core::VmSpec spec;
+  spec.level = level;
+  const workload::Flavor& flavor =
+      (level.oversubscribed() ? capped : full).sample(rng);
+  spec.vcpus = flavor.vcpus;
+  spec.mem_mib = flavor.mem_mib;
+  const double u = rng.uniform();
+  if (u < cfg.idle_share) {
+    spec.usage = core::UsageClass::kIdle;
+  } else if (u < cfg.idle_share + cfg.steady_share) {
+    spec.usage = core::UsageClass::kSteady;
+  } else {
+    spec.usage = core::UsageClass::kInteractive;
+  }
+  return spec;
+}
+
+/// Runnable vCPU demand per core-equivalent of the set at time t. Capacity
+/// is the set's fair silicon entitlement: each hardware thread is worth
+/// 1/smt_width of a physical core (on a packed PM the sibling thread of a
+/// fragmented vNode belongs to another, also-busy vNode, so a lone thread
+/// cannot count as a full core).
+double demand_per_core(const topo::CpuTopology& topo, const topo::CpuSet& cpus,
+                       const std::vector<const PlacedVm*>& vms, core::SimTime t) {
+  double demand = 0.0;
+  for (const PlacedVm* vm : vms) {
+    demand += static_cast<double>(vm->spec.vcpus) * vm->signal.at(t);
+  }
+  const double capacity =
+      static_cast<double>(cpus.count()) / static_cast<double>(topo.smt_width());
+  return capacity > 0 ? demand / capacity : 0.0;
+}
+
+}  // namespace
+
+double hetero_fraction(const topo::CpuTopology& topo, const topo::CpuSet& cpus) {
+  if (cpus.empty()) {
+    return 0.0;
+  }
+  // Zone capacity (threads per L3 zone) of this machine.
+  std::unordered_map<std::uint32_t, std::size_t> zone_threads;
+  for (std::size_t cpu = 0; cpu < topo.cpu_count(); ++cpu) {
+    ++zone_threads[topo.cpu(static_cast<topo::CpuId>(cpu)).l3];
+  }
+  std::size_t max_zone = 1;
+  for (const auto& [zone, threads] : zone_threads) {
+    max_zone = std::max(max_zone, threads);
+  }
+
+  std::set<std::uint32_t> spanned;
+  for (topo::CpuId cpu : cpus.as_vector()) {
+    spanned.insert(topo.cpu(cpu).l3);
+  }
+  const std::size_t needed = core::ceil_div(cpus.count(), max_zone);
+  if (spanned.size() <= needed) {
+    return 0.0;
+  }
+  const double excess = static_cast<double>(spanned.size() - needed);
+  return std::min(1.0, excess / static_cast<double>(needed));
+}
+
+TestbedResult run_testbed(const TestbedConfig& config) {
+  const topo::CpuTopology machine = topo::make_dual_epyc_7662();
+  const workload::Catalog& full = workload::azure_catalog();
+  const workload::Catalog capped = full.truncated(workload::kOversubMemCap);
+  const ContentionModel model(config.calibration);
+
+  TestbedResult result;
+  core::SplitMix64 rng(config.seed);
+  std::uint64_t next_id = 1;
+
+  // ---- Baseline: one dedicated, unpinned PM per level -----------------
+  // Each dedicated PM admits VMs while the level's vCPU budget
+  // (ratio * threads) and the memory both hold.
+  std::map<std::uint8_t, std::vector<PlacedVm>> baseline;
+  for (std::uint8_t ratio : core::kPaperLevelRatios) {
+    const core::OversubLevel level{ratio};
+    core::SplitMix64 level_rng = rng.fork();
+    std::vector<PlacedVm>& vms = baseline[ratio];
+    core::VcpuCount vcpus = 0;
+    core::MemMib mem = 0;
+    const auto vcpu_budget = level.vcpus_for(machine.config().cores);
+    while (true) {
+      const core::VmSpec spec = sample_spec(full, capped, level, config, level_rng);
+      if (vcpus + spec.vcpus > vcpu_budget || mem + spec.mem_mib > machine.total_mem()) {
+        break;
+      }
+      vcpus += spec.vcpus;
+      mem += spec.mem_mib;
+      const core::VmId id{next_id++};
+      vms.push_back(PlacedVm{id, spec, workload::UsageSignal(id, spec.usage)});
+    }
+    result.levels[ratio].baseline_vms = vms.size();
+  }
+
+  // ---- SlackVM: one PM, three vNodes via the real local scheduler -----
+  local::VNodeManager manager(machine, config.pooling);
+  std::vector<PlacedVm> shared;
+  {
+    core::SplitMix64 shared_rng = rng.fork();
+    bool any_fit = true;
+    std::size_t level_cursor = 0;
+    std::array<bool, 3> level_open{true, true, true};
+    while (any_fit) {
+      const std::uint8_t ratio = core::kPaperLevelRatios[level_cursor % 3];
+      ++level_cursor;
+      if (!level_open[(ratio - 1)]) {
+        any_fit = level_open[0] || level_open[1] || level_open[2];
+        continue;
+      }
+      const core::VmSpec spec =
+          sample_spec(full, capped, core::OversubLevel{ratio}, config, shared_rng);
+      const core::VmId id{next_id++};
+      if (manager.deploy(id, spec).has_value()) {
+        shared.push_back(PlacedVm{id, spec, workload::UsageSignal(id, spec.usage)});
+        ++result.levels[ratio].slackvm_vms;
+      } else {
+        level_open[(ratio - 1)] = false;
+        any_fit = level_open[0] || level_open[1] || level_open[2];
+      }
+    }
+  }
+  result.slackvm_total_vms = shared.size();
+
+  // ---- Measurement campaign -------------------------------------------
+  const topo::CpuSet whole_machine = machine.all_cpus();
+  core::SplitMix64 noise_rng = rng.fork();
+
+  auto measure = [&](const topo::CpuSet& cpus, const std::vector<const PlacedVm*>& cohort,
+                     const PlacedVm& vm, bool constrained,
+                     std::vector<double>& out_p90) {
+    const double hetero = constrained ? hetero_fraction(machine, cpus) : 0.0;
+    for (core::SimTime t = config.window / 2; t < config.duration; t += config.window) {
+      const double q = demand_per_core(machine, cpus, cohort, t);
+      std::vector<double> responses;
+      responses.reserve(config.requests_per_window);
+      for (std::size_t r = 0; r < config.requests_per_window; ++r) {
+        responses.push_back(model.sample_response_ms(q, hetero, constrained, noise_rng));
+      }
+      out_p90.push_back(core::percentile(responses, 90.0) *
+                        model.p90_calibration_scale());
+    }
+    (void)vm;
+  };
+
+  // Baseline: cohort = every VM of the dedicated PM, set = whole machine.
+  for (auto& [ratio, vms] : baseline) {
+    std::vector<const PlacedVm*> cohort;
+    cohort.reserve(vms.size());
+    for (const PlacedVm& vm : vms) {
+      cohort.push_back(&vm);
+    }
+    LevelSeries& series = result.levels[ratio];
+    for (const PlacedVm& vm : vms) {
+      if (vm.spec.usage == core::UsageClass::kInteractive) {
+        measure(whole_machine, cohort, vm, /*constrained=*/false, series.baseline_p90_ms);
+      }
+    }
+  }
+
+  // SlackVM: cohort = the VMs sharing the vNode, set = the vNode's CPUs.
+  for (const auto& [vnode_id, node] : manager.vnodes()) {
+    std::vector<const PlacedVm*> cohort;
+    for (const PlacedVm& vm : shared) {
+      if (node.hosts(vm.id)) {
+        cohort.push_back(&vm);
+      }
+    }
+    LevelSeries& series = result.levels[node.level().ratio()];
+    for (const PlacedVm* vm : cohort) {
+      if (vm->spec.usage == core::UsageClass::kInteractive) {
+        measure(node.cpus(), cohort, *vm, /*constrained=*/true, series.slackvm_p90_ms);
+      }
+    }
+  }
+
+  for (auto& [ratio, series] : result.levels) {
+    if (!series.baseline_p90_ms.empty()) {
+      series.baseline_median_ms = core::median(series.baseline_p90_ms);
+    }
+    if (!series.slackvm_p90_ms.empty()) {
+      series.slackvm_median_ms = core::median(series.slackvm_p90_ms);
+    }
+  }
+  return result;
+}
+
+}  // namespace slackvm::perf

@@ -1,0 +1,65 @@
+// Reproduction of the paper's physical experiment (§VII-A, Fig 2, Table IV).
+//
+// Scenarios on the Table-III machine (2x EPYC 7662, 256 threads, 1 TB):
+//  * Baseline: three dedicated PMs, each filled with VMs of one
+//    oversubscription level, no pinning (the whole machine is the CPU set);
+//  * SlackVM: one PM co-hosting all three levels in vNodes managed by the
+//    real local scheduler (deployment cycles 1:1, 2:1, 3:1 until full).
+//
+// Interactive VMs play the DeathStarBench social-network role: every
+// measurement window, each samples request response times from the
+// contention model of its CPU set; the window's p90 is recorded. Fig 2
+// plots the p90 distributions, Table IV their medians.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "local/vnode_manager.hpp"
+#include "perf/contention.hpp"
+#include "topology/builders.hpp"
+#include "workload/catalog.hpp"
+
+namespace slackvm::perf {
+
+struct TestbedConfig {
+  std::uint64_t seed = 42;
+  core::SimTime duration = 2.0 * 3600;  ///< measurement campaign length
+  core::SimTime window = 30.0;          ///< wrk2-style measurement window
+  std::size_t requests_per_window = 24;
+  double idle_share = 0.10;             ///< §VII-A1 usage mix
+  double steady_share = 0.60;
+  CalibrationParams calibration{};
+  local::PoolingPolicy pooling = local::PoolingPolicy::kNone;
+};
+
+/// Per-level measurement series.
+struct LevelSeries {
+  std::size_t baseline_vms = 0;  ///< VMs the dedicated PM hosted
+  std::size_t slackvm_vms = 0;   ///< VMs of this level on the shared PM
+  std::vector<double> baseline_p90_ms;
+  std::vector<double> slackvm_p90_ms;
+  double baseline_median_ms = 0.0;
+  double slackvm_median_ms = 0.0;
+
+  /// SlackVM / baseline median ratio (Table IV's parenthesized factor).
+  [[nodiscard]] double overhead_factor() const {
+    return baseline_median_ms > 0 ? slackvm_median_ms / baseline_median_ms : 0.0;
+  }
+};
+
+struct TestbedResult {
+  std::map<std::uint8_t, LevelSeries> levels;  ///< keyed by level ratio
+  std::size_t slackvm_total_vms = 0;
+};
+
+/// Run both scenarios; deterministic for a given config.
+[[nodiscard]] TestbedResult run_testbed(const TestbedConfig& config = {});
+
+/// Cache-zone fragmentation of a CPU set in [0, 1]: 0 when the set occupies
+/// the fewest possible L3 zones, approaching 1 when it is maximally spread.
+[[nodiscard]] double hetero_fraction(const topo::CpuTopology& topo,
+                                     const topo::CpuSet& cpus);
+
+}  // namespace slackvm::perf

@@ -1,0 +1,77 @@
+// Hard-constraint filters (paper §II-B): production schedulers first filter
+// candidate hosts on hard constraints, then score the survivors. The
+// built-in capacity check is always applied by the policies; these filters
+// express *additional* operator constraints and compose into a chain.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/host_state.hpp"
+
+namespace slackvm::sched {
+
+/// A hard constraint on (host, vm) pairs. Stateless and reusable.
+class Filter {
+ public:
+  virtual ~Filter() = default;
+  [[nodiscard]] virtual bool admits(const HostState& host,
+                                    const core::VmSpec& spec) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Caps the number of VMs per host (blast-radius limit).
+class MaxVmsFilter final : public Filter {
+ public:
+  explicit MaxVmsFilter(std::size_t max_vms);
+  [[nodiscard]] bool admits(const HostState& host,
+                            const core::VmSpec& spec) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::size_t max_vms_;
+};
+
+/// Restricts each host to a single oversubscription level — expressing the
+/// traditional dedicated-cluster constraint *inside* a shared pool (useful
+/// as an ablation: shared scheduling minus level co-hosting).
+class LevelExclusiveFilter final : public Filter {
+ public:
+  [[nodiscard]] bool admits(const HostState& host,
+                            const core::VmSpec& spec) const override;
+  [[nodiscard]] std::string name() const override { return "level-exclusive"; }
+};
+
+/// Keeps a CPU (or memory) headroom fraction free on every host.
+class HeadroomFilter final : public Filter {
+ public:
+  /// Fractions in [0, 1): e.g. 0.1 keeps 10% of cores and memory free.
+  HeadroomFilter(double cpu_headroom, double mem_headroom);
+  [[nodiscard]] bool admits(const HostState& host,
+                            const core::VmSpec& spec) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double cpu_headroom_;
+  double mem_headroom_;
+};
+
+/// Conjunction of filters; an empty chain admits everything.
+class FilterChain final : public Filter {
+ public:
+  FilterChain() = default;
+
+  FilterChain& add(std::unique_ptr<Filter> filter);
+
+  [[nodiscard]] bool admits(const HostState& host,
+                            const core::VmSpec& spec) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t size() const noexcept { return filters_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Filter>> filters_;
+};
+
+}  // namespace slackvm::sched

@@ -1,0 +1,47 @@
+#include "sched/fleet.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace slackvm::sched {
+
+FleetSpec::FleetSpec(std::vector<core::Resources> cycle) : cycle_(std::move(cycle)) {
+  SLACKVM_ASSERT(!cycle_.empty());
+  for (const core::Resources& config : cycle_) {
+    SLACKVM_ASSERT(config.cores > 0 && config.mem_mib > 0);
+  }
+}
+
+FleetSpec FleetSpec::uniform(core::Resources config) {
+  return FleetSpec(std::vector<core::Resources>{config});
+}
+
+const core::Resources& FleetSpec::config_for(HostId id) const {
+  return cycle_[id % cycle_.size()];
+}
+
+core::Resources FleetSpec::max_config() const {
+  core::Resources best = cycle_.front();
+  for (const core::Resources& config : cycle_) {
+    best.cores = std::max(best.cores, config.cores);
+    best.mem_mib = std::max(best.mem_mib, config.mem_mib);
+  }
+  return best;
+}
+
+std::string FleetSpec::to_string() const {
+  std::ostringstream os;
+  os << "fleet[";
+  for (std::size_t i = 0; i < cycle_.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << cycle_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace slackvm::sched

@@ -1,0 +1,47 @@
+// Hardware fleet descriptions.
+//
+// The paper stresses that Algorithm 2 "computes the target ratio on an
+// individual PM basis, thereby accommodating variations in hardware settings
+// within a given cluster" (§VI) — providers run heterogeneous fleets,
+// extending PM lifespans instead of refreshing uniformly (§III-B). A
+// FleetSpec describes what hardware the i-th opened PM has: a cycling
+// pattern of configurations models mixed machine generations
+// deterministically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/resources.hpp"
+#include "sched/host_state.hpp"
+
+namespace slackvm::sched {
+
+class FleetSpec {
+ public:
+  /// PMs are opened following `cycle` round-robin: PM i gets
+  /// cycle[i % cycle.size()].
+  explicit FleetSpec(std::vector<core::Resources> cycle);
+
+  /// The common case: every PM identical.
+  [[nodiscard]] static FleetSpec uniform(core::Resources config);
+
+  /// Configuration of the i-th opened PM.
+  [[nodiscard]] const core::Resources& config_for(HostId id) const;
+
+  [[nodiscard]] bool heterogeneous() const noexcept { return cycle_.size() > 1; }
+  [[nodiscard]] const std::vector<core::Resources>& cycle() const noexcept {
+    return cycle_;
+  }
+
+  /// Largest single-PM footprint the fleet can host (used to validate that
+  /// a VM is placeable at all).
+  [[nodiscard]] core::Resources max_config() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<core::Resources> cycle_;
+};
+
+}  // namespace slackvm::sched

@@ -1,0 +1,87 @@
+#include "sched/host_state.hpp"
+
+#include "core/error.hpp"
+
+namespace slackvm::sched {
+
+HostState::HostState(HostId id, core::Resources config, double mem_oversub)
+    : id_(id), config_(config), mem_oversub_(mem_oversub) {
+  SLACKVM_ASSERT(config.cores > 0 && config.mem_mib > 0);
+  SLACKVM_ASSERT(mem_oversub >= 1.0);
+}
+
+core::CoreCount HostState::cores_with(const core::VmSpec& spec) const noexcept {
+  core::CoreCount total = 0;
+  for (std::uint8_t ratio = 1; ratio <= core::OversubLevel::kMaxRatio; ++ratio) {
+    core::VcpuCount vcpus = vcpus_per_level_[ratio];
+    if (ratio == spec.level.ratio()) {
+      vcpus += spec.vcpus;
+    }
+    if (vcpus > 0) {
+      total += core::ceil_div<core::CoreCount>(vcpus, ratio);
+    }
+  }
+  return total;
+}
+
+bool HostState::can_host(const core::VmSpec& spec) const noexcept {
+  if (committed_mem_ + spec.mem_mib > mem_capacity()) {
+    return false;
+  }
+  return cores_with(spec) <= config_.cores;
+}
+
+void HostState::add(core::VmId id, const core::VmSpec& spec) {
+  SLACKVM_ASSERT(!vms_.contains(id));
+  SLACKVM_ASSERT(can_host(spec));
+  vms_.emplace(id, spec);
+  vcpus_per_level_[spec.level.ratio()] += spec.vcpus;
+  committed_mem_ += spec.mem_mib;
+  recompute_alloc_cores();
+}
+
+void HostState::remove(core::VmId id) {
+  const auto it = vms_.find(id);
+  if (it == vms_.end()) {
+    SLACKVM_THROW("HostState::remove: unknown VM");
+  }
+  const core::VmSpec& spec = it->second;
+  vcpus_per_level_[spec.level.ratio()] -= spec.vcpus;
+  committed_mem_ -= spec.mem_mib;
+  vms_.erase(it);
+  recompute_alloc_cores();
+}
+
+core::VcpuCount HostState::committed_vcpus(core::OversubLevel level) const noexcept {
+  return vcpus_per_level_[level.ratio()];
+}
+
+std::map<core::OversubLevel, core::VcpuCount> HostState::level_commitments() const {
+  std::map<core::OversubLevel, core::VcpuCount> out;
+  for (std::uint8_t ratio = 1; ratio <= core::OversubLevel::kMaxRatio; ++ratio) {
+    if (vcpus_per_level_[ratio] > 0) {
+      out.emplace(core::OversubLevel{ratio}, vcpus_per_level_[ratio]);
+    }
+  }
+  return out;
+}
+
+const core::VmSpec& HostState::spec_of(core::VmId id) const {
+  const auto it = vms_.find(id);
+  if (it == vms_.end()) {
+    SLACKVM_THROW("HostState::spec_of: unknown VM");
+  }
+  return it->second;
+}
+
+void HostState::recompute_alloc_cores() noexcept {
+  core::CoreCount total = 0;
+  for (std::uint8_t ratio = 1; ratio <= core::OversubLevel::kMaxRatio; ++ratio) {
+    if (vcpus_per_level_[ratio] > 0) {
+      total += core::ceil_div<core::CoreCount>(vcpus_per_level_[ratio], ratio);
+    }
+  }
+  alloc_cores_ = total;
+}
+
+}  // namespace slackvm::sched

@@ -1,0 +1,97 @@
+// Global-scheduler view of one PM.
+//
+// This is the fast accounting model used for cluster-scale simulation: it
+// tracks, per oversubscription level, the vCPUs committed on the host, and
+// derives the physical-core allocation with the same integer-core rule as
+// the local scheduler (one vNode per level, `ceil(vcpus / ratio)` cores).
+// tests/integration_local_sched_test.cpp cross-checks that HostState accepts
+// a VM if and only if a real VNodeManager on the same hardware does.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "core/oversub.hpp"
+#include "core/resources.hpp"
+#include "core/vm.hpp"
+
+namespace slackvm::sched {
+
+using HostId = std::uint32_t;
+
+class HostState {
+ public:
+  /// `mem_oversub` >= 1 enables limited memory oversubscription (paper
+  /// footnote 2: OpenStack defaults to 16:1 CPU and 1.5:1 DRAM): committed
+  /// memory may reach config.mem_mib * mem_oversub.
+  HostState(HostId id, core::Resources config, double mem_oversub = 1.0);
+
+  [[nodiscard]] HostId id() const noexcept { return id_; }
+  [[nodiscard]] const core::Resources& config() const noexcept { return config_; }
+  [[nodiscard]] double mem_oversub() const noexcept { return mem_oversub_; }
+
+  /// Memory admission bound: config.mem_mib * mem_oversub.
+  [[nodiscard]] core::MemMib mem_capacity() const noexcept {
+    return static_cast<core::MemMib>(static_cast<double>(config_.mem_mib) *
+                                     mem_oversub_);
+  }
+
+  /// Physical cores consumed by the per-level vNodes plus committed memory.
+  /// This is Algorithm 2's allocPM.
+  [[nodiscard]] core::Resources alloc() const noexcept {
+    return core::Resources{alloc_cores_, committed_mem_};
+  }
+
+  /// Unallocated resources (config - alloc); memory clamps at zero when
+  /// oversubscribed beyond the physical configuration.
+  [[nodiscard]] core::Resources unallocated() const noexcept {
+    return core::Resources{config_.cores - alloc_cores_,
+                           std::max<core::MemMib>(0, config_.mem_mib - committed_mem_)};
+  }
+
+  /// Physical cores the host would allocate if `spec` were added.
+  [[nodiscard]] core::CoreCount cores_with(const core::VmSpec& spec) const noexcept;
+
+  /// Capacity filter: both dimensions fit after adding `spec`.
+  [[nodiscard]] bool can_host(const core::VmSpec& spec) const noexcept;
+
+  /// Commit a VM. Callers must have checked can_host.
+  void add(core::VmId id, const core::VmSpec& spec);
+
+  /// Release a VM; throws for unknown ids.
+  void remove(core::VmId id);
+
+  [[nodiscard]] std::size_t vm_count() const noexcept { return vms_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return vms_.empty(); }
+
+  /// vCPUs committed at a given level (0 when the level is absent).
+  [[nodiscard]] core::VcpuCount committed_vcpus(core::OversubLevel level) const noexcept;
+
+  /// Levels currently present with a non-zero commitment.
+  [[nodiscard]] std::map<core::OversubLevel, core::VcpuCount> level_commitments() const;
+
+  /// Spec of a hosted VM; throws for unknown ids.
+  [[nodiscard]] const core::VmSpec& spec_of(core::VmId id) const;
+
+  /// All hosted VMs (unordered).
+  [[nodiscard]] const std::unordered_map<core::VmId, core::VmSpec>& vms() const noexcept {
+    return vms_;
+  }
+
+ private:
+  void recompute_alloc_cores() noexcept;
+
+  HostId id_;
+  core::Resources config_;
+  double mem_oversub_ = 1.0;
+  // vCPUs committed per level ratio (index = ratio, 0 unused).
+  std::array<core::VcpuCount, core::OversubLevel::kMaxRatio + 1> vcpus_per_level_{};
+  core::CoreCount alloc_cores_ = 0;
+  core::MemMib committed_mem_ = 0;
+  std::unordered_map<core::VmId, core::VmSpec> vms_;
+};
+
+}  // namespace slackvm::sched

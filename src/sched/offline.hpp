@@ -1,0 +1,46 @@
+// Offline vector bin packing (paper §II-B): VM scheduling is a vector
+// bin-packing problem; classical decreasing heuristics and a capacity lower
+// bound let the evaluation report how far the *online* policies are from
+// optimal on a workload snapshot.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/resources.hpp"
+#include "core/vm.hpp"
+#include "sched/host_state.hpp"
+
+namespace slackvm::sched {
+
+/// Size measure used to order VMs in decreasing heuristics.
+enum class SizeMeasure : std::uint8_t {
+  kCores,          ///< physical cores at the VM's level
+  kMemory,         ///< memory footprint
+  kMaxNormalized,  ///< max of (cores/host cores, mem/host mem) — the classic
+                   ///< vector-bin-packing choice
+  kSumNormalized,  ///< sum of the normalized dimensions
+};
+
+/// LP-style lower bound on the PMs needed for `vms` on identical `host`
+/// PMs: each dimension's aggregate demand divided by the per-PM capacity,
+/// with vCPUs translated to *fractional* cores (vcpus / ratio) — more
+/// optimistic than any feasible integer-core packing, hence a true bound.
+[[nodiscard]] std::size_t lower_bound_pms(std::span<const core::VmSpec> vms,
+                                          const core::Resources& host);
+
+/// First-Fit-Decreasing onto identical `host` PMs; returns PMs used.
+[[nodiscard]] std::size_t pack_ffd(std::span<const core::VmSpec> vms,
+                                   const core::Resources& host,
+                                   SizeMeasure measure = SizeMeasure::kMaxNormalized);
+
+/// Best-Fit-Decreasing (fullest feasible PM wins) onto identical PMs.
+[[nodiscard]] std::size_t pack_bfd(std::span<const core::VmSpec> vms,
+                                   const core::Resources& host,
+                                   SizeMeasure measure = SizeMeasure::kMaxNormalized);
+
+/// The ordering key behind the decreasing heuristics (exposed for tests).
+[[nodiscard]] double size_key(const core::VmSpec& vm, const core::Resources& host,
+                              SizeMeasure measure);
+
+}  // namespace slackvm::sched

@@ -1,0 +1,92 @@
+// Placement policies: filter + select, the final stage of a global scheduler.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "core/rng.hpp"
+#include "sched/filter.hpp"
+#include "sched/host_state.hpp"
+#include "sched/scorer.hpp"
+
+namespace slackvm::sched {
+
+/// Selects a host for a VM from an ordered candidate list. Candidates that
+/// fail the built-in capacity filter — or the optional extra hard-constraint
+/// filter (paper §II-B) — are skipped by every policy.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Returns the chosen host id, or std::nullopt when no candidate fits.
+  [[nodiscard]] virtual std::optional<HostId> select(std::span<const HostState> hosts,
+                                                     const core::VmSpec& spec,
+                                                     const Filter* extra = nullptr) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  /// Built-in admission: capacity plus the optional extra filter.
+  [[nodiscard]] static bool admits(const HostState& host, const core::VmSpec& spec,
+                                   const Filter* extra) {
+    return host.can_host(spec) && (extra == nullptr || extra->admits(host, spec));
+  }
+};
+
+/// First-Fit: the first (lowest-index) host that fits — the packing baseline
+/// used throughout the paper's evaluation (§VII-B).
+class FirstFitPolicy final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::optional<HostId> select(std::span<const HostState> hosts,
+                                             const core::VmSpec& spec,
+                                             const Filter* extra = nullptr) const override;
+  [[nodiscard]] std::string name() const override { return "first-fit"; }
+};
+
+/// Score-based selection: the feasible host with the strictly highest score;
+/// ties break on the lowest host index, matching First-Fit's determinism.
+class ScorePolicy final : public PlacementPolicy {
+ public:
+  explicit ScorePolicy(std::unique_ptr<Scorer> scorer);
+
+  [[nodiscard]] std::optional<HostId> select(std::span<const HostState> hosts,
+                                             const core::VmSpec& spec,
+                                             const Filter* extra = nullptr) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::unique_ptr<Scorer> scorer_;
+};
+
+/// Uniform random choice among feasible hosts (seeded, deterministic) — the
+/// weakest sensible baseline for the policy ablation.
+class RandomPolicy final : public PlacementPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed = 42);
+
+  [[nodiscard]] std::optional<HostId> select(std::span<const HostState> hosts,
+                                             const core::VmSpec& spec,
+                                             const Filter* extra = nullptr) const override;
+  [[nodiscard]] std::string name() const override { return "random-fit"; }
+
+ private:
+  mutable core::SplitMix64 rng_;
+};
+
+/// Factory helpers for the experiment harness.
+[[nodiscard]] std::unique_ptr<PlacementPolicy> make_first_fit();
+[[nodiscard]] std::unique_ptr<PlacementPolicy> make_progress_policy();
+[[nodiscard]] std::unique_ptr<PlacementPolicy> make_best_fit();
+[[nodiscard]] std::unique_ptr<PlacementPolicy> make_worst_fit();
+[[nodiscard]] std::unique_ptr<PlacementPolicy> make_random_fit(std::uint64_t seed = 42);
+
+/// The production-shaped SlackVM policy (paper §VII-B2: "providers may guide
+/// workload packing by adjusting the weight of our metric in their scoring
+/// mechanism, alongside their other criteria"): the Algorithm-2 progress
+/// score blended with a light best-fit packing pressure that breaks
+/// near-ties toward fuller PMs.
+[[nodiscard]] std::unique_ptr<PlacementPolicy> make_slackvm_policy(
+    double packing_weight = 0.25);
+
+}  // namespace slackvm::sched

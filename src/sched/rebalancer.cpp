@@ -1,0 +1,100 @@
+#include "sched/rebalancer.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace slackvm::sched {
+
+Rebalancer::Rebalancer(std::unique_ptr<Scorer> scorer) : scorer_(std::move(scorer)) {
+  if (!scorer_) {
+    scorer_ = std::make_unique<ProgressScorer>();
+  }
+}
+
+MigrationPlan Rebalancer::plan(const VCluster& cluster,
+                               std::size_t max_migrations) const {
+  MigrationPlan plan;
+  // Work on a scratch copy of the host states. Each host is attempted as a
+  // drain source at most once, and emptied hosts never receive migrations —
+  // otherwise two light hosts would ping-pong their VMs forever.
+  std::vector<HostState> hosts = cluster.hosts();
+  std::vector<bool> attempted(hosts.size(), false);
+  std::vector<bool> emptied(hosts.size(), false);
+
+  while (plan.migrations.size() < max_migrations) {
+    // Pick the untried non-empty host with the fewest VMs — the cheapest
+    // host to empty entirely.
+    std::optional<std::size_t> candidate;
+    for (std::size_t h = 0; h < hosts.size(); ++h) {
+      if (hosts[h].empty() || attempted[h]) {
+        continue;
+      }
+      if (!candidate || hosts[h].vm_count() < hosts[*candidate].vm_count()) {
+        candidate = h;
+      }
+    }
+    if (!candidate) {
+      break;  // nothing left to try
+    }
+    attempted[*candidate] = true;
+    HostState& source = hosts[*candidate];
+    if (source.vm_count() > max_migrations - plan.migrations.size()) {
+      break;  // even the cheapest drain exceeds the budget
+    }
+
+    // Tentatively migrate every VM of the source, best target first.
+    std::vector<Migration> drain;
+    std::vector<HostState> snapshot = hosts;  // rollback point
+    bool drained = true;
+    // Deterministic VM order.
+    std::vector<core::VmId> vms;
+    for (const auto& [id, spec] : source.vms()) {
+      vms.push_back(id);
+    }
+    std::ranges::sort(vms);
+    for (core::VmId vm : vms) {
+      const core::VmSpec spec = source.spec_of(vm);
+      std::optional<std::size_t> best;
+      double best_score = 0.0;
+      for (std::size_t h = 0; h < hosts.size(); ++h) {
+        if (h == *candidate || emptied[h] || !hosts[h].can_host(spec)) {
+          continue;
+        }
+        const double score = scorer_->score(hosts[h], spec);
+        if (!best || score > best_score) {
+          best = h;
+          best_score = score;
+        }
+      }
+      if (!best) {
+        drained = false;
+        break;
+      }
+      source.remove(vm);
+      hosts[*best].add(vm, spec);
+      drain.push_back(Migration{vm, static_cast<HostId>(*candidate),
+                                static_cast<HostId>(*best)});
+    }
+
+    if (!drained) {
+      hosts = std::move(snapshot);  // undo the partial drain, try next host
+      continue;
+    }
+    emptied[*candidate] = true;
+    plan.migrations.insert(plan.migrations.end(), drain.begin(), drain.end());
+    ++plan.hosts_emptied;
+  }
+  return plan;
+}
+
+std::size_t Rebalancer::apply_plan(VCluster& cluster, const MigrationPlan& plan) {
+  std::size_t applied = 0;
+  for (const Migration& m : plan.migrations) {
+    if (cluster.migrate(m.vm, m.to)) {
+      ++applied;
+    }
+  }
+  return applied;
+}
+
+}  // namespace slackvm::sched

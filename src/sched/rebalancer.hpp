@@ -1,0 +1,55 @@
+// Live-migration rebalancer (the future work of paper §VII-B2a:
+// "considering live migration to further balance the packing of our vNodes
+// is left as a future work").
+//
+// Strategy: drain-and-consolidate. The rebalancer repeatedly tries to empty
+// the host with the fewest VMs by migrating each of its VMs to another open
+// host (chosen by a scorer — the Algorithm-2 progress score by default). A
+// host is drained atomically: if any of its VMs has no feasible target the
+// whole drain is abandoned, so the plan never leaves a host half-emptied
+// for nothing. Planning runs against a copy of the cluster state; the
+// caller applies the plan with apply_plan().
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sched/scorer.hpp"
+#include "sched/vcluster.hpp"
+
+namespace slackvm::sched {
+
+/// One planned live migration.
+struct Migration {
+  core::VmId vm{};
+  HostId from = 0;
+  HostId to = 0;
+};
+
+struct MigrationPlan {
+  std::vector<Migration> migrations;
+  std::size_t hosts_emptied = 0;
+
+  [[nodiscard]] bool empty() const noexcept { return migrations.empty(); }
+};
+
+class Rebalancer {
+ public:
+  /// Uses the given scorer to pick migration targets; defaults to the
+  /// Algorithm-2 progress scorer.
+  explicit Rebalancer(std::unique_ptr<Scorer> scorer = nullptr);
+
+  /// Plan up to `max_migrations` migrations on the cluster's current state.
+  /// The cluster is not modified.
+  [[nodiscard]] MigrationPlan plan(const VCluster& cluster,
+                                   std::size_t max_migrations) const;
+
+  /// Execute a plan. Returns the number of migrations actually performed
+  /// (a migration may be skipped if the cluster changed since planning).
+  static std::size_t apply_plan(VCluster& cluster, const MigrationPlan& plan);
+
+ private:
+  std::unique_ptr<Scorer> scorer_;
+};
+
+}  // namespace slackvm::sched

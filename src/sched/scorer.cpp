@@ -1,0 +1,60 @@
+#include "sched/scorer.hpp"
+
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace slackvm::sched {
+
+double ProgressScorer::score(const HostState& host, const core::VmSpec& spec) const {
+  const core::Resources alloc = host.alloc();
+  const core::CoreCount delta_cores = host.cores_with(spec) - alloc.cores;
+  core::ProgressInputs in;
+  in.config = host.config();
+  in.alloc = alloc;
+  in.vm = core::Resources{delta_cores, spec.mem_mib};
+  return core::progress_towards_target_ratio(in);
+}
+
+double BestFitScorer::score(const HostState& host, const core::VmSpec& spec) const {
+  const double residual_cores =
+      static_cast<double>(host.config().cores - host.cores_with(spec)) /
+      static_cast<double>(host.config().cores);
+  const double residual_mem =
+      static_cast<double>(host.config().mem_mib - host.alloc().mem_mib - spec.mem_mib) /
+      static_cast<double>(host.config().mem_mib);
+  return -(residual_cores + residual_mem);  // fuller host -> higher score
+}
+
+double WorstFitScorer::score(const HostState& host, const core::VmSpec& spec) const {
+  const BestFitScorer best;
+  return -best.score(host, spec);
+}
+
+void CompositeScorer::add(std::unique_ptr<Scorer> scorer, double weight) {
+  SLACKVM_ASSERT(scorer != nullptr);
+  parts_.push_back(Part{std::move(scorer), weight});
+}
+
+double CompositeScorer::score(const HostState& host, const core::VmSpec& spec) const {
+  double total = 0.0;
+  for (const Part& part : parts_) {
+    total += part.weight * part.scorer->score(host, spec);
+  }
+  return total;
+}
+
+std::string CompositeScorer::name() const {
+  std::ostringstream os;
+  os << "composite(";
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (i > 0) {
+      os << '+';
+    }
+    os << parts_[i].weight << '*' << parts_[i].scorer->name();
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace slackvm::sched

@@ -1,0 +1,121 @@
+#include "sched/vcluster.hpp"
+
+#include "core/error.hpp"
+
+namespace slackvm::sched {
+
+VCluster::VCluster(std::string name, core::Resources host_config,
+                   std::unique_ptr<PlacementPolicy> policy, double mem_oversub)
+    : VCluster(std::move(name), FleetSpec::uniform(host_config), std::move(policy),
+               mem_oversub) {}
+
+VCluster::VCluster(std::string name, FleetSpec fleet,
+                   std::unique_ptr<PlacementPolicy> policy, double mem_oversub)
+    : name_(std::move(name)),
+      fleet_(std::move(fleet)),
+      mem_oversub_(mem_oversub),
+      policy_(std::move(policy)) {
+  SLACKVM_ASSERT(policy_ != nullptr);
+}
+
+HostId VCluster::place(core::VmId id, const core::VmSpec& spec) {
+  const auto chosen = try_place(id, spec);
+  if (!chosen) {
+    SLACKVM_THROW("VCluster::place: cannot place VM (" + name_ + ")");
+  }
+  return *chosen;
+}
+
+std::optional<HostId> VCluster::try_place(core::VmId id, const core::VmSpec& spec) {
+  SLACKVM_ASSERT(!placements_.contains(id));
+  auto chosen = policy_->select(hosts_, spec, filter_.get());
+  if (!chosen) {
+    // Open the next PM of the fleet cycle (within the host cap, if any —
+    // elastic growth is the paper's protocol). A heterogeneous fleet may
+    // open a PM the VM does not fit; keep opening (the PMs were provisioned
+    // in cycle order anyway) until one fits, bounded by the cycle length.
+    const std::size_t opened_before = hosts_.size();
+    for (std::size_t attempt = 0; attempt <= fleet_.cycle().size(); ++attempt) {
+      if (max_hosts_ && hosts_.size() >= *max_hosts_) {
+        break;
+      }
+      const auto host_id = static_cast<HostId>(hosts_.size());
+      hosts_.emplace_back(host_id, fleet_.config_for(host_id), mem_oversub_);
+      if (hosts_.back().can_host(spec)) {
+        chosen = host_id;
+        break;
+      }
+    }
+    if (!chosen) {
+      // Roll back the empty PMs a failed attempt opened so a rejection
+      // leaves the cluster unchanged.
+      while (hosts_.size() > opened_before) {
+        SLACKVM_ASSERT(hosts_.back().empty());
+        hosts_.pop_back();
+      }
+      return std::nullopt;
+    }
+  }
+  hosts_[*chosen].add(id, spec);
+  placements_.emplace(id, *chosen);
+  return *chosen;
+}
+
+void VCluster::remove(core::VmId id) {
+  const auto it = placements_.find(id);
+  if (it == placements_.end()) {
+    SLACKVM_THROW("VCluster::remove: unknown VM");
+  }
+  hosts_[it->second].remove(id);
+  placements_.erase(it);
+}
+
+bool VCluster::migrate(core::VmId vm, HostId to) {
+  const auto it = placements_.find(vm);
+  if (it == placements_.end()) {
+    SLACKVM_THROW("VCluster::migrate: unknown VM");
+  }
+  if (to >= hosts_.size()) {
+    SLACKVM_THROW("VCluster::migrate: unknown target host");
+  }
+  const HostId from = it->second;
+  if (from == to) {
+    return true;
+  }
+  // Look the spec up before detaching so a rejected move changes nothing.
+  const core::VmSpec spec = hosts_[from].spec_of(vm);
+  hosts_[from].remove(vm);
+  if (!hosts_[to].can_host(spec)) {
+    hosts_[from].add(vm, spec);
+    return false;
+  }
+  hosts_[to].add(vm, spec);
+  it->second = to;
+  return true;
+}
+
+HostId VCluster::host_of(core::VmId vm) const {
+  const auto it = placements_.find(vm);
+  if (it == placements_.end()) {
+    SLACKVM_THROW("VCluster::host_of: unknown VM");
+  }
+  return it->second;
+}
+
+core::Resources VCluster::total_alloc() const noexcept {
+  core::Resources total;
+  for (const HostState& host : hosts_) {
+    total += host.alloc();
+  }
+  return total;
+}
+
+core::Resources VCluster::total_config() const noexcept {
+  core::Resources total;
+  for (const HostState& host : hosts_) {
+    total += host.config();
+  }
+  return total;
+}
+
+}  // namespace slackvm::sched

@@ -1,0 +1,91 @@
+// Elastic cluster of hosts driven by a placement policy.
+//
+// In the paper's protocol (§VII-B1) a cluster starts empty and a new PM is
+// opened only when no open PM passes the capacity filter; the minimal
+// cluster size for a policy is the number of PMs ever opened. A VCluster
+// implements exactly that. In baseline mode the datacenter holds one
+// VCluster per oversubscription level (dedicated clusters); in SlackVM mode
+// it holds a single shared VCluster whose hosts co-host all levels.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/filter.hpp"
+#include "sched/fleet.hpp"
+#include "sched/host_state.hpp"
+#include "sched/policy.hpp"
+
+namespace slackvm::sched {
+
+class VCluster {
+ public:
+  VCluster(std::string name, core::Resources host_config,
+           std::unique_ptr<PlacementPolicy> policy, double mem_oversub = 1.0);
+
+  /// Heterogeneous fleet: the i-th opened PM follows the fleet's cycle.
+  VCluster(std::string name, FleetSpec fleet, std::unique_ptr<PlacementPolicy> policy,
+           double mem_oversub = 1.0);
+
+  /// Install an additional hard-constraint filter applied to every
+  /// placement (paper §II-B). Pass nullptr to clear.
+  void set_filter(std::unique_ptr<Filter> filter) { filter_ = std::move(filter); }
+
+  /// Live-migrate a VM to a specific open host; returns false (no state
+  /// change) when the target cannot host it. Throws for unknown VMs/hosts.
+  bool migrate(core::VmId vm, HostId to);
+
+  /// Place a VM, opening a new host when no open one fits. Throws when the
+  /// VM cannot fit even on an empty host (spec larger than the PM) or when
+  /// the host cap is exhausted.
+  HostId place(core::VmId id, const core::VmSpec& spec);
+
+  /// Like place(), but returns std::nullopt (state unchanged) instead of
+  /// throwing when the VM cannot be placed within the host cap.
+  std::optional<HostId> try_place(core::VmId id, const core::VmSpec& spec);
+
+  /// Cap the number of PMs this cluster may open (fixed-fleet mode); by
+  /// default growth is unbounded (the paper's elastic protocol).
+  void set_max_hosts(std::size_t max_hosts) { max_hosts_ = max_hosts; }
+  [[nodiscard]] std::optional<std::size_t> max_hosts() const noexcept {
+    return max_hosts_;
+  }
+
+  /// Remove a VM placed earlier; throws for unknown ids. Emptied hosts stay
+  /// open (they were provisioned) and are reused by later placements.
+  void remove(core::VmId id);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const PlacementPolicy& policy() const noexcept { return *policy_; }
+
+  /// Number of PMs ever opened == minimal cluster size for this policy.
+  [[nodiscard]] std::size_t opened_hosts() const noexcept { return hosts_.size(); }
+
+  [[nodiscard]] const std::vector<HostState>& hosts() const noexcept { return hosts_; }
+
+  [[nodiscard]] std::size_t vm_count() const noexcept { return placements_.size(); }
+
+  /// Host currently running `vm`; throws for unknown ids.
+  [[nodiscard]] HostId host_of(core::VmId vm) const;
+
+  /// Aggregate allocation over all opened hosts.
+  [[nodiscard]] core::Resources total_alloc() const noexcept;
+
+  /// Aggregate capacity over all opened hosts.
+  [[nodiscard]] core::Resources total_config() const noexcept;
+
+ private:
+  std::string name_;
+  FleetSpec fleet_;
+  double mem_oversub_ = 1.0;
+  std::unique_ptr<PlacementPolicy> policy_;
+  std::unique_ptr<Filter> filter_;
+  std::optional<std::size_t> max_hosts_;
+  std::vector<HostState> hosts_;
+  std::unordered_map<core::VmId, HostId> placements_;
+};
+
+}  // namespace slackvm::sched

@@ -1,0 +1,41 @@
+// Minimal-fleet capacity search — the paper's protocol taken literally:
+// "a CLOUDSIMPLUS simulation was initiated, starting from an empty cluster
+// and progressively increased until the minimal number of PMs was
+// determined" (§VII-B1).
+//
+// The elastic replay (VCluster growth) gives an upper bound: the PM count a
+// greedy open-on-demand operator ends up with. The true minimum for a
+// policy may be lower — with a *fixed* fleet the policy is forced to pack
+// into existing PMs instead of opening a fresh one. find_min_fleet binary
+// searches the smallest fixed fleet under which the whole trace replays
+// without a single rejection.
+#pragma once
+
+#include <functional>
+
+#include "sim/datacenter.hpp"
+#include "workload/trace.hpp"
+
+namespace slackvm::sim {
+
+/// Builds a fresh datacenter for each feasibility probe.
+using DatacenterFactory = std::function<Datacenter()>;
+
+/// Replay `trace` against a fresh datacenter capped at `max_hosts` PMs per
+/// cluster; true iff every VM was placed.
+[[nodiscard]] bool feasible_with(const DatacenterFactory& factory,
+                                 const workload::Trace& trace, std::size_t max_hosts);
+
+struct MinFleetResult {
+  std::size_t elastic_pms = 0;  ///< PMs the elastic protocol opened
+  std::size_t min_pms = 0;      ///< smallest feasible fixed fleet
+  std::size_t probes = 0;       ///< feasibility replays performed
+};
+
+/// Binary search the minimal feasible fixed fleet in [1, elastic count].
+/// In dedicated mode the cap applies per level cluster, so min_pms is the
+/// per-cluster cap times the cluster count (an upper envelope).
+[[nodiscard]] MinFleetResult find_min_fleet(const DatacenterFactory& factory,
+                                            const workload::Trace& trace);
+
+}  // namespace slackvm::sim

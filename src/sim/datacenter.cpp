@@ -1,0 +1,149 @@
+#include "sim/datacenter.hpp"
+
+#include <optional>
+
+#include "core/error.hpp"
+
+namespace slackvm::sim {
+
+Datacenter Datacenter::dedicated(core::Resources host_config,
+                                 std::vector<core::OversubLevel> levels,
+                                 const PolicyFactory& factory, double mem_oversub) {
+  return dedicated_fleet(sched::FleetSpec::uniform(host_config), std::move(levels),
+                         factory, mem_oversub);
+}
+
+Datacenter Datacenter::dedicated_fleet(const sched::FleetSpec& fleet,
+                                       std::vector<core::OversubLevel> levels,
+                                       const PolicyFactory& factory,
+                                       double mem_oversub) {
+  SLACKVM_ASSERT(!levels.empty());
+  Datacenter dc;
+  dc.shared_ = false;
+  for (core::OversubLevel level : levels) {
+    SLACKVM_ASSERT(!dc.level_to_cluster_.contains(level.ratio()));
+    dc.level_to_cluster_.emplace(level.ratio(), dc.clusters_.size());
+    dc.clusters_.push_back(std::make_unique<sched::VCluster>(
+        "dedicated-" + core::to_string(level), fleet, factory(), mem_oversub));
+  }
+  return dc;
+}
+
+Datacenter Datacenter::shared(core::Resources host_config, const PolicyFactory& factory,
+                              double mem_oversub) {
+  return shared_fleet(sched::FleetSpec::uniform(host_config), factory, mem_oversub);
+}
+
+Datacenter Datacenter::shared_fleet(const sched::FleetSpec& fleet,
+                                    const PolicyFactory& factory, double mem_oversub) {
+  Datacenter dc;
+  dc.shared_ = true;
+  dc.clusters_.push_back(std::make_unique<sched::VCluster>("slackvm-shared", fleet,
+                                                           factory(), mem_oversub));
+  return dc;
+}
+
+sched::VCluster& Datacenter::cluster_for(core::OversubLevel level) {
+  if (shared_) {
+    return *clusters_.front();
+  }
+  const auto it = level_to_cluster_.find(level.ratio());
+  if (it == level_to_cluster_.end()) {
+    SLACKVM_THROW("Datacenter: no dedicated cluster for level " + core::to_string(level));
+  }
+  return *clusters_[it->second];
+}
+
+sched::HostId Datacenter::deploy(core::VmId id, const core::VmSpec& spec) {
+  const auto host = try_deploy(id, spec);
+  if (!host) {
+    SLACKVM_THROW("Datacenter::deploy: cannot place VM");
+  }
+  return *host;
+}
+
+std::optional<sched::HostId> Datacenter::try_deploy(core::VmId id,
+                                                    const core::VmSpec& spec) {
+  sched::VCluster& cluster = cluster_for(spec.level);
+  const auto host = cluster.try_place(id, spec);
+  if (!host) {
+    return std::nullopt;
+  }
+  const std::size_t index = shared_ ? 0 : level_to_cluster_.at(spec.level.ratio());
+  vm_to_cluster_.emplace(id, index);
+  return host;
+}
+
+void Datacenter::set_max_hosts_per_cluster(std::size_t max_hosts) {
+  for (const auto& cluster : clusters_) {
+    cluster->set_max_hosts(max_hosts);
+  }
+}
+
+void Datacenter::remove(core::VmId id) {
+  const auto it = vm_to_cluster_.find(id);
+  if (it == vm_to_cluster_.end()) {
+    SLACKVM_THROW("Datacenter::remove: unknown VM");
+  }
+  clusters_[it->second]->remove(id);
+  vm_to_cluster_.erase(it);
+}
+
+std::size_t Datacenter::opened_pms() const {
+  std::size_t total = 0;
+  for (const auto& cluster : clusters_) {
+    total += cluster->opened_hosts();
+  }
+  return total;
+}
+
+std::size_t Datacenter::active_pms() const {
+  std::size_t active = 0;
+  for (const auto& cluster : clusters_) {
+    for (const sched::HostState& host : cluster->hosts()) {
+      if (!host.empty()) {
+        ++active;
+      }
+    }
+  }
+  return active;
+}
+
+std::size_t Datacenter::rebalance(const sched::Rebalancer& rebalancer,
+                                  std::size_t max_migrations_per_cluster) {
+  std::size_t applied = 0;
+  for (const auto& cluster : clusters_) {
+    const sched::MigrationPlan plan =
+        rebalancer.plan(*cluster, max_migrations_per_cluster);
+    applied += sched::Rebalancer::apply_plan(*cluster, plan);
+  }
+  return applied;
+}
+
+std::map<std::string, std::size_t> Datacenter::opened_per_cluster() const {
+  std::map<std::string, std::size_t> out;
+  for (const auto& cluster : clusters_) {
+    out.emplace(cluster->name(), cluster->opened_hosts());
+  }
+  return out;
+}
+
+core::Resources Datacenter::total_alloc() const {
+  core::Resources total;
+  for (const auto& cluster : clusters_) {
+    total += cluster->total_alloc();
+  }
+  return total;
+}
+
+core::Resources Datacenter::total_config() const {
+  core::Resources total;
+  for (const auto& cluster : clusters_) {
+    total += cluster->total_config();
+  }
+  return total;
+}
+
+std::size_t Datacenter::vm_count() const { return vm_to_cluster_.size(); }
+
+}  // namespace slackvm::sim

@@ -1,0 +1,110 @@
+// Simulated datacenter: the CloudSimPlus substitute (paper §VII-B).
+//
+// Two provisioning modes:
+//  * Dedicated — the baseline: one elastic VCluster per oversubscription
+//    level (each PM adheres to a single level), First-Fit placement;
+//  * Shared — SlackVM: a single elastic VCluster whose PMs co-host all
+//    levels through vNode accounting, progress-score placement.
+// Both modes open a PM only when no open PM fits, so the number of opened
+// PMs is the minimal cluster size under the policy.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/oversub.hpp"
+#include "sched/rebalancer.hpp"
+#include "sched/vcluster.hpp"
+
+namespace slackvm::sim {
+
+/// Creates a fresh placement policy; a factory (not an instance) because the
+/// dedicated mode needs one policy object per level cluster.
+using PolicyFactory = std::function<std::unique_ptr<sched::PlacementPolicy>()>;
+
+class Datacenter {
+ public:
+  /// Baseline: dedicated clusters, one per level in `levels`. A
+  /// `mem_oversub` > 1 enables limited DRAM oversubscription on every PM.
+  static Datacenter dedicated(core::Resources host_config,
+                              std::vector<core::OversubLevel> levels,
+                              const PolicyFactory& factory, double mem_oversub = 1.0);
+
+  /// SlackVM: one shared multi-oversubscription cluster.
+  static Datacenter shared(core::Resources host_config, const PolicyFactory& factory,
+                           double mem_oversub = 1.0);
+
+  /// Heterogeneous-fleet variants (paper §VI: Algorithm 2 computes the
+  /// target ratio per PM, accommodating mixed hardware generations).
+  static Datacenter dedicated_fleet(const sched::FleetSpec& fleet,
+                                    std::vector<core::OversubLevel> levels,
+                                    const PolicyFactory& factory,
+                                    double mem_oversub = 1.0);
+  static Datacenter shared_fleet(const sched::FleetSpec& fleet,
+                                 const PolicyFactory& factory,
+                                 double mem_oversub = 1.0);
+
+  /// Deploy a VM (routes to the level's cluster in dedicated mode).
+  /// Throws when the spec cannot fit on an empty PM.
+  sched::HostId deploy(core::VmId id, const core::VmSpec& spec);
+
+  /// Like deploy() but returns std::nullopt instead of throwing when the VM
+  /// cannot be placed (fixed-fleet mode).
+  std::optional<sched::HostId> try_deploy(core::VmId id, const core::VmSpec& spec);
+
+  /// Cap every cluster's fleet size (fixed-fleet mode). In dedicated mode
+  /// the cap applies per level cluster.
+  void set_max_hosts_per_cluster(std::size_t max_hosts);
+
+  /// Remove a deployed VM.
+  void remove(core::VmId id);
+
+  [[nodiscard]] bool is_shared() const noexcept { return shared_; }
+
+  /// Total PMs ever opened across clusters (the headline metric).
+  [[nodiscard]] std::size_t opened_pms() const;
+
+  /// PMs currently hosting at least one VM (can shrink after departures or
+  /// migration-driven consolidation; emptied PMs could be powered down).
+  [[nodiscard]] std::size_t active_pms() const;
+
+  /// Run one rebalancing pass (live migration, §VII-B2a future work) over
+  /// every cluster; returns the number of migrations performed.
+  std::size_t rebalance(const sched::Rebalancer& rebalancer,
+                        std::size_t max_migrations_per_cluster);
+
+  /// Opened PMs per cluster, keyed by cluster name.
+  [[nodiscard]] std::map<std::string, std::size_t> opened_per_cluster() const;
+
+  /// Aggregate allocation / capacity over all opened PMs.
+  [[nodiscard]] core::Resources total_alloc() const;
+  [[nodiscard]] core::Resources total_config() const;
+
+  /// Currently running VMs.
+  [[nodiscard]] std::size_t vm_count() const;
+
+  [[nodiscard]] const std::vector<std::unique_ptr<sched::VCluster>>& clusters() const {
+    return clusters_;
+  }
+
+  /// Mutable cluster access (e.g. to install placement filters).
+  [[nodiscard]] sched::VCluster& cluster(std::size_t index) {
+    return *clusters_.at(index);
+  }
+
+ private:
+  Datacenter() = default;
+
+  [[nodiscard]] sched::VCluster& cluster_for(core::OversubLevel level);
+
+  bool shared_ = false;
+  std::vector<std::unique_ptr<sched::VCluster>> clusters_;
+  /// level ratio -> index into clusters_ (dedicated mode only).
+  std::map<std::uint8_t, std::size_t> level_to_cluster_;
+  std::map<core::VmId, std::size_t> vm_to_cluster_;
+};
+
+}  // namespace slackvm::sim

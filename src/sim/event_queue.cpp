@@ -1,0 +1,38 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace slackvm::sim {
+
+void EventQueue::schedule(core::SimTime time, EventAction action) {
+  SLACKVM_ASSERT(time >= now_);
+  heap_.push(Entry{time, next_seq_++, std::move(action)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) {
+    return false;
+  }
+  // priority_queue::top returns const&; the Entry must be moved out before
+  // pop so re-entrant schedule() calls from the action are safe.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = entry.time;
+  entry.action(now_);
+  return true;
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+void EventQueue::run_until(core::SimTime deadline) {
+  while (!heap_.empty() && heap_.top().time < deadline) {
+    step();
+  }
+  SLACKVM_ASSERT(deadline >= now_);
+  now_ = deadline;
+}
+
+}  // namespace slackvm::sim

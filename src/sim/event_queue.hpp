@@ -1,0 +1,55 @@
+// Discrete-event simulation core: a time-ordered event queue with a
+// monotonic clock. Ties are broken by insertion order, which makes every
+// simulation fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+
+namespace slackvm::sim {
+
+/// Callback invoked when an event fires; receives the simulation time.
+using EventAction = std::function<void(core::SimTime)>;
+
+class EventQueue {
+ public:
+  /// Schedule `action` at absolute time `time` (>= now()).
+  void schedule(core::SimTime time, EventAction action);
+
+  /// Fire the earliest event; returns false when the queue is empty.
+  bool step();
+
+  /// Fire everything until the queue drains.
+  void run();
+
+  /// Fire everything scheduled strictly before `deadline`, then set the
+  /// clock to `deadline`.
+  void run_until(core::SimTime deadline);
+
+  [[nodiscard]] core::SimTime now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+
+ private:
+  struct Entry {
+    core::SimTime time;
+    std::uint64_t seq;
+    EventAction action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.time > b.time || (a.time == b.time && a.seq > b.seq);
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  core::SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace slackvm::sim

@@ -1,0 +1,135 @@
+#include "sim/experiment.hpp"
+
+#include "core/oversub.hpp"
+#include "sched/policy.hpp"
+#include "sim/replay.hpp"
+
+namespace slackvm::sim {
+
+namespace {
+
+std::vector<core::OversubLevel> levels_present(const workload::LevelMix& mix) {
+  std::vector<core::OversubLevel> levels;
+  for (std::uint8_t ratio : core::kPaperLevelRatios) {
+    const core::OversubLevel level{ratio};
+    if (mix.share(level) > 0.0) {
+      levels.push_back(level);
+    }
+  }
+  return levels;
+}
+
+/// Average accumulator over repetitions.
+struct Averager {
+  double opened = 0;
+  double placed = 0;
+  double peak = 0;
+  double cpu = 0;
+  double mem = 0;
+  double peak_cpu = 0;
+  double peak_mem = 0;
+  double duration = 0;
+  double active = 0;
+  double alloc_cores = 0;
+  double peak_active = 0;
+
+  void add(const RunResult& r) {
+    opened += static_cast<double>(r.opened_pms);
+    placed += static_cast<double>(r.placed_vms);
+    peak += static_cast<double>(r.peak_vms);
+    cpu += r.avg_unalloc_cpu_share;
+    mem += r.avg_unalloc_mem_share;
+    peak_cpu += r.peak_unalloc_cpu_share;
+    peak_mem += r.peak_unalloc_mem_share;
+    duration += r.duration;
+    active += r.avg_active_pms;
+    alloc_cores += r.avg_alloc_cores;
+    peak_active += static_cast<double>(r.peak_active_pms);
+  }
+
+  [[nodiscard]] RunResult mean(std::size_t n) const {
+    const double d = static_cast<double>(n);
+    RunResult out;
+    out.opened_pms = static_cast<std::size_t>(opened / d + 0.5);
+    out.placed_vms = static_cast<std::size_t>(placed / d + 0.5);
+    out.peak_vms = static_cast<std::size_t>(peak / d + 0.5);
+    out.avg_unalloc_cpu_share = cpu / d;
+    out.avg_unalloc_mem_share = mem / d;
+    out.peak_unalloc_cpu_share = peak_cpu / d;
+    out.peak_unalloc_mem_share = peak_mem / d;
+    out.duration = duration / d;
+    out.avg_active_pms = active / d;
+    out.avg_alloc_cores = alloc_cores / d;
+    out.peak_active_pms = static_cast<std::size_t>(peak_active / d + 0.5);
+    return out;
+  }
+};
+
+}  // namespace
+
+double PackingComparison::pm_saving_pct() const {
+  if (baseline.opened_pms == 0) {
+    return 0.0;
+  }
+  const double base = static_cast<double>(baseline.opened_pms);
+  const double ours = static_cast<double>(slackvm.opened_pms);
+  return 100.0 * (base - ours) / base;
+}
+
+PackingComparison compare_packing(const workload::Catalog& catalog,
+                                  const workload::LevelMix& mix,
+                                  const ExperimentConfig& config) {
+  PackingComparison out;
+  out.provider = catalog.provider();
+  out.distribution = mix.name;
+
+  Averager base_avg;
+  Averager slack_avg;
+  const std::size_t reps = config.repetitions == 0 ? 1 : config.repetitions;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    workload::GeneratorConfig gen_cfg = config.generator;
+    gen_cfg.seed = config.generator.seed + rep;
+    const workload::Trace trace =
+        workload::Generator(catalog, mix, gen_cfg).generate();
+
+    // Baseline: dedicated First-Fit clusters, one per level present.
+    Datacenter baseline =
+        Datacenter::dedicated(config.host_config, levels_present(mix),
+                              sched::make_first_fit, config.mem_oversub);
+    base_avg.add(replay(baseline, trace));
+
+    // SlackVM: one shared cluster, Algorithm-2 progress scoring.
+    Datacenter slackvm = Datacenter::shared(
+        config.host_config, sched::make_progress_policy, config.mem_oversub);
+    slack_avg.add(replay(slackvm, trace));
+  }
+  out.baseline = base_avg.mean(reps);
+  out.slackvm = slack_avg.mean(reps);
+  return out;
+}
+
+std::vector<PackingComparison> run_distribution_sweep(const workload::Catalog& catalog,
+                                                      const ExperimentConfig& config) {
+  std::vector<PackingComparison> out;
+  out.reserve(workload::paper_distributions().size());
+  for (const workload::LevelMix& mix : workload::paper_distributions()) {
+    out.push_back(compare_packing(catalog, mix, config));
+  }
+  return out;
+}
+
+std::vector<HeatmapCell> run_savings_heatmap(const workload::Catalog& catalog,
+                                             const ExperimentConfig& config) {
+  std::vector<HeatmapCell> cells;
+  for (const workload::LevelMix& mix : workload::paper_distributions()) {
+    const PackingComparison cmp = compare_packing(catalog, mix, config);
+    HeatmapCell cell;
+    cell.pct_1to1 = static_cast<int>(mix.share_1to1 * 100.0 + 0.5);
+    cell.pct_2to1 = static_cast<int>(mix.share_2to1 * 100.0 + 0.5);
+    cell.saving_pct = cmp.pm_saving_pct();
+    cells.push_back(cell);
+  }
+  return cells;
+}
+
+}  // namespace slackvm::sim

@@ -1,0 +1,64 @@
+// Evaluation protocols of the paper's §VII-B: baseline-vs-SlackVM packing
+// comparisons across oversubscription distributions and providers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/datacenter.hpp"
+#include "sim/metrics.hpp"
+#include "workload/catalog.hpp"
+#include "workload/generator.hpp"
+#include "workload/level_mix.hpp"
+
+namespace slackvm::sim {
+
+/// Protocol parameters; defaults mirror §VII-B1 (32-core / 128 GiB PMs,
+/// target of 500 VMs over one simulated week).
+struct ExperimentConfig {
+  core::Resources host_config{32, core::gib(128)};
+  /// DRAM oversubscription ratio applied to every PM (1.0 = none; OpenStack
+  /// defaults to 1.5, paper footnote 2).
+  double mem_oversub = 1.0;
+  workload::GeneratorConfig generator{};
+  /// Number of independently seeded workloads averaged per cell; seeds are
+  /// generator.seed, +1, +2, ...
+  std::size_t repetitions = 1;
+};
+
+/// One baseline-vs-SlackVM comparison (a Fig. 3 bar pair / Fig. 4 cell).
+struct PackingComparison {
+  std::string provider;
+  std::string distribution;  ///< "A".."O"
+  RunResult baseline;        ///< dedicated clusters, First-Fit
+  RunResult slackvm;         ///< shared cluster, progress score
+
+  /// PMs saved by SlackVM, in percent of the baseline cluster size.
+  [[nodiscard]] double pm_saving_pct() const;
+};
+
+/// Run one comparison: the same trace replayed against (a) dedicated
+/// First-Fit clusters and (b) a shared progress-score cluster. With
+/// repetitions > 1 the PM counts and shares are averaged.
+[[nodiscard]] PackingComparison compare_packing(const workload::Catalog& catalog,
+                                                const workload::LevelMix& mix,
+                                                const ExperimentConfig& config);
+
+/// Fig. 3 protocol: all 15 distributions for one provider.
+[[nodiscard]] std::vector<PackingComparison> run_distribution_sweep(
+    const workload::Catalog& catalog, const ExperimentConfig& config);
+
+/// A cell of the Fig. 4 heatmap.
+struct HeatmapCell {
+  int pct_1to1 = 0;
+  int pct_2to1 = 0;
+  double saving_pct = 0.0;
+};
+
+/// Fig. 4 protocol: the (share 1:1, share 2:1) grid in 25% steps for one
+/// provider. Cells are rows of the lower-triangular heatmap.
+[[nodiscard]] std::vector<HeatmapCell> run_savings_heatmap(
+    const workload::Catalog& catalog, const ExperimentConfig& config);
+
+}  // namespace slackvm::sim

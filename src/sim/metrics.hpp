@@ -1,0 +1,60 @@
+// Run-level metrics of a trace replay.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/resources.hpp"
+#include "core/stats.hpp"
+
+namespace slackvm::sim {
+
+/// Result of replaying one trace against one Datacenter.
+struct RunResult {
+  std::size_t opened_pms = 0;  ///< minimal cluster size under the policy
+  std::size_t peak_active_pms = 0;  ///< peak concurrently non-empty PMs
+  std::size_t migrations = 0;       ///< live migrations performed (if enabled)
+  std::map<std::string, std::size_t> opened_per_cluster;
+
+  std::size_t placed_vms = 0;
+  std::size_t peak_vms = 0;  ///< peak concurrently running VMs
+
+  /// Time-weighted mean share of unallocated CPU (resp. memory) over the
+  /// opened PMs, across the whole run — the Fig. 3 quantities.
+  double avg_unalloc_cpu_share = 0.0;
+  double avg_unalloc_mem_share = 0.0;
+
+  /// Snapshot of the unallocated shares at the moment of peak CPU
+  /// allocation (the "full datacenter" view).
+  double peak_unalloc_cpu_share = 0.0;
+  double peak_unalloc_mem_share = 0.0;
+
+  /// Inputs of the energy model (sim/power.hpp).
+  core::SimTime duration = 0.0;      ///< observed span of the run
+  double avg_active_pms = 0.0;       ///< time-weighted non-empty PMs
+  double avg_alloc_cores = 0.0;      ///< time-weighted allocated cores
+};
+
+/// Streaming collector driven by the replay loop.
+class MetricsCollector {
+ public:
+  /// Record cluster state after an event at `time`.
+  void observe(core::SimTime time, const core::Resources& alloc,
+               const core::Resources& config, std::size_t running_vms,
+               std::size_t active_pms);
+
+  /// Finalize at `end_time` into `result` (fills the share/peak fields).
+  void finish(core::SimTime end_time, RunResult& result) const;
+
+ private:
+  core::TimeWeightedMean unalloc_cpu_;
+  core::TimeWeightedMean unalloc_mem_;
+  core::TimeWeightedMean active_pms_;
+  core::TimeWeightedMean alloc_cores_;
+  std::size_t peak_vms_ = 0;
+  core::CoreCount peak_alloc_cores_ = 0;
+  double peak_cpu_share_ = 0.0;
+  double peak_mem_share_ = 0.0;
+};
+
+}  // namespace slackvm::sim

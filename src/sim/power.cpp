@@ -1,0 +1,32 @@
+#include "sim/power.hpp"
+
+#include "core/error.hpp"
+
+namespace slackvm::sim {
+
+EnergyReport estimate_energy(const RunResult& result, core::CoreCount pm_cores,
+                             const PowerModel& model, bool power_down_idle) {
+  SLACKVM_ASSERT(pm_cores > 0);
+  SLACKVM_ASSERT(model.peak_watts >= model.idle_watts && model.idle_watts >= 0);
+  SLACKVM_ASSERT(model.pue >= 1.0);
+
+  EnergyReport report;
+  const double hours = result.duration / 3600.0;
+  const double powered_pms = power_down_idle
+                                 ? result.avg_active_pms
+                                 : static_cast<double>(result.opened_pms);
+  report.pm_hours = powered_pms * hours;
+
+  // Fleet power: idle floor per powered PM plus the dynamic share driven by
+  // the aggregate core allocation (each allocated core contributes
+  // (peak - idle) / pm_cores watts on its PM).
+  const double dynamic_watts =
+      (model.peak_watts - model.idle_watts) *
+      (result.avg_alloc_cores / static_cast<double>(pm_cores));
+  const double it_watts = powered_pms * model.idle_watts + dynamic_watts;
+  report.kwh = it_watts * model.pue * hours / 1000.0;
+  report.carbon_kg = report.kwh * model.carbon_g_per_kwh / 1000.0;
+  return report;
+}
+
+}  // namespace slackvm::sim

@@ -1,0 +1,40 @@
+// Energy and carbon accounting.
+//
+// The paper motivates SlackVM by DC power consumption and the carbon
+// footprint of ICT (§I) and concludes that fewer PMs "has a positive impact
+// on the energy consumption and carbon footprint of the Cloud ecosystem"
+// (§VIII). This module turns a replay's PM-time and allocation integrals
+// into kWh and kgCO2e with the standard linear server power model.
+#pragma once
+
+#include "core/units.hpp"
+#include "sim/metrics.hpp"
+
+namespace slackvm::sim {
+
+/// Linear server power model: a powered PM draws idle_watts plus a share of
+/// (peak - idle) proportional to its CPU allocation; facility overhead is
+/// applied as a PUE multiplier.
+struct PowerModel {
+  double idle_watts = 110.0;   ///< typical 2-socket server at idle
+  double peak_watts = 420.0;   ///< at full allocation
+  double pue = 1.3;            ///< power usage effectiveness of the facility
+  double carbon_g_per_kwh = 300.0;  ///< grid intensity (EU-average-ish)
+};
+
+struct EnergyReport {
+  double pm_hours = 0.0;    ///< powered PM-hours over the run
+  double kwh = 0.0;         ///< facility energy (PUE applied)
+  double carbon_kg = 0.0;   ///< kgCO2e at the configured grid intensity
+};
+
+/// Estimate the energy of a replay. Powered PMs are the *opened* PMs when
+/// `power_down_idle` is false (the provisioned fleet stays on — the paper's
+/// operating assumption), or the time-average of *active* PMs when true
+/// (emptied PMs are suspended, the consolidation upside).
+[[nodiscard]] EnergyReport estimate_energy(const RunResult& result,
+                                           core::CoreCount pm_cores,
+                                           const PowerModel& model = {},
+                                           bool power_down_idle = false);
+
+}  // namespace slackvm::sim

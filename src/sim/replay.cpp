@@ -1,0 +1,62 @@
+#include "sim/replay.hpp"
+
+#include <algorithm>
+
+namespace slackvm::sim {
+
+RunResult replay(Datacenter& dc, const workload::Trace& trace,
+                 const std::optional<RebalanceOptions>& rebalance,
+                 UsageMonitor* usage_monitor) {
+  EventQueue queue;
+  MetricsCollector metrics;
+  RunResult result;
+
+  auto observe = [&dc, &metrics, &result](core::SimTime t) {
+    const std::size_t active = dc.active_pms();
+    metrics.observe(t, dc.total_alloc(), dc.total_config(), dc.vm_count(), active);
+    result.peak_active_pms = std::max(result.peak_active_pms, active);
+  };
+
+  for (const core::VmInstance& vm : trace.vms()) {
+    // Both events are scheduled up-front; at equal timestamps the queue
+    // falls back to insertion order, so the replay is fully deterministic.
+    queue.schedule(vm.arrival, [&dc, &result, &vm, &observe](core::SimTime t) {
+      dc.deploy(vm.id, vm.spec);
+      ++result.placed_vms;
+      observe(t);
+    });
+    queue.schedule(vm.departure, [&dc, &observe, id = vm.id](core::SimTime t) {
+      dc.remove(id);
+      observe(t);
+    });
+  }
+  // Must outlive queue.run(): the periodic events below capture it.
+  const sched::Rebalancer rebalancer;
+  if (rebalance && !trace.empty()) {
+    const core::SimTime horizon = trace.horizon();
+    for (core::SimTime t = rebalance->interval; t < horizon; t += rebalance->interval) {
+      queue.schedule(t, [&dc, &result, &rebalancer, &rebalance,
+                         &observe](core::SimTime now) {
+        result.migrations += dc.rebalance(rebalancer, rebalance->budget_per_pass);
+        observe(now);
+      });
+    }
+  }
+  if (usage_monitor != nullptr && !trace.empty()) {
+    const core::SimTime horizon = trace.horizon();
+    for (core::SimTime t = usage_monitor->interval() / 2; t < horizon;
+         t += usage_monitor->interval()) {
+      queue.schedule(t, [&dc, usage_monitor](core::SimTime now) {
+        usage_monitor->record(sample_usage(dc, now));
+      });
+    }
+  }
+  queue.run();
+
+  result.opened_pms = dc.opened_pms();
+  result.opened_per_cluster = dc.opened_per_cluster();
+  metrics.finish(trace.empty() ? 0.0 : trace.horizon(), result);
+  return result;
+}
+
+}  // namespace slackvm::sim

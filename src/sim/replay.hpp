@@ -1,0 +1,32 @@
+// Trace replay: drive a Datacenter with a workload trace through the
+// event queue and collect run metrics.
+#pragma once
+
+#include <optional>
+
+#include "sched/rebalancer.hpp"
+#include "sim/datacenter.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+#include "sim/usage_monitor.hpp"
+#include "workload/trace.hpp"
+
+namespace slackvm::sim {
+
+/// Periodic live-migration consolidation during a replay (paper §VII-B2a
+/// future work).
+struct RebalanceOptions {
+  core::SimTime interval = 6.0 * 3600;      ///< consolidation pass period
+  std::size_t budget_per_pass = 64;         ///< migration cap per cluster/pass
+};
+
+/// Replay `trace` against `dc` (which must be fresh). Deterministic. With
+/// `rebalance` set, a consolidation pass runs every interval; with
+/// `usage_monitor` set, effective-usage samples are taken at the monitor's
+/// interval throughout the run.
+[[nodiscard]] RunResult replay(Datacenter& dc, const workload::Trace& trace,
+                               const std::optional<RebalanceOptions>& rebalance =
+                                   std::nullopt,
+                               UsageMonitor* usage_monitor = nullptr);
+
+}  // namespace slackvm::sim

@@ -1,0 +1,107 @@
+#include "sim/scenario.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace slackvm::sim {
+
+const workload::Catalog& Scenario::catalog() const {
+  return workload::catalog_by_name(provider);
+}
+
+const workload::LevelMix& Scenario::mix() const {
+  return workload::distribution(distribution);
+}
+
+PackingComparison Scenario::run() const { return compare_packing(catalog(), mix(), config); }
+
+Scenario parse_scenario(std::istream& input) {
+  Scenario scenario;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(input, line)) {
+    ++line_no;
+    // Strip trailing comments.
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream in(line);
+    std::string key;
+    if (!(in >> key)) {
+      continue;  // blank
+    }
+    const auto fail = [&](const std::string& message) {
+      SLACKVM_THROW("scenario line " + std::to_string(line_no) + ": " + message);
+    };
+    std::string value;
+    if (!(in >> value)) {
+      fail("missing value for '" + key + "'");
+    }
+    try {
+      if (key == "name") {
+        scenario.name = value;
+      } else if (key == "provider") {
+        scenario.provider = value;
+      } else if (key == "distribution") {
+        if (value.size() != 1) {
+          fail("distribution must be a single letter A..O");
+        }
+        scenario.distribution = value[0];
+      } else if (key == "population") {
+        scenario.config.generator.target_population = std::stoull(value);
+      } else if (key == "seed") {
+        scenario.config.generator.seed = std::stoull(value);
+      } else if (key == "repetitions") {
+        scenario.config.repetitions = std::stoull(value);
+      } else if (key == "mem_oversub") {
+        scenario.config.mem_oversub = std::stod(value);
+      } else if (key == "horizon_days") {
+        scenario.config.generator.horizon = std::stod(value) * 24 * 3600;
+      } else if (key == "lifetime_days") {
+        scenario.config.generator.mean_lifetime = std::stod(value) * 24 * 3600;
+      } else if (key == "diurnal") {
+        scenario.config.generator.diurnal_amplitude = std::stod(value);
+      } else if (key == "host_cores") {
+        scenario.config.host_config.cores =
+            static_cast<core::CoreCount>(std::stoul(value));
+      } else if (key == "host_mem_gib") {
+        scenario.config.host_config.mem_mib = core::gib(std::stoll(value));
+      } else {
+        fail("unknown key '" + key + "'");
+      }
+    } catch (const std::invalid_argument&) {
+      fail("invalid value '" + value + "' for '" + key + "'");
+    } catch (const std::out_of_range&) {
+      fail("out-of-range value '" + value + "' for '" + key + "'");
+    }
+  }
+  // Validate eagerly so errors surface at parse time, not mid-run.
+  (void)scenario.catalog();
+  (void)scenario.mix();
+  if (scenario.config.generator.target_population == 0) {
+    SLACKVM_THROW("scenario: population must be positive");
+  }
+  return scenario;
+}
+
+void write_scenario(const Scenario& scenario, std::ostream& output) {
+  output << "name " << scenario.name << '\n';
+  output << "provider " << scenario.provider << '\n';
+  output << "distribution " << scenario.distribution << '\n';
+  output << "population " << scenario.config.generator.target_population << '\n';
+  output << "seed " << scenario.config.generator.seed << '\n';
+  output << "repetitions " << scenario.config.repetitions << '\n';
+  output << "mem_oversub " << scenario.config.mem_oversub << '\n';
+  output << "horizon_days " << scenario.config.generator.horizon / (24 * 3600) << '\n';
+  output << "lifetime_days " << scenario.config.generator.mean_lifetime / (24 * 3600)
+         << '\n';
+  output << "diurnal " << scenario.config.generator.diurnal_amplitude << '\n';
+  output << "host_cores " << scenario.config.host_config.cores << '\n';
+  output << "host_mem_gib " << scenario.config.host_config.mem_mib / core::kMibPerGib
+         << '\n';
+}
+
+}  // namespace slackvm::sim

@@ -1,0 +1,52 @@
+// Scenario files: declarative experiment configurations.
+//
+// A scenario is a small "key value" text file describing one
+// baseline-vs-SlackVM comparison (provider, distribution, scale, knobs), so
+// experiments can be versioned and shared instead of encoded in shell
+// flags. Used by `slackvm run-scenario` and the shipped scenarios/ files.
+//
+// Format (lines starting with '#' and blanks ignored):
+//
+//   name         f-at-scale
+//   provider     ovhcloud          # azure | ovhcloud
+//   distribution F                 # A..O
+//   population   500
+//   seed         42
+//   repetitions  3
+//   mem_oversub  1.0
+//   horizon_days 7
+//   lifetime_days 2
+//   diurnal      0.0
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/experiment.hpp"
+
+namespace slackvm::sim {
+
+struct Scenario {
+  std::string name = "unnamed";
+  std::string provider = "ovhcloud";
+  char distribution = 'F';
+  ExperimentConfig config;
+
+  /// The catalog the scenario refers to; throws on unknown providers.
+  [[nodiscard]] const workload::Catalog& catalog() const;
+
+  /// The level mix; throws on distributions outside A..O.
+  [[nodiscard]] const workload::LevelMix& mix() const;
+
+  /// Execute the scenario's comparison.
+  [[nodiscard]] PackingComparison run() const;
+};
+
+/// Parse a scenario file; throws core::SlackError with a line-numbered
+/// message on malformed input or unknown keys.
+[[nodiscard]] Scenario parse_scenario(std::istream& input);
+
+/// Serialize (round-trips with the parser).
+void write_scenario(const Scenario& scenario, std::ostream& output);
+
+}  // namespace slackvm::sim

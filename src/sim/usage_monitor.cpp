@@ -1,0 +1,63 @@
+#include "sim/usage_monitor.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "workload/usage.hpp"
+
+namespace slackvm::sim {
+
+UsageSample sample_usage(const Datacenter& dc, core::SimTime t) {
+  UsageSample sample;
+  sample.time = t;
+  for (const auto& cluster : dc.clusters()) {
+    for (const sched::HostState& host : cluster->hosts()) {
+      ++sample.opened_hosts;
+      sample.capacity_cores += host.config().cores;
+      sample.alloc_cores += host.alloc().cores;
+      double host_demand = 0.0;
+      for (const auto& [vm, spec] : host.vms()) {
+        const workload::UsageSignal signal(vm, spec.usage);
+        host_demand += static_cast<double>(spec.vcpus) * signal.at(t);
+      }
+      sample.demand_cores += host_demand;
+      if (host_demand > static_cast<double>(host.config().cores)) {
+        ++sample.overloaded_hosts;
+      }
+    }
+  }
+  return sample;
+}
+
+UsageMonitor::UsageMonitor(core::SimTime interval) : interval_(interval) {
+  SLACKVM_ASSERT(interval > 0);
+}
+
+void UsageMonitor::record(const UsageSample& sample) {
+  ++report_.samples;
+  if (sample.capacity_cores > 0) {
+    const double fleet =
+        sample.demand_cores / static_cast<double>(sample.capacity_cores);
+    fleet_sum_ += fleet;
+    report_.peak_fleet_utilization = std::max(report_.peak_fleet_utilization, fleet);
+  }
+  if (sample.alloc_cores > 0) {
+    heat_sum_ += sample.demand_cores / static_cast<double>(sample.alloc_cores);
+    ++heat_samples_;
+  }
+  report_.overload_host_hours +=
+      static_cast<double>(sample.overloaded_hosts) * interval_ / 3600.0;
+}
+
+UsageReport UsageMonitor::report() const {
+  UsageReport out = report_;
+  if (out.samples > 0) {
+    out.avg_fleet_utilization = fleet_sum_ / static_cast<double>(out.samples);
+  }
+  if (heat_samples_ > 0) {
+    out.avg_alloc_heat = heat_sum_ / static_cast<double>(heat_samples_);
+  }
+  return out;
+}
+
+}  // namespace slackvm::sim

@@ -1,0 +1,66 @@
+// Effective-usage monitoring during a replay.
+//
+// Oversubscription exists because *usage* sits far below *allocation* (§I:
+// "hosted VMs are unlikely to fully utilize all their allocated resources
+// simultaneously"). This monitor samples the runnable CPU demand of every
+// host — derived from each hosted VM's deterministic usage signal — and
+// aggregates: how hot allocated cores actually run, the whole fleet's
+// effective utilization, and overload exposure (a host whose demand exceeds
+// its physical capacity is time-slicing, the §II-A overload situation).
+#pragma once
+
+#include <cstddef>
+
+#include "core/units.hpp"
+#include "sim/datacenter.hpp"
+
+namespace slackvm::sim {
+
+/// One cluster-wide sample.
+struct UsageSample {
+  core::SimTime time = 0;
+  double demand_cores = 0.0;       ///< sum over VMs of vcpus * usage(t)
+  core::CoreCount alloc_cores = 0;  ///< vNode-allocated physical cores
+  core::CoreCount capacity_cores = 0;  ///< cores of all opened PMs
+  std::size_t overloaded_hosts = 0;    ///< hosts with demand > capacity
+  std::size_t opened_hosts = 0;
+};
+
+/// Aggregated usage statistics over a run.
+struct UsageReport {
+  std::size_t samples = 0;
+  /// Mean of demand / capacity over samples (effective fleet utilization).
+  double avg_fleet_utilization = 0.0;
+  /// Mean of demand / alloc over samples (how hot allocated cores run);
+  /// > 1 means oversubscribed cores are contended on average.
+  double avg_alloc_heat = 0.0;
+  /// Integral of overloaded-host time, in host-hours.
+  double overload_host_hours = 0.0;
+  /// Peak fleet utilization observed.
+  double peak_fleet_utilization = 0.0;
+};
+
+/// Take one sample of the datacenter's demand at time `t`.
+[[nodiscard]] UsageSample sample_usage(const Datacenter& dc, core::SimTime t);
+
+/// Accumulates samples into a report.
+class UsageMonitor {
+ public:
+  /// `interval` seconds between samples (> 0).
+  explicit UsageMonitor(core::SimTime interval);
+
+  [[nodiscard]] core::SimTime interval() const noexcept { return interval_; }
+
+  void record(const UsageSample& sample);
+
+  [[nodiscard]] UsageReport report() const;
+
+ private:
+  core::SimTime interval_;
+  UsageReport report_;
+  double fleet_sum_ = 0.0;
+  double heat_sum_ = 0.0;
+  std::size_t heat_samples_ = 0;
+};
+
+}  // namespace slackvm::sim

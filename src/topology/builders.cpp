@@ -1,0 +1,104 @@
+#include "topology/builders.hpp"
+
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace slackvm::topo {
+
+CpuTopology make_generic(const GenericSpec& spec) {
+  SLACKVM_ASSERT(spec.sockets >= 1 && spec.cores_per_socket >= 1 && spec.smt >= 1);
+  SLACKVM_ASSERT(spec.numa_per_socket >= 1);
+  SLACKVM_ASSERT(spec.cores_per_socket % spec.numa_per_socket == 0);
+  const std::uint32_t cores_per_l3 =
+      spec.cores_per_l3 == 0 ? spec.cores_per_socket : spec.cores_per_l3;
+  SLACKVM_ASSERT(spec.cores_per_l2 >= 1);
+
+  std::vector<CpuInfo> cpus;
+  cpus.reserve(static_cast<std::size_t>(spec.sockets) * spec.cores_per_socket * spec.smt);
+  const std::uint32_t cores_per_numa = spec.cores_per_socket / spec.numa_per_socket;
+  // Cache zones never span sockets: each socket owns a contiguous block of
+  // zone ids at every level.
+  const std::uint32_t l2_zones_per_socket =
+      core::ceil_div(spec.cores_per_socket, spec.cores_per_l2);
+  const std::uint32_t l3_zones_per_socket =
+      core::ceil_div(spec.cores_per_socket, cores_per_l3);
+
+  for (std::uint32_t socket = 0; socket < spec.sockets; ++socket) {
+    for (std::uint32_t core = 0; core < spec.cores_per_socket; ++core) {
+      const std::uint32_t global_core = socket * spec.cores_per_socket + core;
+      for (std::uint32_t t = 0; t < spec.smt; ++t) {
+        CpuInfo info;
+        info.id = static_cast<CpuId>(global_core * spec.smt + t);
+        info.physical_core = global_core;
+        info.l1 = global_core;  // L1 private to the core (shared by its threads)
+        info.l2 = socket * l2_zones_per_socket + core / spec.cores_per_l2;
+        info.l3 = socket * l3_zones_per_socket + core / cores_per_l3;
+        info.numa = socket * spec.numa_per_socket + core / cores_per_numa;
+        info.socket = socket;
+        cpus.push_back(info);
+      }
+    }
+  }
+
+  const std::size_t numa_count =
+      static_cast<std::size_t>(spec.sockets) * spec.numa_per_socket;
+  std::vector<std::uint32_t> numa_distance(numa_count * numa_count, 10);
+  for (std::size_t a = 0; a < numa_count; ++a) {
+    for (std::size_t b = 0; b < numa_count; ++b) {
+      if (a == b) {
+        continue;
+      }
+      const bool same_socket = (a / spec.numa_per_socket) == (b / spec.numa_per_socket);
+      numa_distance[a * numa_count + b] =
+          same_socket ? spec.intra_socket_numa_distance : spec.remote_numa_distance;
+    }
+  }
+
+  return CpuTopology(spec.name, std::move(cpus), std::move(numa_distance), spec.total_mem);
+}
+
+CpuTopology make_dual_epyc_7662() {
+  GenericSpec spec;
+  spec.name = "2x AMD EPYC 7662";
+  spec.sockets = 2;
+  spec.cores_per_socket = 64;
+  spec.smt = 2;
+  spec.cores_per_l3 = 4;  // Zen2 CCX: 4 cores share an L3 slice
+  spec.cores_per_l2 = 1;
+  spec.numa_per_socket = 1;  // NPS1
+  spec.remote_numa_distance = 32;
+  spec.total_mem = core::gib(1024);
+  return make_generic(spec);
+}
+
+CpuTopology make_dual_xeon_6230() {
+  GenericSpec spec;
+  spec.name = "2x Intel Xeon Gold 6230";
+  spec.sockets = 2;
+  spec.cores_per_socket = 20;
+  spec.smt = 2;
+  spec.cores_per_l3 = 0;  // monolithic L3 per socket
+  spec.cores_per_l2 = 1;
+  spec.remote_numa_distance = 21;
+  spec.total_mem = core::gib(384);
+  return make_generic(spec);
+}
+
+CpuTopology make_sim_worker() {
+  GenericSpec spec;
+  spec.name = "sim-worker 32c/128GiB";
+  spec.cores_per_socket = 32;
+  spec.total_mem = core::gib(128);
+  return make_generic(spec);
+}
+
+CpuTopology make_flat(std::uint32_t cores, core::MemMib mem) {
+  GenericSpec spec;
+  spec.name = "flat-" + std::to_string(cores);
+  spec.cores_per_socket = cores;
+  spec.total_mem = mem;
+  return make_generic(spec);
+}
+
+}  // namespace slackvm::topo

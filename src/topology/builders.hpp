@@ -1,0 +1,47 @@
+// Topology builders for the machines used across the evaluation, plus a
+// generic parameterized builder.
+#pragma once
+
+#include <cstdint>
+
+#include "core/units.hpp"
+#include "topology/cpu_topology.hpp"
+
+namespace slackvm::topo {
+
+/// Parameters of a synthetic machine. Thread ids are assigned socket-major
+/// with SMT siblings adjacent: cpu = ((socket*cores_per_socket)+core)*smt + t.
+struct GenericSpec {
+  std::uint32_t sockets = 1;
+  std::uint32_t cores_per_socket = 8;   ///< physical cores
+  std::uint32_t smt = 1;                ///< threads per core
+  std::uint32_t cores_per_l3 = 0;       ///< 0 = one L3 per socket (monolithic)
+  std::uint32_t cores_per_l2 = 1;       ///< physical cores sharing an L2
+  std::uint32_t numa_per_socket = 1;    ///< NUMA nodes per socket (NPS mode)
+  std::uint32_t remote_numa_distance = 32;
+  std::uint32_t intra_socket_numa_distance = 12;  ///< between NPS nodes of one socket
+  core::MemMib total_mem = core::gib(64);
+  std::string name = "generic";
+};
+
+/// Build a topology from a GenericSpec.
+[[nodiscard]] CpuTopology make_generic(const GenericSpec& spec);
+
+/// The paper's testbed (Table III): 2x AMD EPYC 7662, 64 cores each, SMT2
+/// (256 threads), 1 TB RAM, Zen2 CCX of 4 cores sharing an L3, NPS1.
+/// Hardware M/C ratio: 4 GiB per thread.
+[[nodiscard]] CpuTopology make_dual_epyc_7662();
+
+/// A dual-socket Intel Xeon with monolithic L3 per socket: 2x 20 cores, SMT2,
+/// 384 GiB. Used to exercise Algorithm 1 on a non-segmented cache topology.
+[[nodiscard]] CpuTopology make_dual_xeon_6230();
+
+/// The simulator worker (§VII-B1): 32 cores, 128 GiB, M/C = 4, flat
+/// single-socket topology without SMT.
+[[nodiscard]] CpuTopology make_sim_worker();
+
+/// Minimal machine for unit tests: 1 socket, `cores` cores, no SMT, shared
+/// L3, `mem` memory.
+[[nodiscard]] CpuTopology make_flat(std::uint32_t cores, core::MemMib mem);
+
+}  // namespace slackvm::topo

@@ -1,0 +1,86 @@
+#include "topology/cpu_topology.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/error.hpp"
+
+namespace slackvm::topo {
+
+CpuTopology::CpuTopology(std::string name, std::vector<CpuInfo> cpus,
+                         std::vector<std::uint32_t> numa_distance, core::MemMib total_mem)
+    : name_(std::move(name)),
+      cpus_(std::move(cpus)),
+      numa_distance_(std::move(numa_distance)),
+      total_mem_(total_mem) {
+  SLACKVM_ASSERT(!cpus_.empty());
+  SLACKVM_ASSERT(total_mem_ > 0);
+  std::uint32_t max_numa = 0;
+  std::uint32_t max_socket = 0;
+  std::unordered_map<std::uint32_t, std::uint32_t> threads_per_core;
+  for (std::size_t i = 0; i < cpus_.size(); ++i) {
+    SLACKVM_ASSERT(cpus_[i].id == i);
+    max_numa = std::max(max_numa, cpus_[i].numa);
+    max_socket = std::max(max_socket, cpus_[i].socket);
+    ++threads_per_core[cpus_[i].physical_core];
+  }
+  numa_count_ = max_numa + 1;
+  socket_count_ = max_socket + 1;
+  for (const auto& [core, threads] : threads_per_core) {
+    smt_width_ = std::max(smt_width_, threads);
+  }
+  SLACKVM_ASSERT(numa_distance_.size() == numa_count_ * numa_count_);
+  for (std::size_t n = 0; n < numa_count_; ++n) {
+    SLACKVM_ASSERT(numa_distance_[n * numa_count_ + n] == 10);
+  }
+}
+
+const CpuInfo& CpuTopology::cpu(CpuId id) const {
+  SLACKVM_ASSERT(id < cpus_.size());
+  return cpus_[id];
+}
+
+std::uint32_t CpuTopology::numa_distance(std::uint32_t a, std::uint32_t b) const {
+  SLACKVM_ASSERT(a < numa_count_ && b < numa_count_);
+  return numa_distance_[a * numa_count_ + b];
+}
+
+std::uint32_t CpuTopology::cache_id(ShareLevel level, CpuId cpu_id) const {
+  const CpuInfo& info = cpu(cpu_id);
+  switch (level) {
+    case ShareLevel::kThread:
+      return info.id;
+    case ShareLevel::kL1:
+      return info.l1;
+    case ShareLevel::kL2:
+      return info.l2;
+    case ShareLevel::kL3:
+      return info.l3;
+  }
+  SLACKVM_THROW("invalid ShareLevel");
+}
+
+double CpuTopology::target_ratio() const { return core::mc_ratio_gib_per_core(config()); }
+
+CpuSet CpuTopology::socket_cpus(std::uint32_t socket) const {
+  CpuSet out(cpu_count());
+  for (const CpuInfo& info : cpus_) {
+    if (info.socket == socket) {
+      out.set(info.id);
+    }
+  }
+  return out;
+}
+
+CpuSet CpuTopology::smt_siblings(CpuId cpu_id) const {
+  const std::uint32_t core = cpu(cpu_id).physical_core;
+  CpuSet out(cpu_count());
+  for (const CpuInfo& info : cpus_) {
+    if (info.physical_core == core) {
+      out.set(info.id);
+    }
+  }
+  return out;
+}
+
+}  // namespace slackvm::topo

@@ -1,0 +1,93 @@
+// Physical machine CPU topology model.
+//
+// The model mirrors what SlackVM's local scheduler reads from Linux sysfs on
+// a real host: for each hardware thread, the identifiers of the cache zones
+// it belongs to at each level, its physical core, NUMA node and socket, plus
+// the ACPI SLIT-style NUMA distance matrix. Algorithm 1 (distance.hpp) and
+// the vNode placement policies consume only this graph, so a synthetic
+// topology exercises the exact same code path as a live machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/resources.hpp"
+#include "core/units.hpp"
+#include "topology/cpuset.hpp"
+
+namespace slackvm::topo {
+
+/// Per-hardware-thread attributes.
+struct CpuInfo {
+  CpuId id = 0;
+  std::uint32_t physical_core = 0;  ///< SMT siblings share this id
+  std::uint32_t l1 = 0;             ///< L1 cache zone (== physical core on x86)
+  std::uint32_t l2 = 0;             ///< L2 cache zone
+  std::uint32_t l3 = 0;             ///< L3 cache zone (CCX on EPYC, socket on Xeon)
+  std::uint32_t numa = 0;           ///< NUMA node
+  std::uint32_t socket = 0;         ///< physical package
+};
+
+/// Cache hierarchy levels walked by Algorithm 1, from the closest sharing
+/// domain to the farthest. Level 0 is the thread itself so that identical
+/// CPUs have distance zero.
+enum class ShareLevel : std::uint8_t { kThread = 0, kL1 = 1, kL2 = 2, kL3 = 3 };
+
+inline constexpr std::uint8_t kShareLevels = 4;  ///< thread, L1, L2, L3
+
+/// Immutable topology of one physical machine.
+class CpuTopology {
+ public:
+  /// `cpus` must be a contiguous sequence with cpus[i].id == i;
+  /// `numa_distance` is a row-major n×n matrix with 10 on the diagonal.
+  CpuTopology(std::string name, std::vector<CpuInfo> cpus,
+              std::vector<std::uint32_t> numa_distance, core::MemMib total_mem);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t cpu_count() const noexcept { return cpus_.size(); }
+  [[nodiscard]] const CpuInfo& cpu(CpuId id) const;
+  [[nodiscard]] core::MemMib total_mem() const noexcept { return total_mem_; }
+  [[nodiscard]] std::size_t numa_count() const noexcept { return numa_count_; }
+  [[nodiscard]] std::size_t socket_count() const noexcept { return socket_count_; }
+
+  /// ACPI SLIT-style distance between two NUMA nodes (10 = local).
+  [[nodiscard]] std::uint32_t numa_distance(std::uint32_t a, std::uint32_t b) const;
+
+  /// The id of the cache zone `cpu` belongs to at `level` — Algorithm 1's
+  /// CACHE(level, core) oracle. Level kThread returns the cpu id itself.
+  [[nodiscard]] std::uint32_t cache_id(ShareLevel level, CpuId cpu) const;
+
+  /// PM hardware configuration as a resource vector: one "core" per hardware
+  /// thread (the paper counts threads: 256 threads / 1 TB -> M/C = 4).
+  [[nodiscard]] core::Resources config() const noexcept {
+    return core::Resources{static_cast<core::CoreCount>(cpus_.size()), total_mem_};
+  }
+
+  /// Hardware memory-per-thread target ratio in GiB.
+  [[nodiscard]] double target_ratio() const;
+
+  /// All CPUs of the machine.
+  [[nodiscard]] CpuSet all_cpus() const { return CpuSet::full(cpus_.size()); }
+
+  /// All CPUs belonging to the given socket.
+  [[nodiscard]] CpuSet socket_cpus(std::uint32_t socket) const;
+
+  /// SMT siblings of `cpu` (including itself).
+  [[nodiscard]] CpuSet smt_siblings(CpuId cpu) const;
+
+  /// Number of hardware threads per physical core (1 = no SMT). Topologies
+  /// with non-uniform SMT report the maximum.
+  [[nodiscard]] std::uint32_t smt_width() const noexcept { return smt_width_; }
+
+ private:
+  std::string name_;
+  std::vector<CpuInfo> cpus_;
+  std::vector<std::uint32_t> numa_distance_;
+  std::size_t numa_count_ = 0;
+  std::size_t socket_count_ = 0;
+  std::uint32_t smt_width_ = 1;
+  core::MemMib total_mem_ = 0;
+};
+
+}  // namespace slackvm::topo

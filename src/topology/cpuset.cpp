@@ -1,0 +1,156 @@
+#include "topology/cpuset.hpp"
+
+#include <bit>
+#include <ostream>
+#include <sstream>
+
+namespace slackvm::topo {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+}
+
+CpuSet::CpuSet(std::size_t universe)
+    : universe_(universe), bits_((universe + kWordBits - 1) / kWordBits, 0) {}
+
+void CpuSet::set(CpuId cpu) {
+  SLACKVM_ASSERT(cpu < universe_);
+  bits_[cpu / kWordBits] |= (std::uint64_t{1} << (cpu % kWordBits));
+}
+
+void CpuSet::reset(CpuId cpu) {
+  SLACKVM_ASSERT(cpu < universe_);
+  bits_[cpu / kWordBits] &= ~(std::uint64_t{1} << (cpu % kWordBits));
+}
+
+bool CpuSet::test(CpuId cpu) const {
+  SLACKVM_ASSERT(cpu < universe_);
+  return (bits_[cpu / kWordBits] >> (cpu % kWordBits)) & 1;
+}
+
+std::size_t CpuSet::count() const noexcept {
+  std::size_t total = 0;
+  for (std::uint64_t word : bits_) {
+    total += static_cast<std::size_t>(std::popcount(word));
+  }
+  return total;
+}
+
+bool CpuSet::empty() const noexcept {
+  for (std::uint64_t word : bits_) {
+    if (word != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CpuSet::intersects(const CpuSet& other) const {
+  check_same_universe(other);
+  for (std::size_t i = 0; i < words(); ++i) {
+    if ((bits_[i] & other.bits_[i]) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CpuSet::contains(const CpuSet& other) const {
+  check_same_universe(other);
+  for (std::size_t i = 0; i < words(); ++i) {
+    if ((other.bits_[i] & ~bits_[i]) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+CpuSet& CpuSet::operator|=(const CpuSet& other) {
+  check_same_universe(other);
+  for (std::size_t i = 0; i < words(); ++i) {
+    bits_[i] |= other.bits_[i];
+  }
+  return *this;
+}
+
+CpuSet& CpuSet::operator&=(const CpuSet& other) {
+  check_same_universe(other);
+  for (std::size_t i = 0; i < words(); ++i) {
+    bits_[i] &= other.bits_[i];
+  }
+  return *this;
+}
+
+CpuSet& CpuSet::operator-=(const CpuSet& other) {
+  check_same_universe(other);
+  for (std::size_t i = 0; i < words(); ++i) {
+    bits_[i] &= ~other.bits_[i];
+  }
+  return *this;
+}
+
+CpuSet CpuSet::full(std::size_t universe) {
+  CpuSet s(universe);
+  for (std::size_t cpu = 0; cpu < universe; ++cpu) {
+    s.set(static_cast<CpuId>(cpu));
+  }
+  return s;
+}
+
+std::vector<CpuId> CpuSet::as_vector() const {
+  std::vector<CpuId> out;
+  out.reserve(count());
+  for (std::size_t w = 0; w < words(); ++w) {
+    std::uint64_t word = bits_[w];
+    while (word != 0) {
+      const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+      out.push_back(static_cast<CpuId>(w * kWordBits + bit));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+CpuId CpuSet::first() const {
+  for (std::size_t w = 0; w < words(); ++w) {
+    if (bits_[w] != 0) {
+      return static_cast<CpuId>(w * kWordBits +
+                                static_cast<std::size_t>(std::countr_zero(bits_[w])));
+    }
+  }
+  SLACKVM_THROW("CpuSet::first on empty set");
+}
+
+std::string CpuSet::to_string() const {
+  const auto cpus = as_vector();
+  std::ostringstream os;
+  std::size_t i = 0;
+  bool first_range = true;
+  while (i < cpus.size()) {
+    std::size_t j = i;
+    while (j + 1 < cpus.size() && cpus[j + 1] == cpus[j] + 1) {
+      ++j;
+    }
+    if (!first_range) {
+      os << ',';
+    }
+    first_range = false;
+    if (j == i) {
+      os << cpus[i];
+    } else {
+      os << cpus[i] << '-' << cpus[j];
+    }
+    i = j + 1;
+  }
+  return os.str();
+}
+
+void CpuSet::check_same_universe(const CpuSet& other) const {
+  SLACKVM_ASSERT(universe_ == other.universe_);
+}
+
+std::ostream& operator<<(std::ostream& os, const CpuSet& set) {
+  return os << set.to_string();
+}
+
+}  // namespace slackvm::topo

@@ -1,0 +1,73 @@
+// Dynamic bitset over hardware threads (CPUs) of one physical machine.
+//
+// This is the library's equivalent of a Linux cpuset/affinity mask: vNodes
+// own CpuSets, VMs are pinned to the CpuSet of their vNode.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace slackvm::topo {
+
+/// Hardware thread identifier within one PM.
+using CpuId = std::uint16_t;
+
+/// Fixed-universe dynamic bitset. All binary operations require operands of
+/// the same universe size.
+class CpuSet {
+ public:
+  CpuSet() = default;
+
+  /// Empty set over a universe of `universe` CPUs.
+  explicit CpuSet(std::size_t universe);
+
+  /// Universe size (number of addressable CPUs).
+  [[nodiscard]] std::size_t universe() const noexcept { return universe_; }
+
+  void set(CpuId cpu);
+  void reset(CpuId cpu);
+  [[nodiscard]] bool test(CpuId cpu) const;
+
+  [[nodiscard]] std::size_t count() const noexcept;
+  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] bool intersects(const CpuSet& other) const;
+  [[nodiscard]] bool contains(const CpuSet& other) const;
+
+  CpuSet& operator|=(const CpuSet& other);
+  CpuSet& operator&=(const CpuSet& other);
+  /// Set difference: remove every CPU present in `other`.
+  CpuSet& operator-=(const CpuSet& other);
+
+  friend CpuSet operator|(CpuSet lhs, const CpuSet& rhs) { return lhs |= rhs; }
+  friend CpuSet operator&(CpuSet lhs, const CpuSet& rhs) { return lhs &= rhs; }
+  friend CpuSet operator-(CpuSet lhs, const CpuSet& rhs) { return lhs -= rhs; }
+
+  friend bool operator==(const CpuSet&, const CpuSet&) = default;
+
+  /// Full set over the universe.
+  [[nodiscard]] static CpuSet full(std::size_t universe);
+
+  /// Ascending list of member CPU ids.
+  [[nodiscard]] std::vector<CpuId> as_vector() const;
+
+  /// Lowest member; throws on empty set.
+  [[nodiscard]] CpuId first() const;
+
+  /// Render as a compressed range list, e.g. "0-3,8,12-15".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  [[nodiscard]] std::size_t words() const noexcept { return bits_.size(); }
+  void check_same_universe(const CpuSet& other) const;
+
+  std::size_t universe_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+std::ostream& operator<<(std::ostream& os, const CpuSet& set);
+
+}  // namespace slackvm::topo

@@ -1,0 +1,46 @@
+#include "topology/distance.hpp"
+
+namespace slackvm::topo {
+
+std::uint32_t core_distance(const CpuTopology& topo, CpuId a, CpuId b) {
+  // Algorithm 1: walk levels 0..height; the first shared zone stops the
+  // walk, otherwise fall through to the NUMA distance.
+  std::uint32_t distance = 0;
+  for (std::uint8_t level = 0; level < kShareLevels; ++level) {
+    if (topo.cache_id(static_cast<ShareLevel>(level), a) ==
+        topo.cache_id(static_cast<ShareLevel>(level), b)) {
+      return distance;
+    }
+    distance += 10;
+  }
+  return distance + topo.numa_distance(topo.cpu(a).numa, topo.cpu(b).numa);
+}
+
+DistanceMatrix::DistanceMatrix(const CpuTopology& topo) : n_(topo.cpu_count()) {
+  d_.resize(n_ * n_);
+  for (std::size_t a = 0; a < n_; ++a) {
+    for (std::size_t b = a; b < n_; ++b) {
+      const auto dist = core_distance(topo, static_cast<CpuId>(a), static_cast<CpuId>(b));
+      d_[a * n_ + b] = dist;
+      d_[b * n_ + a] = dist;
+    }
+  }
+}
+
+std::uint32_t DistanceMatrix::min_distance_to(CpuId cpu, const CpuSet& set) const {
+  std::uint32_t best = kUnreachable;
+  for (CpuId member : set.as_vector()) {
+    best = std::min(best, (*this)(cpu, member));
+  }
+  return best;
+}
+
+std::uint64_t DistanceMatrix::total_distance_to(CpuId cpu, const CpuSet& set) const {
+  std::uint64_t total = 0;
+  for (CpuId member : set.as_vector()) {
+    total += (*this)(cpu, member);
+  }
+  return total;
+}
+
+}  // namespace slackvm::topo

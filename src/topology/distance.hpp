@@ -1,0 +1,54 @@
+// Core distance metric — paper Algorithm 1.
+//
+// The metric extends the NUMA distance notion with cache-sharing awareness:
+// walking the sharing hierarchy from the thread outwards, every level at
+// which the two CPUs do NOT share a zone adds 10 (the same order of magnitude
+// as SLIT NUMA distances); if no cache level is shared at all, the NUMA
+// distance between the two nodes is added on top.
+//
+// Resulting scale on a dual-socket EPYC (thread/L1/L2/L3 hierarchy):
+//   same thread            -> 0
+//   SMT sibling (same L1)  -> 10
+//   same CCX (same L3)     -> 30
+//   same socket, other CCX -> 40 + 10 (local NUMA)  = 50
+//   other socket           -> 40 + 32 (remote NUMA) = 72
+#pragma once
+
+#include <vector>
+
+#include "topology/cpu_topology.hpp"
+
+namespace slackvm::topo {
+
+/// Algorithm 1: distance between two hardware threads.
+[[nodiscard]] std::uint32_t core_distance(const CpuTopology& topo, CpuId a, CpuId b);
+
+/// Precomputed symmetric distance matrix for hot paths (vNode resizing
+/// evaluates candidate-to-set distances repeatedly).
+class DistanceMatrix {
+ public:
+  explicit DistanceMatrix(const CpuTopology& topo);
+
+  [[nodiscard]] std::uint32_t operator()(CpuId a, CpuId b) const {
+    SLACKVM_ASSERT(a < n_ && b < n_);
+    return d_[static_cast<std::size_t>(a) * n_ + b];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// Smallest distance from `cpu` to any member of `set`; returns
+  /// `kUnreachable` for an empty set.
+  [[nodiscard]] std::uint32_t min_distance_to(CpuId cpu, const CpuSet& set) const;
+
+  /// Sum of distances from `cpu` to all members of `set` (compactness
+  /// objective used when picking cores to release).
+  [[nodiscard]] std::uint64_t total_distance_to(CpuId cpu, const CpuSet& set) const;
+
+  static constexpr std::uint32_t kUnreachable = 0xffffffff;
+
+ private:
+  std::size_t n_;
+  std::vector<std::uint32_t> d_;
+};
+
+}  // namespace slackvm::topo

@@ -1,0 +1,155 @@
+#include "topology/sysfs.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace slackvm::topo {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  SLACKVM_THROW("topology dump line " + std::to_string(line_no) + ": " + message);
+}
+
+/// Read "<key> <value>" pairs from the rest of a cpu line.
+std::map<std::string, std::uint32_t> parse_fields(std::istringstream& in,
+                                                  std::size_t line_no) {
+  std::map<std::string, std::uint32_t> fields;
+  std::string key;
+  while (in >> key) {
+    std::uint32_t value = 0;
+    if (!(in >> value)) {
+      fail(line_no, "missing value for field '" + key + "'");
+    }
+    if (!fields.emplace(key, value).second) {
+      fail(line_no, "duplicate field '" + key + "'");
+    }
+  }
+  return fields;
+}
+
+}  // namespace
+
+CpuTopology parse_topology_dump(std::istream& input) {
+  std::string name = "imported";
+  core::MemMib mem = 0;
+  std::map<CpuId, CpuInfo> cpus;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> distances;
+  std::uint32_t max_numa = 0;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(input, line)) {
+    ++line_no;
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    std::istringstream in(line);
+    std::string keyword;
+    in >> keyword;
+    if (keyword == "machine") {
+      std::getline(in >> std::ws, name);
+      if (name.empty()) {
+        fail(line_no, "machine needs a name");
+      }
+    } else if (keyword == "mem_mib") {
+      if (!(in >> mem) || mem <= 0) {
+        fail(line_no, "mem_mib needs a positive value");
+      }
+    } else if (keyword == "cpu") {
+      std::uint32_t id = 0;
+      if (!(in >> id)) {
+        fail(line_no, "cpu needs an id");
+      }
+      const auto fields = parse_fields(in, line_no);
+      for (const char* required : {"core", "l1", "l2", "l3", "numa", "socket"}) {
+        if (!fields.contains(required)) {
+          fail(line_no, std::string("cpu missing field '") + required + "'");
+        }
+      }
+      CpuInfo info;
+      info.id = static_cast<CpuId>(id);
+      info.physical_core = fields.at("core");
+      info.l1 = fields.at("l1");
+      info.l2 = fields.at("l2");
+      info.l3 = fields.at("l3");
+      info.numa = fields.at("numa");
+      info.socket = fields.at("socket");
+      if (!cpus.emplace(info.id, info).second) {
+        fail(line_no, "duplicate cpu id " + std::to_string(id));
+      }
+      max_numa = std::max(max_numa, info.numa);
+    } else if (keyword == "numa_distance") {
+      std::uint32_t from = 0;
+      std::uint32_t to = 0;
+      std::uint32_t distance = 0;
+      if (!(in >> from >> to >> distance)) {
+        fail(line_no, "numa_distance needs <from> <to> <distance>");
+      }
+      distances[{from, to}] = distance;
+    } else {
+      fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+
+  if (cpus.empty()) {
+    SLACKVM_THROW("topology dump: no cpu lines");
+  }
+  if (mem <= 0) {
+    SLACKVM_THROW("topology dump: missing mem_mib");
+  }
+  std::vector<CpuInfo> dense;
+  dense.reserve(cpus.size());
+  for (const auto& [id, info] : cpus) {
+    if (id != dense.size()) {
+      SLACKVM_THROW("topology dump: cpu ids must be dense 0..n-1 (missing " +
+                    std::to_string(dense.size()) + ")");
+    }
+    dense.push_back(info);
+  }
+
+  const std::size_t numa_count = max_numa + 1;
+  std::vector<std::uint32_t> matrix(numa_count * numa_count, 0);
+  for (std::size_t a = 0; a < numa_count; ++a) {
+    for (std::size_t b = 0; b < numa_count; ++b) {
+      const auto it = distances.find({static_cast<std::uint32_t>(a),
+                                      static_cast<std::uint32_t>(b)});
+      if (it != distances.end()) {
+        matrix[a * numa_count + b] = it->second;
+      } else if (a == b) {
+        matrix[a * numa_count + b] = 10;  // implicit local distance
+      } else {
+        SLACKVM_THROW("topology dump: missing numa_distance " + std::to_string(a) +
+                      " -> " + std::to_string(b));
+      }
+    }
+  }
+  return CpuTopology(name, std::move(dense), std::move(matrix), mem);
+}
+
+void write_topology_dump(const CpuTopology& topo, std::ostream& output) {
+  output << "machine " << topo.name() << '\n';
+  output << "mem_mib " << topo.total_mem() << '\n';
+  for (std::size_t id = 0; id < topo.cpu_count(); ++id) {
+    const CpuInfo& info = topo.cpu(static_cast<CpuId>(id));
+    output << "cpu " << info.id << " core " << info.physical_core << " l1 " << info.l1
+           << " l2 " << info.l2 << " l3 " << info.l3 << " numa " << info.numa
+           << " socket " << info.socket << '\n';
+  }
+  for (std::size_t a = 0; a < topo.numa_count(); ++a) {
+    for (std::size_t b = 0; b < topo.numa_count(); ++b) {
+      output << "numa_distance " << a << ' ' << b << ' '
+             << topo.numa_distance(static_cast<std::uint32_t>(a),
+                                   static_cast<std::uint32_t>(b))
+             << '\n';
+    }
+  }
+}
+
+}  // namespace slackvm::topo

@@ -1,0 +1,40 @@
+// Linux sysfs-style topology ingestion.
+//
+// On a live host SlackVM's local scheduler reads the cache-zone IDs Linux
+// exposes per CPU ("Linux system exposes an ID for each core to identify
+// the cache zone. We collect this information", §V-A). This module parses a
+// portable textual dump of that information — one line per hardware thread
+// plus a NUMA distance table — into a CpuTopology, so real machines can be
+// described without recompiling.
+//
+// Format (lines starting with '#' and blank lines are ignored):
+//
+//   machine <name>
+//   mem_mib <total memory in MiB>
+//   # cpu <id> core <physical-core> l1 <id> l2 <id> l3 <id> numa <n> socket <s>
+//   cpu 0 core 0 l1 0 l2 0 l3 0 numa 0 socket 0
+//   cpu 1 core 0 l1 0 l2 0 l3 0 numa 0 socket 0
+//   ...
+//   # numa_distance <from> <to> <distance>, diagonal must be 10
+//   numa_distance 0 0 10
+//   numa_distance 0 1 32
+//   ...
+//
+// CPUs may appear in any order but must form a dense 0..n-1 id range.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topology/cpu_topology.hpp"
+
+namespace slackvm::topo {
+
+/// Parse a topology dump; throws core::SlackError with a line-numbered
+/// message on malformed input.
+[[nodiscard]] CpuTopology parse_topology_dump(std::istream& input);
+
+/// Serialize a topology into the dump format (round-trips with the parser).
+void write_topology_dump(const CpuTopology& topo, std::ostream& output);
+
+}  // namespace slackvm::topo

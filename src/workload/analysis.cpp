@@ -1,0 +1,82 @@
+#include "workload/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace slackvm::workload {
+
+namespace {
+
+/// First instant at which the concurrent population peaks. Departures at a
+/// timestamp free their slot before arrivals at the same timestamp are
+/// counted (consistent with Trace::peak_population).
+core::SimTime find_peak_time(const Trace& trace, std::size_t peak) {
+  std::map<core::SimTime, long> delta;
+  for (const core::VmInstance& vm : trace.vms()) {
+    delta[vm.arrival] += 1;
+    delta[vm.departure] -= 1;
+  }
+  long current = 0;
+  for (const auto& [time, d] : delta) {
+    current += d;
+    if (current == static_cast<long>(peak)) {
+      return time;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+TraceStats analyze(const Trace& trace) {
+  TraceStats stats;
+  stats.vm_count = trace.size();
+  if (trace.empty()) {
+    return stats;
+  }
+  double vcpus = 0.0;
+  double mem = 0.0;
+  double lifetime = 0.0;
+  std::array<std::size_t, 4> level_counts{};
+  for (const core::VmInstance& vm : trace.vms()) {
+    vcpus += vm.spec.vcpus;
+    mem += core::mib_to_gib(vm.spec.mem_mib);
+    lifetime += vm.lifetime();
+    if (vm.spec.level.ratio() < level_counts.size()) {
+      ++level_counts[vm.spec.level.ratio()];
+    }
+  }
+  const double n = static_cast<double>(trace.size());
+  stats.avg_vcpus = vcpus / n;
+  stats.avg_mem_gib = mem / n;
+  stats.avg_lifetime_hours = lifetime / n / 3600.0;
+  for (std::size_t ratio = 1; ratio < level_counts.size(); ++ratio) {
+    stats.level_share[ratio] = static_cast<double>(level_counts[ratio]) / n;
+  }
+
+  stats.peak_population = trace.peak_population();
+  stats.peak_time = find_peak_time(trace, stats.peak_population);
+  for (const core::VmSpec& spec : peak_snapshot(trace)) {
+    stats.peak_frac_cores += static_cast<double>(spec.vcpus) / spec.level.ratio();
+    stats.peak_mem_mib += spec.mem_mib;
+  }
+  return stats;
+}
+
+std::vector<core::VmSpec> peak_snapshot(const Trace& trace) {
+  if (trace.empty()) {
+    return {};
+  }
+  const std::size_t peak = trace.peak_population();
+  const core::SimTime t = find_peak_time(trace, peak);
+  std::vector<core::VmSpec> alive;
+  for (const core::VmInstance& vm : trace.vms()) {
+    // Alive at t: arrived at or before t, departs strictly after t.
+    if (vm.arrival <= t && vm.departure > t) {
+      alive.push_back(vm.spec);
+    }
+  }
+  return alive;
+}
+
+}  // namespace slackvm::workload

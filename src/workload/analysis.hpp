@@ -1,0 +1,47 @@
+// Trace analytics: aggregate statistics and peak snapshots of a workload,
+// used by the offline-packing bench (optimality gaps need the peak-time VM
+// set) and by operators inspecting generated traces.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/resources.hpp"
+#include "workload/trace.hpp"
+
+namespace slackvm::workload {
+
+/// Aggregate statistics of one trace.
+struct TraceStats {
+  std::size_t vm_count = 0;
+  std::size_t peak_population = 0;
+  core::SimTime peak_time = 0;  ///< first instant reaching the peak
+
+  double avg_vcpus = 0.0;
+  double avg_mem_gib = 0.0;
+  double avg_lifetime_hours = 0.0;
+
+  /// Share of VMs per level ratio (index = ratio; 0 unused).
+  std::array<double, 4> level_share{};
+
+  /// Aggregate demand of the peak-time population, with vCPUs translated to
+  /// fractional physical cores per the VM's level.
+  double peak_frac_cores = 0.0;
+  core::MemMib peak_mem_mib = 0;
+
+  /// Blended provisioned M/C ratio of the peak population (GiB per
+  /// fractional core); comparing it to the PM target ratio predicts which
+  /// resource strands first (§III-B).
+  [[nodiscard]] double peak_mc_ratio() const {
+    return peak_frac_cores > 0 ? core::mib_to_gib(peak_mem_mib) / peak_frac_cores : 0.0;
+  }
+};
+
+/// Compute trace statistics in one pass.
+[[nodiscard]] TraceStats analyze(const Trace& trace);
+
+/// The VM specs alive at the trace's (first) peak-population instant — the
+/// hardest static packing instance the trace contains.
+[[nodiscard]] std::vector<core::VmSpec> peak_snapshot(const Trace& trace);
+
+}  // namespace slackvm::workload

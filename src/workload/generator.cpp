@@ -1,0 +1,90 @@
+#include "workload/generator.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/error.hpp"
+
+namespace slackvm::workload {
+
+Generator::Generator(const Catalog& catalog, LevelMix mix, GeneratorConfig config)
+    : catalog_(catalog),
+      oversub_catalog_(catalog.truncated(kOversubMemCap)),
+      mix_(std::move(mix)),
+      config_(config) {
+  SLACKVM_ASSERT(mix_.valid());
+  SLACKVM_ASSERT(config_.target_population > 0);
+  SLACKVM_ASSERT(config_.horizon > 0 && config_.mean_lifetime > 0);
+  SLACKVM_ASSERT(config_.idle_share + config_.steady_share + config_.bursty_share <= 1.0);
+  SLACKVM_ASSERT(config_.diurnal_amplitude >= 0.0 && config_.diurnal_amplitude < 1.0);
+}
+
+core::VmSpec Generator::sample_spec(core::SplitMix64& rng) const {
+  core::VmSpec spec;
+  spec.level = mix_.sample(rng);
+  // Oversubscribed offers are capped at 8 GB (§III-A); premium VMs draw from
+  // the full catalog.
+  const Catalog& source = spec.level.oversubscribed() ? oversub_catalog_ : catalog_;
+  const Flavor& flavor = source.sample(rng);
+  spec.vcpus = flavor.vcpus;
+  spec.mem_mib = flavor.mem_mib;
+
+  const double u = rng.uniform();
+  if (u < config_.idle_share) {
+    spec.usage = core::UsageClass::kIdle;
+  } else if (u < config_.idle_share + config_.steady_share) {
+    spec.usage = core::UsageClass::kSteady;
+  } else if (u < config_.idle_share + config_.steady_share + config_.bursty_share) {
+    spec.usage = core::UsageClass::kBursty;
+  } else {
+    spec.usage = core::UsageClass::kInteractive;
+  }
+  return spec;
+}
+
+Trace Generator::generate() const {
+  core::SplitMix64 rng(config_.seed);
+  core::SplitMix64 spec_rng = rng.fork();
+
+  // Little's law: arrival rate lambda = N / E[lifetime] keeps the
+  // steady-state population at the target once the ramp-up completes. With
+  // a diurnal amplitude the rate is modulated around that mean via Lewis &
+  // Shedler thinning (candidates at the peak rate, accepted with
+  // probability lambda(t)/lambda_max).
+  const double lambda =
+      static_cast<double>(config_.target_population) / config_.mean_lifetime;
+  const double lambda_max = lambda * (1.0 + config_.diurnal_amplitude);
+
+  std::vector<core::VmInstance> vms;
+  std::uint64_t next_id = 1;
+  core::SimTime t = 0;
+  constexpr double kDay = 24.0 * 3600.0;
+  while (true) {
+    t += rng.exponential(1.0 / lambda_max);
+    if (t >= config_.horizon) {
+      break;
+    }
+    if (config_.diurnal_amplitude > 0.0) {
+      const double rate_now =
+          lambda * (1.0 + config_.diurnal_amplitude *
+                              std::sin(2.0 * std::numbers::pi * t / kDay));
+      if (rng.uniform() >= rate_now / lambda_max) {
+        continue;  // thinned-out candidate
+      }
+    }
+    core::VmInstance vm;
+    vm.id = core::VmId{next_id++};
+    vm.spec = sample_spec(spec_rng);
+    vm.arrival = t;
+    // Lifetimes are clipped to the horizon: the paper's experiment measures
+    // the week window, so VMs alive at the end simply depart at the horizon.
+    vm.departure = std::min(t + rng.exponential(config_.mean_lifetime), config_.horizon);
+    if (vm.departure <= vm.arrival) {
+      vm.departure = vm.arrival + 1.0;
+    }
+    vms.push_back(vm);
+  }
+  return Trace(std::move(vms));
+}
+
+}  // namespace slackvm::workload

@@ -1,0 +1,55 @@
+// CloudFactory-like workload generator (paper §VII).
+//
+// Generates a one-week IAAS trace as an M/G/inf-style birth-death process:
+// Poisson arrivals with rate chosen so the steady-state population matches
+// `target_population`, exponential lifetimes, VM sizes sampled from the
+// provider catalog (full catalog at 1:1, <= 8 GB truncation for
+// oversubscribed offers), level sampled from a LevelMix, and usage classes
+// matching the paper's physical-experiment mix (10% idle / 60% CPU-bound /
+// 30% interactive).
+#pragma once
+
+#include <cstdint>
+
+#include "workload/catalog.hpp"
+#include "workload/level_mix.hpp"
+#include "workload/trace.hpp"
+
+namespace slackvm::workload {
+
+/// Generator parameters; defaults mirror §VII-B1.
+struct GeneratorConfig {
+  std::size_t target_population = 500;       ///< steady-state concurrent VMs
+  core::SimTime horizon = 7.0 * 24 * 3600;   ///< one week in seconds
+  core::SimTime mean_lifetime = 2.0 * 24 * 3600;  ///< mean VM lifetime
+  double idle_share = 0.10;                  ///< §VII-A1 usage mix
+  double steady_share = 0.60;
+  double bursty_share = 0.0;
+  // remaining share -> interactive
+  /// Diurnal arrival modulation in [0, 1): the instantaneous arrival rate
+  /// is lambda * (1 + amplitude * sin(2*pi*t/day)). 0 = homogeneous
+  /// Poisson (the default protocol).
+  double diurnal_amplitude = 0.0;
+  std::uint64_t seed = 42;
+};
+
+class Generator {
+ public:
+  Generator(const Catalog& catalog, LevelMix mix, GeneratorConfig config = {});
+
+  /// Generate the full trace. Deterministic for a given (catalog, mix, seed).
+  [[nodiscard]] Trace generate() const;
+
+  [[nodiscard]] const GeneratorConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const LevelMix& mix() const noexcept { return mix_; }
+
+ private:
+  [[nodiscard]] core::VmSpec sample_spec(core::SplitMix64& rng) const;
+
+  const Catalog& catalog_;
+  Catalog oversub_catalog_;  ///< catalog truncated at kOversubMemCap
+  LevelMix mix_;
+  GeneratorConfig config_;
+};
+
+}  // namespace slackvm::workload

@@ -1,0 +1,76 @@
+#include "workload/level_mix.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace slackvm::workload {
+
+double LevelMix::share(core::OversubLevel level) const {
+  switch (level.ratio()) {
+    case 1:
+      return share_1to1;
+    case 2:
+      return share_2to1;
+    case 3:
+      return share_3to1;
+    default:
+      return 0.0;
+  }
+}
+
+core::OversubLevel LevelMix::sample(core::SplitMix64& rng) const {
+  const double u = rng.uniform();
+  if (u < share_1to1) {
+    return core::OversubLevel{1};
+  }
+  if (u < share_1to1 + share_2to1) {
+    return core::OversubLevel{2};
+  }
+  return core::OversubLevel{3};
+}
+
+bool LevelMix::valid() const {
+  if (share_1to1 < 0 || share_2to1 < 0 || share_3to1 < 0) {
+    return false;
+  }
+  return std::abs(share_1to1 + share_2to1 + share_3to1 - 1.0) < 1e-9;
+}
+
+LevelMix make_mix(double pct_1to1, double pct_2to1, double pct_3to1, std::string name) {
+  if (name.empty()) {
+    name = std::to_string(static_cast<int>(pct_1to1)) + "/" +
+           std::to_string(static_cast<int>(pct_2to1)) + "/" +
+           std::to_string(static_cast<int>(pct_3to1));
+  }
+  LevelMix mix{std::move(name), pct_1to1 / 100.0, pct_2to1 / 100.0, pct_3to1 / 100.0};
+  SLACKVM_ASSERT(mix.valid());
+  return mix;
+}
+
+const std::vector<LevelMix>& paper_distributions() {
+  static const std::vector<LevelMix> dists = [] {
+    std::vector<LevelMix> out;
+    char letter = 'A';
+    // Least oversubscribed first: descending share of 1:1, then of 2:1.
+    for (int s1 = 100; s1 >= 0; s1 -= 25) {
+      for (int s2 = 100 - s1; s2 >= 0; s2 -= 25) {
+        out.push_back(make_mix(s1, s2, 100 - s1 - s2, std::string(1, letter)));
+        ++letter;
+      }
+    }
+    SLACKVM_ASSERT(out.size() == 15);
+    return out;
+  }();
+  return dists;
+}
+
+const LevelMix& distribution(char letter) {
+  const auto& dists = paper_distributions();
+  if (letter < 'A' || letter >= static_cast<char>('A' + dists.size())) {
+    SLACKVM_THROW("distribution letter outside A..O");
+  }
+  return dists[static_cast<std::size_t>(letter - 'A')];
+}
+
+}  // namespace slackvm::workload

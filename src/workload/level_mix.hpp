@@ -1,0 +1,45 @@
+// Oversubscription-level distributions A..O (paper Fig. 3 / Fig. 4).
+//
+// The evaluation explores every mix of the three levels {1:1, 2:1, 3:1} in
+// steps of 25%. Enumerating (s1, s2) over {0,25,50,75,100} with s1+s2 <= 100
+// and s3 = 100-s1-s2, ordered from least to most oversubscribed, yields the
+// paper's 15 distributions: A=100/0/0 ... F=50/0/50 ... O=0/0/100 (A, B, D,
+// G, K carry no 3:1 VMs, matching the paper's remark about them).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/oversub.hpp"
+#include "core/rng.hpp"
+
+namespace slackvm::workload {
+
+/// Shares of VMs per oversubscription level; they sum to 1.
+struct LevelMix {
+  std::string name;     ///< "A".."O" for grid members, free-form otherwise
+  double share_1to1 = 0;
+  double share_2to1 = 0;
+  double share_3to1 = 0;
+
+  [[nodiscard]] double share(core::OversubLevel level) const;
+
+  /// Sample a level according to the shares.
+  [[nodiscard]] core::OversubLevel sample(core::SplitMix64& rng) const;
+
+  /// Validate shares (non-negative, sum to 1 within 1e-9).
+  [[nodiscard]] bool valid() const;
+};
+
+/// Build a mix from percentages (0..100); name defaults to "p1/p2/p3".
+[[nodiscard]] LevelMix make_mix(double pct_1to1, double pct_2to1, double pct_3to1,
+                                std::string name = "");
+
+/// The paper's 15 distributions A..O, in order.
+[[nodiscard]] const std::vector<LevelMix>& paper_distributions();
+
+/// Lookup by letter; throws when outside A..O.
+[[nodiscard]] const LevelMix& distribution(char letter);
+
+}  // namespace slackvm::workload

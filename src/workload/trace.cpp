@@ -1,0 +1,115 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace slackvm::workload {
+
+namespace {
+
+core::UsageClass usage_from_string(const std::string& s) {
+  if (s == "idle") {
+    return core::UsageClass::kIdle;
+  }
+  if (s == "steady") {
+    return core::UsageClass::kSteady;
+  }
+  if (s == "bursty") {
+    return core::UsageClass::kBursty;
+  }
+  if (s == "interactive") {
+    return core::UsageClass::kInteractive;
+  }
+  SLACKVM_THROW("unknown usage class: " + s);
+}
+
+}  // namespace
+
+Trace::Trace(std::vector<core::VmInstance> vms) : vms_(std::move(vms)) {
+  for (const core::VmInstance& vm : vms_) {
+    SLACKVM_ASSERT(vm.departure > vm.arrival);
+  }
+  std::ranges::sort(vms_, {}, [](const core::VmInstance& vm) { return vm.arrival; });
+}
+
+core::SimTime Trace::horizon() const {
+  core::SimTime latest = 0;
+  for (const core::VmInstance& vm : vms_) {
+    latest = std::max(latest, vm.departure);
+  }
+  return latest;
+}
+
+std::size_t Trace::peak_population() const {
+  // Sweep over +1/-1 deltas ordered by time; departures before arrivals at
+  // equal timestamps (a slot freed at t is available at t).
+  std::map<core::SimTime, long> delta;
+  for (const core::VmInstance& vm : vms_) {
+    delta[vm.arrival] += 1;
+    delta[vm.departure] -= 1;
+  }
+  long current = 0;
+  long peak = 0;
+  for (const auto& [time, d] : delta) {
+    current += d;
+    peak = std::max(peak, current);
+  }
+  return static_cast<std::size_t>(peak);
+}
+
+Trace Trace::filter_level(core::OversubLevel level) const {
+  std::vector<core::VmInstance> filtered;
+  for (const core::VmInstance& vm : vms_) {
+    if (vm.spec.level == level) {
+      filtered.push_back(vm);
+    }
+  }
+  return Trace(std::move(filtered));
+}
+
+void Trace::write_csv(std::ostream& os) const {
+  os << "id,vcpus,mem_mib,level,usage,arrival,departure\n";
+  for (const core::VmInstance& vm : vms_) {
+    os << vm.id.value << ',' << vm.spec.vcpus << ',' << vm.spec.mem_mib << ','
+       << static_cast<int>(vm.spec.level.ratio()) << ',' << core::to_string(vm.spec.usage)
+       << ',' << vm.arrival << ',' << vm.departure << '\n';
+  }
+}
+
+Trace Trace::read_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    SLACKVM_THROW("Trace::read_csv: empty input");
+  }
+  std::vector<core::VmInstance> vms;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string field;
+    core::VmInstance vm;
+    auto next = [&]() -> std::string {
+      if (!std::getline(fields, field, ',')) {
+        SLACKVM_THROW("Trace::read_csv: truncated row: " + line);
+      }
+      return field;
+    };
+    vm.id.value = std::stoull(next());
+    vm.spec.vcpus = static_cast<core::VcpuCount>(std::stoul(next()));
+    vm.spec.mem_mib = std::stoll(next());
+    vm.spec.level = core::OversubLevel{static_cast<std::uint8_t>(std::stoul(next()))};
+    vm.spec.usage = usage_from_string(next());
+    vm.arrival = std::stod(next());
+    vm.departure = std::stod(next());
+    vms.push_back(vm);
+  }
+  return Trace(std::move(vms));
+}
+
+}  // namespace slackvm::workload

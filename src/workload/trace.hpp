@@ -1,0 +1,41 @@
+// VM lifecycle traces: the "workload" fed to both evaluation platforms.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/vm.hpp"
+
+namespace slackvm::workload {
+
+/// A workload trace: VM instances with arrival/departure times, sorted by
+/// arrival. Events are derived on demand by the simulator.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<core::VmInstance> vms);
+
+  [[nodiscard]] const std::vector<core::VmInstance>& vms() const noexcept { return vms_; }
+  [[nodiscard]] std::size_t size() const noexcept { return vms_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return vms_.empty(); }
+
+  /// Horizon: the latest departure time (0 for an empty trace).
+  [[nodiscard]] core::SimTime horizon() const;
+
+  /// Peak number of concurrently alive VMs.
+  [[nodiscard]] std::size_t peak_population() const;
+
+  /// Restrict to VMs at one oversubscription level (dedicated-cluster
+  /// baseline input).
+  [[nodiscard]] Trace filter_level(core::OversubLevel level) const;
+
+  /// CSV round-trip: header "id,vcpus,mem_mib,level,usage,arrival,departure".
+  void write_csv(std::ostream& os) const;
+  [[nodiscard]] static Trace read_csv(std::istream& is);
+
+ private:
+  std::vector<core::VmInstance> vms_;
+};
+
+}  // namespace slackvm::workload

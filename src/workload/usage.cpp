@@ -1,0 +1,46 @@
+#include "workload/usage.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace slackvm::workload {
+
+UsageSignal::UsageSignal(core::VmId vm, core::UsageClass usage) : usage_(usage) {
+  core::SplitMix64 rng(vm.value ^ 0xa5a5a5a5a5a5a5a5ULL);
+  switch (usage) {
+    case core::UsageClass::kIdle:
+      base_ = rng.uniform(0.01, 0.04);
+      swing_ = 0.0;
+      period_ = 3600.0;
+      break;
+    case core::UsageClass::kSteady:
+      // stress-ng style: high, roughly constant demand.
+      base_ = rng.uniform(0.55, 0.80);
+      swing_ = rng.uniform(0.0, 0.05);
+      period_ = rng.uniform(1800.0, 7200.0);
+      break;
+    case core::UsageClass::kBursty:
+      base_ = rng.uniform(0.25, 0.45);
+      swing_ = rng.uniform(0.30, 0.50);
+      period_ = rng.uniform(600.0, 3600.0);
+      break;
+    case core::UsageClass::kInteractive:
+      // request-driven with a diurnal swing.
+      base_ = rng.uniform(0.25, 0.45);
+      swing_ = rng.uniform(0.15, 0.30);
+      period_ = 24.0 * 3600.0;
+      break;
+  }
+  phase_ = rng.uniform(0.0, 2.0 * std::numbers::pi);
+}
+
+double UsageSignal::at(core::SimTime t) const {
+  const double value =
+      base_ + swing_ * std::sin(2.0 * std::numbers::pi * t / period_ + phase_);
+  return std::clamp(value, 0.0, 1.0);
+}
+
+double UsageSignal::mean() const { return base_; }
+
+}  // namespace slackvm::workload

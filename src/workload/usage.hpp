@@ -1,0 +1,40 @@
+// Per-VM CPU usage signals.
+//
+// CloudFactory pairs every generated VM with a CPU usage pattern; the
+// physical experiment translates those into application loads (§VII-A1).
+// Here the same role is played by deterministic usage functions u(t) in
+// [0, 1] per vCPU, consumed by the perf:: QoS model and by utilization
+// reports.
+#pragma once
+
+#include "core/rng.hpp"
+#include "core/units.hpp"
+#include "core/vm.hpp"
+
+namespace slackvm::workload {
+
+/// Deterministic usage signal for one VM. Two VMs with the same class get
+/// decorrelated signals through their per-VM phase/level parameters.
+class UsageSignal {
+ public:
+  /// Derive a signal for `vm` of class `usage`; randomness comes from the
+  /// VM id so signals are stable across runs.
+  UsageSignal(core::VmId vm, core::UsageClass usage);
+
+  /// CPU demand per vCPU in [0, 1] at absolute time t (seconds).
+  [[nodiscard]] double at(core::SimTime t) const;
+
+  [[nodiscard]] core::UsageClass usage_class() const noexcept { return usage_; }
+
+  /// Long-run average demand of the signal.
+  [[nodiscard]] double mean() const;
+
+ private:
+  core::UsageClass usage_;
+  double base_ = 0.0;    ///< baseline demand
+  double swing_ = 0.0;   ///< amplitude of the periodic component
+  double period_ = 0.0;  ///< seconds
+  double phase_ = 0.0;   ///< radians
+};
+
+}  // namespace slackvm::workload

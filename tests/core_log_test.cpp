@@ -1,0 +1,79 @@
+#include "core/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace slackvm::core {
+namespace {
+
+/// Captures std::clog for the duration of a test.
+class ClogCapture {
+ public:
+  ClogCapture() : old_(std::clog.rdbuf(buffer_.rdbuf())) {}
+  ~ClogCapture() { std::clog.rdbuf(old_); }
+  [[nodiscard]] std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+/// Restores the global log level after each test.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+
+ private:
+  LogLevel previous_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, DefaultThresholdSuppressesInfo) {
+  set_log_level(LogLevel::kWarn);
+  ClogCapture capture;
+  SLACKVM_LOG(kInfo) << "hidden";
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST_F(LogTest, ErrorsAlwaysEmit) {
+  set_log_level(LogLevel::kError);
+  ClogCapture capture;
+  SLACKVM_LOG(kError) << "boom " << 42;
+  EXPECT_NE(capture.text().find("boom 42"), std::string::npos);
+  EXPECT_NE(capture.text().find("ERROR"), std::string::npos);
+}
+
+TEST_F(LogTest, RaisingLevelEnablesDebug) {
+  set_log_level(LogLevel::kDebug);
+  ClogCapture capture;
+  SLACKVM_LOG(kDebug) << "verbose";
+  EXPECT_NE(capture.text().find("verbose"), std::string::npos);
+  EXPECT_NE(capture.text().find("DEBUG"), std::string::npos);
+}
+
+TEST_F(LogTest, MessagesCarryTagAndNewline) {
+  set_log_level(LogLevel::kInfo);
+  ClogCapture capture;
+  SLACKVM_LOG(kInfo) << "first";
+  SLACKVM_LOG(kInfo) << "second";
+  const std::string text = capture.text();
+  EXPECT_NE(text.find("[slackvm INFO ] first\n"), std::string::npos);
+  EXPECT_NE(text.find("[slackvm INFO ] second\n"), std::string::npos);
+}
+
+TEST_F(LogTest, SuppressedStatementDoesNotEvaluateStream) {
+  set_log_level(LogLevel::kError);
+  ClogCapture capture;
+  int evaluations = 0;
+  const auto expensive = [&evaluations]() {
+    ++evaluations;
+    return "costly";
+  };
+  SLACKVM_LOG(kDebug) << expensive();
+  EXPECT_EQ(evaluations, 0);  // the macro short-circuits below the threshold
+  EXPECT_TRUE(capture.text().empty());
+}
+
+}  // namespace
+}  // namespace slackvm::core

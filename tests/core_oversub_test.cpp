@@ -1,0 +1,78 @@
+#include "core/oversub.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace slackvm::core {
+namespace {
+
+TEST(OversubLevel, DefaultIsPremium) {
+  const OversubLevel level;
+  EXPECT_EQ(level.ratio(), 1);
+  EXPECT_FALSE(level.oversubscribed());
+}
+
+TEST(OversubLevel, RatioRangeEnforced) {
+  EXPECT_THROW(OversubLevel{0}, SlackError);
+  EXPECT_THROW(OversubLevel{17}, SlackError);
+  EXPECT_NO_THROW(OversubLevel{1});
+  EXPECT_NO_THROW(OversubLevel{16});
+}
+
+TEST(OversubLevel, CoresForCeilRounds) {
+  const OversubLevel two{2};
+  EXPECT_EQ(two.cores_for(0), 0U);
+  EXPECT_EQ(two.cores_for(1), 1U);
+  EXPECT_EQ(two.cores_for(2), 1U);
+  EXPECT_EQ(two.cores_for(3), 2U);
+  const OversubLevel three{3};
+  EXPECT_EQ(three.cores_for(7), 3U);
+  EXPECT_EQ(three.cores_for(9), 3U);
+}
+
+TEST(OversubLevel, VcpusForScalesLinearly) {
+  // A 32-core PM exposes 32 / 64 / 96 vCPUs at 1:1 / 2:1 / 3:1.
+  EXPECT_EQ(OversubLevel{1}.vcpus_for(32), 32U);
+  EXPECT_EQ(OversubLevel{2}.vcpus_for(32), 64U);
+  EXPECT_EQ(OversubLevel{3}.vcpus_for(32), 96U);
+}
+
+TEST(OversubLevel, StricterMeansLowerRatio) {
+  const OversubLevel premium{1};
+  const OversubLevel two{2};
+  const OversubLevel three{3};
+  EXPECT_TRUE(premium.stricter_than(two));
+  EXPECT_TRUE(two.stricter_than(three));
+  EXPECT_FALSE(three.stricter_than(two));
+  EXPECT_FALSE(two.stricter_than(two));
+}
+
+TEST(OversubLevel, OrderingFollowsRatio) {
+  EXPECT_LT(OversubLevel{1}, OversubLevel{2});
+  EXPECT_GT(OversubLevel{3}, OversubLevel{2});
+  EXPECT_EQ(OversubLevel{2}, OversubLevel{2});
+}
+
+TEST(OversubLevel, ToStringFormat) {
+  EXPECT_EQ(to_string(OversubLevel{1}), "1:1");
+  EXPECT_EQ(to_string(OversubLevel{3}), "3:1");
+}
+
+// Property over all supported ratios: cores_for/vcpus_for are adjoint —
+// vcpus fit in the cores they require, and removing a core breaks it.
+class OversubAllRatios : public ::testing::TestWithParam<int> {};
+
+TEST_P(OversubAllRatios, CoresForIsMinimal) {
+  const OversubLevel level{static_cast<std::uint8_t>(GetParam())};
+  for (VcpuCount vcpus = 1; vcpus <= 100; ++vcpus) {
+    const CoreCount cores = level.cores_for(vcpus);
+    EXPECT_GE(level.vcpus_for(cores), vcpus);
+    EXPECT_LT(level.vcpus_for(cores - 1), vcpus);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRatios, OversubAllRatios, ::testing::Range(1, 17));
+
+}  // namespace
+}  // namespace slackvm::core

@@ -1,0 +1,88 @@
+#include "core/peak_prediction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace slackvm::core {
+namespace {
+
+const std::vector<double> kRamp{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+const std::vector<double> kFlat{0.25, 0.25, 0.25, 0.25};
+
+TEST(MaxPredictorTest, ReturnsWindowMaximum) {
+  const MaxPredictor p;
+  EXPECT_DOUBLE_EQ(p.predict(kRamp), 1.0);
+  EXPECT_DOUBLE_EQ(p.predict(kFlat), 0.25);
+}
+
+TEST(MaxPredictorTest, EmptyWindowFailsSafe) {
+  const MaxPredictor p;
+  EXPECT_DOUBLE_EQ(p.predict({}), 1.0);
+}
+
+TEST(PercentilePredictorTest, TracksRequestedQuantile) {
+  const PercentilePredictor p90(90.0);
+  EXPECT_NEAR(p90.predict(kRamp), 0.91, 1e-9);
+  const PercentilePredictor p50(50.0);
+  EXPECT_NEAR(p50.predict(kRamp), 0.55, 1e-9);
+}
+
+TEST(PercentilePredictorTest, BelowMaxForSkewedWindows) {
+  // A p95 predictor discounts a single outlier, the max predictor does not.
+  std::vector<double> window(100, 0.2);
+  window.back() = 1.0;
+  const PercentilePredictor p95(95.0);
+  const MaxPredictor max;
+  EXPECT_LT(p95.predict(window), max.predict(window));
+}
+
+TEST(PercentilePredictorTest, InvalidQuantileRejected) {
+  EXPECT_THROW(PercentilePredictor{0.0}, SlackError);
+  EXPECT_THROW(PercentilePredictor{101.0}, SlackError);
+}
+
+TEST(MeanStdDevPredictorTest, FlatSignalPredictsMean) {
+  const MeanStdDevPredictor p(3.0);
+  EXPECT_DOUBLE_EQ(p.predict(kFlat), 0.25);
+}
+
+TEST(MeanStdDevPredictorTest, VariabilityRaisesPrediction) {
+  const MeanStdDevPredictor p(2.0);
+  const std::vector<double> noisy{0.1, 0.4, 0.1, 0.4, 0.1, 0.4};
+  EXPECT_GT(p.predict(noisy), 0.25);  // mean 0.25 + 2 sd
+}
+
+TEST(MeanStdDevPredictorTest, ClampedToUnitInterval) {
+  const MeanStdDevPredictor p(10.0);
+  const std::vector<double> wild{0.0, 1.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(p.predict(wild), 1.0);
+}
+
+TEST(PredictorNames, AreDescriptive) {
+  EXPECT_EQ(MaxPredictor{}.name(), "max");
+  EXPECT_EQ(PercentilePredictor{95.0}.name(), "p95");
+  EXPECT_EQ(MeanStdDevPredictor{3.0}.name(), "mean+3sd");
+}
+
+TEST(SafeRatio, InverseOfPeak) {
+  EXPECT_EQ(safe_ratio_for_peak(1.0, 4), 1);
+  EXPECT_EQ(safe_ratio_for_peak(0.5, 4), 2);
+  EXPECT_EQ(safe_ratio_for_peak(0.34, 4), 2);  // floor(1/0.34) = 2
+  EXPECT_EQ(safe_ratio_for_peak(0.33, 4), 3);
+  EXPECT_EQ(safe_ratio_for_peak(0.25, 4), 4);
+}
+
+TEST(SafeRatio, ClampedToContract) {
+  EXPECT_EQ(safe_ratio_for_peak(0.05, 3), 3);  // 20:1 would be safe but contract is 3
+  EXPECT_EQ(safe_ratio_for_peak(0.0, 5), 5);   // idle pool -> contract maximum
+}
+
+TEST(SafeRatio, HighPeakForcesPremium) {
+  EXPECT_EQ(safe_ratio_for_peak(0.95, 8), 1);
+}
+
+}  // namespace
+}  // namespace slackvm::core

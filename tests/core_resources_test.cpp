@@ -1,0 +1,86 @@
+#include "core/resources.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+
+namespace slackvm::core {
+namespace {
+
+TEST(Resources, DefaultIsEmpty) {
+  const Resources r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.cores, 0U);
+  EXPECT_EQ(r.mem_mib, 0);
+}
+
+TEST(Resources, AdditionIsComponentWise) {
+  const Resources a{4, gib(16)};
+  const Resources b{2, gib(8)};
+  const Resources sum = a + b;
+  EXPECT_EQ(sum.cores, 6U);
+  EXPECT_EQ(sum.mem_mib, gib(24));
+}
+
+TEST(Resources, SubtractionIsComponentWise) {
+  const Resources a{4, gib(16)};
+  const Resources b{1, gib(4)};
+  const Resources diff = a - b;
+  EXPECT_EQ(diff.cores, 3U);
+  EXPECT_EQ(diff.mem_mib, gib(12));
+}
+
+TEST(Resources, SubtractionUnderflowThrows) {
+  const Resources a{1, gib(1)};
+  const Resources b{2, gib(1)};
+  EXPECT_THROW(a - b, SlackError);
+  const Resources c{2, gib(2)};
+  EXPECT_THROW(a - c, SlackError);
+}
+
+TEST(Resources, FitsWithinRequiresBothDimensions) {
+  const Resources pm{32, gib(128)};
+  EXPECT_TRUE((Resources{32, gib(128)}.fits_within(pm)));
+  EXPECT_TRUE((Resources{1, gib(1)}.fits_within(pm)));
+  EXPECT_FALSE((Resources{33, gib(1)}.fits_within(pm)));
+  EXPECT_FALSE((Resources{1, gib(129)}.fits_within(pm)));
+}
+
+TEST(Resources, McRatioMatchesHardware) {
+  // Table III: 256 threads, 1 TB -> 4 GiB per thread.
+  EXPECT_DOUBLE_EQ(mc_ratio_gib_per_core(Resources{256, gib(1024)}), 4.0);
+  // Simulator worker (§VII-B1): 32 cores, 128 GiB -> 4.
+  EXPECT_DOUBLE_EQ(mc_ratio_gib_per_core(Resources{32, gib(128)}), 4.0);
+  EXPECT_DOUBLE_EQ(mc_ratio_gib_per_core(Resources{64, gib(256)}), 4.0);
+  EXPECT_DOUBLE_EQ(mc_ratio_gib_per_core(Resources{10, gib(5)}), 0.5);
+}
+
+TEST(Resources, McRatioZeroCoresThrows) {
+  EXPECT_THROW((void)mc_ratio_gib_per_core(Resources{0, gib(8)}), SlackError);
+}
+
+TEST(Resources, StreamFormat) {
+  std::ostringstream os;
+  os << Resources{16, gib(64)};
+  EXPECT_EQ(os.str(), "16c/64GiB");
+}
+
+TEST(Resources, EqualityComparesBothFields) {
+  EXPECT_EQ((Resources{2, 100}), (Resources{2, 100}));
+  EXPECT_NE((Resources{2, 100}), (Resources{3, 100}));
+  EXPECT_NE((Resources{2, 100}), (Resources{2, 101}));
+}
+
+TEST(Resources, PlusEqualsAccumulates) {
+  Resources acc;
+  for (int i = 0; i < 5; ++i) {
+    acc += Resources{1, gib(2)};
+  }
+  EXPECT_EQ(acc, (Resources{5, gib(10)}));
+}
+
+}  // namespace
+}  // namespace slackvm::core

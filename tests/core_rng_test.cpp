@@ -1,0 +1,133 @@
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace slackvm::core {
+namespace {
+
+TEST(SplitMix64, DeterministicForSameSeed) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a(), b());
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference value of SplitMix64 seeded with 0 (Steele et al.).
+  SplitMix64 rng(0);
+  EXPECT_EQ(rng(), 0xe220a8397b1dcdafULL);
+}
+
+TEST(SplitMix64, UniformInUnitInterval) {
+  SplitMix64 rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(SplitMix64, UniformRangeRespectsBounds) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(3.0, 5.0);
+    ASSERT_GE(u, 3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(SplitMix64, BelowStaysInRange) {
+  SplitMix64 rng(11);
+  std::array<int, 5> counts{};
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.below(5);
+    ASSERT_LT(v, 5U);
+    ++counts[v];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 800);  // roughly uniform
+  }
+}
+
+TEST(SplitMix64, ExponentialMeanConverges) {
+  SplitMix64 rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(10.0);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.3);
+}
+
+TEST(SplitMix64, ForkIsIndependent) {
+  SplitMix64 parent(5);
+  SplitMix64 child = parent.fork();
+  // Child stream differs from the continued parent stream.
+  EXPECT_NE(parent(), child());
+}
+
+TEST(SplitMix64, WeightedIndexFollowsWeights) {
+  SplitMix64 rng(17);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 8000; ++i) {
+    ++counts[rng.weighted_index(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(DiscreteSampler, ProbabilitiesNormalized) {
+  const std::vector<double> weights{2.0, 6.0, 2.0};
+  const DiscreteSampler sampler{std::span<const double>(weights)};
+  EXPECT_DOUBLE_EQ(sampler.probability(0), 0.2);
+  EXPECT_DOUBLE_EQ(sampler.probability(1), 0.6);
+  EXPECT_NEAR(sampler.probability(2), 0.2, 1e-12);
+}
+
+TEST(DiscreteSampler, SampleDistributionMatches) {
+  const std::vector<double> weights{1.0, 1.0, 2.0};
+  const DiscreteSampler sampler{std::span<const double>(weights)};
+  SplitMix64 rng(23);
+  std::array<int, 3> counts{};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[sampler.sample(rng)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.50, 0.02);
+}
+
+TEST(DiscreteSampler, RejectsAllZeroWeights) {
+  const std::vector<double> weights{0.0, 0.0};
+  EXPECT_THROW(DiscreteSampler{std::span<const double>(weights)}, SlackError);
+}
+
+TEST(DiscreteSampler, SingleWeightAlwaysSampled) {
+  const std::vector<double> weights{3.5};
+  const DiscreteSampler sampler{std::span<const double>(weights)};
+  SplitMix64 rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sampler.sample(rng), 0U);
+  }
+}
+
+}  // namespace
+}  // namespace slackvm::core

@@ -1,0 +1,122 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace slackvm::core {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), 8U);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571428571, 1e-9);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+}
+
+TEST(TimeWeightedMean, ConstantSignal) {
+  TimeWeightedMean twm;
+  twm.record(0.0, 0.5);
+  twm.record(10.0, 0.5);
+  EXPECT_DOUBLE_EQ(twm.finish(20.0), 0.5);
+}
+
+TEST(TimeWeightedMean, StepSignalWeightsByDuration) {
+  TimeWeightedMean twm;
+  twm.record(0.0, 0.0);   // 0 for 10s
+  twm.record(10.0, 1.0);  // 1 for 30s
+  EXPECT_DOUBLE_EQ(twm.finish(40.0), 0.75);
+}
+
+TEST(TimeWeightedMean, LateStartIgnoresPrefix) {
+  TimeWeightedMean twm;
+  twm.record(100.0, 2.0);
+  EXPECT_DOUBLE_EQ(twm.finish(200.0), 2.0);
+}
+
+TEST(TimeWeightedMean, EmptyFinishesToZero) {
+  const TimeWeightedMean twm;
+  EXPECT_DOUBLE_EQ(twm.finish(100.0), 0.0);
+}
+
+TEST(TimeWeightedMean, NonMonotonicTimeThrows) {
+  TimeWeightedMean twm;
+  twm.record(10.0, 1.0);
+  EXPECT_THROW(twm.record(5.0, 1.0), SlackError);
+}
+
+TEST(Percentile, MedianOfOddSet) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 1.75);
+}
+
+TEST(Percentile, P90OfTenSamples) {
+  std::vector<double> v;
+  for (int i = 1; i <= 10; ++i) {
+    v.push_back(i);
+  }
+  EXPECT_NEAR(percentile(v, 90.0), 9.1, 1e-9);
+}
+
+TEST(Percentile, SingleSample) {
+  const std::vector<double> v{7.5};
+  EXPECT_DOUBLE_EQ(percentile(v, 90.0), 7.5);
+}
+
+TEST(Percentile, EmptyThrows) {
+  const std::vector<double> v;
+  EXPECT_THROW((void)percentile(v, 50.0), SlackError);
+}
+
+TEST(Mean, BasicAndEmpty) {
+  const std::vector<double> v{1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(v), 3.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(HistogramTest, BinsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.99);  // bin 4
+  h.add(15.0);  // overflow
+  h.add(-1.0);  // clamped into bin 0
+  EXPECT_EQ(h.total(), 5U);
+  EXPECT_EQ(h.count(0), 2U);
+  EXPECT_EQ(h.count(1), 1U);
+  EXPECT_EQ(h.count(4), 1U);
+  EXPECT_EQ(h.count(5), 1U);  // overflow bucket
+}
+
+TEST(HistogramTest, BinBounds) {
+  Histogram h(2.0, 12.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(4), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(4), 12.0);
+}
+
+}  // namespace
+}  // namespace slackvm::core

@@ -1,0 +1,50 @@
+#include "core/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slackvm::core {
+namespace {
+
+TEST(Units, GibConvertsToMib) {
+  EXPECT_EQ(gib(0), 0);
+  EXPECT_EQ(gib(1), 1024);
+  EXPECT_EQ(gib(128), 131072);
+  EXPECT_EQ(gib(1024), 1048576);  // 1 TiB
+}
+
+TEST(Units, MibToGibRoundTrips) {
+  EXPECT_DOUBLE_EQ(mib_to_gib(gib(4)), 4.0);
+  EXPECT_DOUBLE_EQ(mib_to_gib(512), 0.5);
+  EXPECT_DOUBLE_EQ(mib_to_gib(0), 0.0);
+}
+
+TEST(Units, CeilDivExactDivision) {
+  EXPECT_EQ(ceil_div(8U, 2U), 4U);
+  EXPECT_EQ(ceil_div(9U, 3U), 3U);
+}
+
+TEST(Units, CeilDivRoundsUp) {
+  EXPECT_EQ(ceil_div(1U, 2U), 1U);
+  EXPECT_EQ(ceil_div(7U, 3U), 3U);
+  EXPECT_EQ(ceil_div(10U, 3U), 4U);
+}
+
+TEST(Units, CeilDivZeroNumerator) { EXPECT_EQ(ceil_div(0U, 4U), 0U); }
+
+TEST(Units, CeilDivZeroDenominatorIsZero) { EXPECT_EQ(ceil_div(5U, 0U), 0U); }
+
+// Property: ceil_div(n, d) is the least k with k*d >= n.
+TEST(Units, CeilDivIsLeastUpperMultiple) {
+  for (unsigned n = 0; n <= 50; ++n) {
+    for (unsigned d = 1; d <= 7; ++d) {
+      const unsigned k = ceil_div(n, d);
+      EXPECT_GE(k * d, n) << n << "/" << d;
+      if (k > 0) {
+        EXPECT_LT((k - 1) * d, n) << n << "/" << d;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slackvm::core

@@ -1,0 +1,78 @@
+#include "core/vm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace slackvm::core {
+namespace {
+
+TEST(VmSpec, PhysicalCoresApplyOversubscription) {
+  VmSpec spec;
+  spec.vcpus = 4;
+  spec.mem_mib = gib(8);
+  spec.level = OversubLevel{1};
+  EXPECT_EQ(spec.physical_cores(), 4U);
+  spec.level = OversubLevel{2};
+  EXPECT_EQ(spec.physical_cores(), 2U);
+  spec.level = OversubLevel{3};
+  EXPECT_EQ(spec.physical_cores(), 2U);  // ceil(4/3)
+}
+
+TEST(VmSpec, FootprintCombinesCoresAndMemory) {
+  VmSpec spec;
+  spec.vcpus = 2;
+  spec.mem_mib = gib(8);
+  spec.level = OversubLevel{2};
+  EXPECT_EQ(spec.footprint(), (Resources{1, gib(8)}));
+}
+
+TEST(VmSpec, MemPerVcpuRatio) {
+  VmSpec spec;
+  spec.vcpus = 2;
+  spec.mem_mib = gib(8);
+  EXPECT_DOUBLE_EQ(spec.mem_per_vcpu_gib(), 4.0);
+}
+
+TEST(VmSpec, StreamFormatIncludesLevelAndUsage) {
+  VmSpec spec;
+  spec.vcpus = 2;
+  spec.mem_mib = gib(4);
+  spec.level = OversubLevel{3};
+  spec.usage = UsageClass::kInteractive;
+  std::ostringstream os;
+  os << spec;
+  EXPECT_EQ(os.str(), "2vCPU/4GiB@3:1/interactive");
+}
+
+TEST(VmId, OrderingAndEquality) {
+  EXPECT_LT(VmId{1}, VmId{2});
+  EXPECT_EQ(VmId{7}, VmId{7});
+  EXPECT_NE(VmId{7}, VmId{8});
+}
+
+TEST(VmId, HashableInUnorderedContainers) {
+  std::unordered_set<VmId> ids;
+  ids.insert(VmId{1});
+  ids.insert(VmId{2});
+  ids.insert(VmId{1});
+  EXPECT_EQ(ids.size(), 2U);
+}
+
+TEST(VmInstance, LifetimeIsDepartureMinusArrival) {
+  VmInstance vm;
+  vm.arrival = 100.0;
+  vm.departure = 350.0;
+  EXPECT_DOUBLE_EQ(vm.lifetime(), 250.0);
+}
+
+TEST(UsageClass, AllNamesRoundTrip) {
+  EXPECT_EQ(to_string(UsageClass::kIdle), "idle");
+  EXPECT_EQ(to_string(UsageClass::kSteady), "steady");
+  EXPECT_EQ(to_string(UsageClass::kBursty), "bursty");
+  EXPECT_EQ(to_string(UsageClass::kInteractive), "interactive");
+}
+
+}  // namespace
+}  // namespace slackvm::core

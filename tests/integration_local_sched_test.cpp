@@ -1,0 +1,119 @@
+// Cross-checks between the global scheduler's fast HostState accounting and
+// the real local scheduler (VNodeManager) on identical hardware: the
+// simulator's capacity filter must agree with what the PM would actually do.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "local/vnode_manager.hpp"
+#include "sched/host_state.hpp"
+#include "topology/builders.hpp"
+
+namespace slackvm {
+namespace {
+
+using core::gib;
+using core::OversubLevel;
+using core::VmId;
+using core::VmSpec;
+
+VmSpec random_spec(core::SplitMix64& rng) {
+  VmSpec s;
+  s.vcpus = static_cast<core::VcpuCount>(1 + rng.below(8));
+  s.mem_mib = gib(static_cast<std::int64_t>(1 + rng.below(16)));
+  s.level = OversubLevel{static_cast<std::uint8_t>(1 + rng.below(3))};
+  return s;
+}
+
+class Equivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: on the same machine, HostState and VNodeManager agree on
+// admission, core allocation, and memory commitment through arbitrary
+// deploy/remove sequences (without pooling, which HostState does not model).
+TEST_P(Equivalence, HostStateMatchesVNodeManager) {
+  const topo::CpuTopology machine = topo::make_flat(32, gib(128));
+  local::VNodeManager manager(machine, local::PoolingPolicy::kNone);
+  sched::HostState host(0, machine.config());
+
+  core::SplitMix64 rng(GetParam());
+  std::vector<std::pair<VmId, VmSpec>> alive;
+  std::uint64_t next_id = 1;
+
+  for (int step = 0; step < 300; ++step) {
+    if (alive.empty() || rng.uniform() < 0.6) {
+      const VmSpec spec = random_spec(rng);
+      const VmId id{next_id++};
+      const bool host_admits = host.can_host(spec);
+      const bool manager_admits = manager.can_host(spec);
+      EXPECT_EQ(host_admits, manager_admits)
+          << "step " << step << " spec " << spec.vcpus << "v/" << spec.mem_mib << "@"
+          << int(spec.level.ratio());
+      if (host_admits && manager_admits) {
+        host.add(id, spec);
+        ASSERT_TRUE(manager.deploy(id, spec).has_value());
+        alive.emplace_back(id, spec);
+      }
+    } else {
+      const std::size_t pick = rng.below(alive.size());
+      host.remove(alive[pick].first);
+      manager.remove(alive[pick].first);
+      alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    EXPECT_EQ(host.alloc(), manager.alloc()) << "step " << step;
+    manager.check_invariants();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Equivalence,
+                         ::testing::Values(1, 7, 13, 42, 99, 1234));
+
+TEST(EquivalenceEdge, RoundingSlackAgreesAtBoundary) {
+  // 2-core machine: a 3-vCPU 2:1 VM occupies both cores; one more 2:1 vCPU
+  // fits the rounding slack on both models, a 1:1 vCPU fits on neither.
+  const topo::CpuTopology machine = topo::make_flat(2, gib(64));
+  local::VNodeManager manager(machine);
+  sched::HostState host(0, machine.config());
+
+  VmSpec big;
+  big.vcpus = 3;
+  big.mem_mib = gib(1);
+  big.level = OversubLevel{2};
+  host.add(VmId{1}, big);
+  ASSERT_TRUE(manager.deploy(VmId{1}, big));
+
+  VmSpec slack_fit = big;
+  slack_fit.vcpus = 1;
+  EXPECT_TRUE(host.can_host(slack_fit));
+  EXPECT_TRUE(manager.can_host(slack_fit));
+
+  VmSpec premium = slack_fit;
+  premium.level = OversubLevel{1};
+  EXPECT_FALSE(host.can_host(premium));
+  EXPECT_FALSE(manager.can_host(premium));
+}
+
+TEST(EquivalenceEdge, PoolingAdmitsMoreThanHostState) {
+  // With pooling enabled the local scheduler may accept VMs the flat
+  // accounting rejects — the documented fidelity gap (DESIGN.md §5).
+  const topo::CpuTopology machine = topo::make_flat(2, gib(64));
+  local::VNodeManager manager(machine, local::PoolingPolicy::kUpgrade);
+  sched::HostState host(0, machine.config());
+
+  VmSpec two_to_one;
+  two_to_one.vcpus = 3;
+  two_to_one.mem_mib = gib(1);
+  two_to_one.level = OversubLevel{2};
+  host.add(VmId{1}, two_to_one);
+  ASSERT_TRUE(manager.deploy(VmId{1}, two_to_one));
+
+  VmSpec three_to_one;
+  three_to_one.vcpus = 1;
+  three_to_one.mem_mib = gib(1);
+  three_to_one.level = OversubLevel{3};
+  EXPECT_FALSE(host.can_host(three_to_one));  // would need a new core
+  EXPECT_TRUE(manager.can_host(three_to_one));  // pools into the 2:1 node
+}
+
+}  // namespace
+}  // namespace slackvm

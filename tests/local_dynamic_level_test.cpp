@@ -1,0 +1,170 @@
+#include "local/dynamic_level.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "topology/builders.hpp"
+
+namespace slackvm::local {
+namespace {
+
+using core::OversubLevel;
+using core::VmId;
+using core::VmSpec;
+
+VmSpec spec(core::VcpuCount vcpus, core::MemMib mem, std::uint8_t ratio) {
+  VmSpec s;
+  s.vcpus = vcpus;
+  s.mem_mib = mem;
+  s.level = OversubLevel{ratio};
+  return s;
+}
+
+TEST(VNodeEffectiveLevel, DefaultsToContract) {
+  VNode node(0, OversubLevel{3}, 8);
+  EXPECT_EQ(node.effective_level(), OversubLevel{3});
+}
+
+TEST(VNodeEffectiveLevel, TighteningGrowsRequiredCores) {
+  VNode node(0, OversubLevel{3}, 16);
+  node.add_vm(VmId{1}, spec(6, core::gib(1), 3));
+  EXPECT_EQ(node.required_cores(), 2U);  // 6 vcpus at 3:1
+  node.set_effective_level(OversubLevel{2});
+  EXPECT_EQ(node.required_cores(), 3U);  // 6 vcpus at 2:1
+  node.set_effective_level(OversubLevel{1});
+  EXPECT_EQ(node.required_cores(), 6U);
+}
+
+TEST(VNodeEffectiveLevel, LaxerThanContractRejected) {
+  VNode node(0, OversubLevel{2}, 8);
+  EXPECT_THROW(node.set_effective_level(OversubLevel{3}), core::SlackError);
+}
+
+TEST(ManagerRetune, TighteningGrowsCpuSet) {
+  const topo::CpuTopology machine = topo::make_flat(8, core::gib(64));
+  VNodeManager manager(machine);
+  const auto deployed = manager.deploy(VmId{1}, spec(6, core::gib(4), 3));
+  ASSERT_TRUE(deployed.has_value());
+  EXPECT_EQ(manager.alloc().cores, 2U);
+
+  const auto repins = manager.retune(deployed->vnode, OversubLevel{1});
+  ASSERT_TRUE(repins.has_value());
+  EXPECT_EQ(manager.alloc().cores, 6U);
+  ASSERT_EQ(repins->size(), 1U);
+  EXPECT_EQ(repins->front().cpus.count(), 6U);
+  manager.check_invariants();
+}
+
+TEST(ManagerRetune, RelaxingShrinksCpuSet) {
+  const topo::CpuTopology machine = topo::make_flat(8, core::gib(64));
+  VNodeManager manager(machine);
+  const auto deployed = manager.deploy(VmId{1}, spec(6, core::gib(4), 3));
+  ASSERT_TRUE(deployed.has_value());
+  ASSERT_TRUE(manager.retune(deployed->vnode, OversubLevel{1}).has_value());
+  ASSERT_TRUE(manager.retune(deployed->vnode, OversubLevel{3}).has_value());
+  EXPECT_EQ(manager.alloc().cores, 2U);
+  manager.check_invariants();
+}
+
+TEST(ManagerRetune, FailsWithoutFreeCpusAndKeepsState) {
+  const topo::CpuTopology machine = topo::make_flat(4, core::gib(64));
+  VNodeManager manager(machine);
+  const auto n3 = manager.deploy(VmId{1}, spec(6, core::gib(4), 3));  // 2 cores
+  ASSERT_TRUE(n3.has_value());
+  ASSERT_TRUE(manager.deploy(VmId{2}, spec(2, core::gib(4), 1)));     // 2 cores -> full
+  EXPECT_FALSE(manager.retune(n3->vnode, OversubLevel{1}).has_value());
+  // State unchanged: still 3:1 effective, still 2 cores.
+  EXPECT_EQ(manager.vnodes().at(n3->vnode).effective_level(), OversubLevel{3});
+  EXPECT_EQ(manager.vnodes().at(n3->vnode).core_count(), 2U);
+  manager.check_invariants();
+}
+
+TEST(ManagerRetune, UnknownNodeOrLaxerLevelThrows) {
+  const topo::CpuTopology machine = topo::make_flat(4, core::gib(64));
+  VNodeManager manager(machine);
+  EXPECT_THROW((void)manager.retune(7, OversubLevel{1}), core::SlackError);
+  const auto n2 = manager.deploy(VmId{1}, spec(2, core::gib(2), 2));
+  ASSERT_TRUE(n2.has_value());
+  EXPECT_THROW((void)manager.retune(n2->vnode, OversubLevel{3}), core::SlackError);
+}
+
+TEST(ManagerRetune, DeploymentsRespectEffectiveLevel) {
+  const topo::CpuTopology machine = topo::make_flat(8, core::gib(64));
+  VNodeManager manager(machine);
+  const auto n3 = manager.deploy(VmId{1}, spec(3, core::gib(2), 3));  // 1 core
+  ASSERT_TRUE(n3.has_value());
+  ASSERT_TRUE(manager.retune(n3->vnode, OversubLevel{2}).has_value());  // 2 cores now
+  // A new 3:1 VM joins the node but is sized at the effective 2:1 ratio.
+  ASSERT_TRUE(manager.deploy(VmId{2}, spec(3, core::gib(2), 3)));
+  EXPECT_EQ(manager.vnodes().at(n3->vnode).core_count(), 3U);  // ceil(6/2)
+  manager.check_invariants();
+}
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  const topo::CpuTopology machine_ = topo::make_flat(16, core::gib(64));
+  VNodeManager manager_{machine_};
+  core::MaxPredictor predictor_;
+  DynamicLevelController controller_{predictor_};
+};
+
+TEST_F(ControllerTest, RecommendTightensUnderHighUsage) {
+  const std::vector<double> busy{0.9, 0.95, 0.85};
+  EXPECT_EQ(controller_.recommend(busy, OversubLevel{3}), OversubLevel{1});
+  const std::vector<double> medium{0.4, 0.45, 0.5};
+  EXPECT_EQ(controller_.recommend(medium, OversubLevel{3}), OversubLevel{2});
+  const std::vector<double> idle{0.05, 0.1, 0.08};
+  EXPECT_EQ(controller_.recommend(idle, OversubLevel{3}), OversubLevel{3});
+}
+
+TEST_F(ControllerTest, RetuneAllSkipsPremiumNodes) {
+  ASSERT_TRUE(manager_.deploy(core::VmId{1}, spec(2, core::gib(2), 1)));
+  ASSERT_TRUE(manager_.deploy(core::VmId{2}, spec(6, core::gib(2), 3)));
+  const auto outcomes = controller_.retune_all(
+      manager_, [](const VNode&) { return std::vector<double>{0.9}; });
+  ASSERT_EQ(outcomes.size(), 1U);  // only the 3:1 node is considered
+  EXPECT_EQ(outcomes.front().contract, OversubLevel{3});
+  EXPECT_EQ(outcomes.front().target, OversubLevel{1});
+  EXPECT_TRUE(outcomes.front().applied);
+  // The 3:1 node now owns 6 cores.
+  EXPECT_EQ(manager_.vnodes().at(outcomes.front().vnode).core_count(), 6U);
+  manager_.check_invariants();
+}
+
+TEST_F(ControllerTest, RetuneAllRelaxesWhenUsageDrops) {
+  ASSERT_TRUE(manager_.deploy(core::VmId{1}, spec(6, core::gib(2), 3)));
+  const auto busy = controller_.retune_all(
+      manager_, [](const VNode&) { return std::vector<double>{0.9}; });
+  ASSERT_TRUE(busy.front().applied);
+  const auto relaxed = controller_.retune_all(
+      manager_, [](const VNode&) { return std::vector<double>{0.1}; });
+  ASSERT_EQ(relaxed.size(), 1U);
+  EXPECT_EQ(relaxed.front().previous, OversubLevel{1});
+  EXPECT_EQ(relaxed.front().target, OversubLevel{3});
+  EXPECT_TRUE(relaxed.front().applied);
+  EXPECT_EQ(manager_.alloc().cores, 2U);
+  manager_.check_invariants();
+}
+
+TEST_F(ControllerTest, RetuneAllReportsUnappliedWhenFull) {
+  // Fill the PM so tightening is impossible.
+  ASSERT_TRUE(manager_.deploy(core::VmId{1}, spec(12, core::gib(2), 1)));
+  ASSERT_TRUE(manager_.deploy(core::VmId{2}, spec(12, core::gib(2), 3)));  // 4 cores
+  const auto outcomes = controller_.retune_all(
+      manager_, [](const VNode&) { return std::vector<double>{0.95}; });
+  ASSERT_EQ(outcomes.size(), 1U);
+  EXPECT_FALSE(outcomes.front().applied);
+  manager_.check_invariants();
+}
+
+TEST_F(ControllerTest, EmptyUsageWindowFailsSafeToPremium) {
+  ASSERT_TRUE(manager_.deploy(core::VmId{1}, spec(3, core::gib(2), 3)));
+  const auto outcomes = controller_.retune_all(
+      manager_, [](const VNode&) { return std::vector<double>{}; });
+  ASSERT_EQ(outcomes.size(), 1U);
+  EXPECT_EQ(outcomes.front().target, OversubLevel{1});
+  EXPECT_TRUE(outcomes.front().applied);
+}
+
+}  // namespace
+}  // namespace slackvm::local

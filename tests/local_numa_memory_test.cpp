@@ -1,0 +1,139 @@
+#include "local/numa_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "topology/builders.hpp"
+
+namespace slackvm::local {
+namespace {
+
+using core::gib;
+using core::VmId;
+
+/// 2 sockets x 4 cores, NPS1, 64 GiB -> two 32-GiB NUMA nodes.
+topo::CpuTopology two_node_machine() {
+  topo::GenericSpec spec;
+  spec.sockets = 2;
+  spec.cores_per_socket = 4;
+  spec.total_mem = gib(64);
+  spec.name = "numa-test";
+  return topo::make_generic(spec);
+}
+
+topo::CpuSet socket_cpus(const topo::CpuTopology& topo, std::uint32_t socket) {
+  return topo.socket_cpus(socket);
+}
+
+class NumaMemoryTest : public ::testing::Test {
+ protected:
+  const topo::CpuTopology machine_ = two_node_machine();
+  NumaMemoryMap map_{machine_};
+};
+
+TEST_F(NumaMemoryTest, SplitsCapacityEvenly) {
+  EXPECT_EQ(map_.capacity_of(0), gib(32));
+  EXPECT_EQ(map_.capacity_of(1), gib(32));
+  EXPECT_EQ(map_.total_free(), gib(64));
+}
+
+TEST_F(NumaMemoryTest, CommitPrefersLocalNode) {
+  const auto placement = map_.commit(VmId{1}, gib(8), socket_cpus(machine_, 1));
+  ASSERT_TRUE(placement.has_value());
+  ASSERT_EQ(placement->per_node.size(), 1U);
+  EXPECT_EQ(placement->per_node.at(1), gib(8));
+  EXPECT_EQ(map_.free_on(1), gib(24));
+  EXPECT_EQ(map_.free_on(0), gib(32));
+  EXPECT_DOUBLE_EQ(map_.locality(VmId{1}, socket_cpus(machine_, 1)), 1.0);
+}
+
+TEST_F(NumaMemoryTest, SpillsToRemoteWhenLocalFull) {
+  ASSERT_TRUE(map_.commit(VmId{1}, gib(28), socket_cpus(machine_, 0)));
+  const auto placement = map_.commit(VmId{2}, gib(8), socket_cpus(machine_, 0));
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->per_node.at(0), gib(4));  // remaining local
+  EXPECT_EQ(placement->per_node.at(1), gib(4));  // spilled
+  EXPECT_DOUBLE_EQ(map_.locality(VmId{2}, socket_cpus(machine_, 0)), 0.5);
+}
+
+TEST_F(NumaMemoryTest, FailsWhenPmFull) {
+  ASSERT_TRUE(map_.commit(VmId{1}, gib(60), socket_cpus(machine_, 0)));
+  EXPECT_FALSE(map_.commit(VmId{2}, gib(8), socket_cpus(machine_, 1)).has_value());
+  // Nothing changed for the failed VM.
+  EXPECT_FALSE(map_.tracks(VmId{2}));
+  EXPECT_EQ(map_.total_free(), gib(4));
+}
+
+TEST_F(NumaMemoryTest, ReleaseRestoresFreeSpace) {
+  ASSERT_TRUE(map_.commit(VmId{1}, gib(20), socket_cpus(machine_, 0)));
+  map_.release(VmId{1});
+  EXPECT_EQ(map_.total_free(), gib(64));
+  EXPECT_FALSE(map_.tracks(VmId{1}));
+  EXPECT_THROW(map_.release(VmId{1}), core::SlackError);
+}
+
+TEST_F(NumaMemoryTest, RebalanceFollowsVNodeMove) {
+  ASSERT_TRUE(map_.commit(VmId{1}, gib(8), socket_cpus(machine_, 0)));
+  EXPECT_DOUBLE_EQ(map_.locality(VmId{1}, socket_cpus(machine_, 1)), 0.0);
+  const MemPlacement moved = map_.rebalance(VmId{1}, socket_cpus(machine_, 1));
+  EXPECT_EQ(moved.per_node.at(1), gib(8));
+  EXPECT_DOUBLE_EQ(map_.locality(VmId{1}, socket_cpus(machine_, 1)), 1.0);
+}
+
+TEST_F(NumaMemoryTest, VNodeSpanningBothSocketsCountsBothLocal) {
+  topo::CpuSet both = machine_.all_cpus();
+  ASSERT_TRUE(map_.commit(VmId{1}, gib(40), both));
+  EXPECT_DOUBLE_EQ(map_.locality(VmId{1}, both), 1.0);
+}
+
+TEST_F(NumaMemoryTest, EmptyCpuSetFallsBackToNodeZero) {
+  const topo::CpuSet none(machine_.cpu_count());
+  const auto placement = map_.commit(VmId{1}, gib(4), none);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->per_node.at(0), gib(4));
+}
+
+TEST_F(NumaMemoryTest, ZeroMemoryVmTracksWithFullLocality) {
+  const auto placement = map_.commit(VmId{1}, 0, socket_cpus(machine_, 0));
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_TRUE(placement->per_node.empty());
+  EXPECT_DOUBLE_EQ(map_.locality(VmId{1}, socket_cpus(machine_, 0)), 1.0);
+}
+
+TEST(NumaMemoryNps4, SpillOrderFollowsNumaDistance) {
+  // NPS2 per socket: 4 nodes; intra-socket distance 12, cross-socket 32.
+  topo::GenericSpec spec;
+  spec.sockets = 2;
+  spec.cores_per_socket = 4;
+  spec.numa_per_socket = 2;
+  spec.total_mem = gib(64);  // 16 GiB per node
+  const topo::CpuTopology machine = topo::make_generic(spec);
+  NumaMemoryMap map(machine);
+
+  // vNode on node 0's cores (first two cores of socket 0).
+  topo::CpuSet node0(machine.cpu_count());
+  node0.set(0);
+  node0.set(1);
+  // 36 GiB: 16 local (node 0), then 16 on node 1 (intra-socket, distance
+  // 12), then 4 on node 2 (cross-socket) — never node 3 first.
+  const auto placement = map.commit(VmId{1}, gib(36), node0);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->per_node.at(0), gib(16));
+  EXPECT_EQ(placement->per_node.at(1), gib(16));
+  EXPECT_EQ(placement->per_node.at(2), gib(4));
+  EXPECT_FALSE(placement->per_node.contains(3));
+}
+
+TEST(NumaMemoryUnevenTotal, RemainderGoesToNodeZero) {
+  topo::GenericSpec spec;
+  spec.sockets = 2;
+  spec.cores_per_socket = 2;
+  spec.total_mem = gib(64) + 1;  // indivisible by 2
+  const topo::CpuTopology machine = topo::make_generic(spec);
+  const NumaMemoryMap map(machine);
+  EXPECT_EQ(map.capacity_of(0) + map.capacity_of(1), gib(64) + 1);
+  EXPECT_EQ(map.capacity_of(0), gib(32) + 1);
+}
+
+}  // namespace
+}  // namespace slackvm::local

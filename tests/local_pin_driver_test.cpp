@@ -1,0 +1,138 @@
+#include "local/pin_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "topology/builders.hpp"
+
+namespace slackvm::local {
+namespace {
+
+using core::OversubLevel;
+using core::VmId;
+using core::VmSpec;
+
+VmSpec spec(core::VcpuCount vcpus, core::MemMib mem, std::uint8_t ratio) {
+  VmSpec s;
+  s.vcpus = vcpus;
+  s.mem_mib = mem;
+  s.level = OversubLevel{ratio};
+  return s;
+}
+
+class PinDriverTest : public ::testing::Test {
+ protected:
+  const topo::CpuTopology machine_ = topo::make_flat(8, core::gib(64));
+  VNodeManager manager_{machine_};
+  RecordingPinBackend backend_;
+  PinDriver driver_{manager_, backend_};
+};
+
+TEST_F(PinDriverTest, DeployPinsToVNodeCpus) {
+  ASSERT_TRUE(driver_.deploy(VmId{1}, spec(2, core::gib(2), 1)));
+  EXPECT_TRUE(backend_.has_pin(VmId{1}));
+  EXPECT_EQ(backend_.pin_of(VmId{1}), manager_.pin_of(VmId{1}));
+  EXPECT_EQ(backend_.pin_ops(), 1U);
+}
+
+TEST_F(PinDriverTest, GrowthRepinsNeighbours) {
+  ASSERT_TRUE(driver_.deploy(VmId{1}, spec(2, core::gib(2), 2)));  // 1 core
+  ASSERT_TRUE(driver_.deploy(VmId{2}, spec(2, core::gib(2), 2)));  // grows to 2
+  // VM 1 was repinned to the grown range.
+  EXPECT_EQ(backend_.pin_of(VmId{1}).count(), 2U);
+  EXPECT_EQ(backend_.pin_of(VmId{1}), backend_.pin_of(VmId{2}));
+}
+
+TEST_F(PinDriverTest, SlackAbsorbedDeploySkipsRedundantRepins) {
+  ASSERT_TRUE(driver_.deploy(VmId{1}, spec(3, core::gib(2), 2)));  // 2 cores
+  const auto ops_before = backend_.pin_ops();
+  // 1 more vCPU fits the rounding slack: the vNode does not resize, so the
+  // repin of VM 1 is redundant and the backend skips it.
+  ASSERT_TRUE(driver_.deploy(VmId{2}, spec(1, core::gib(2), 2)));
+  EXPECT_EQ(backend_.pin_ops(), ops_before + 1);  // only the new VM
+  EXPECT_GE(backend_.skipped_ops(), 1U);
+}
+
+TEST_F(PinDriverTest, RemoveClearsPinAndShrinksOthers) {
+  ASSERT_TRUE(driver_.deploy(VmId{1}, spec(2, core::gib(2), 2)));
+  ASSERT_TRUE(driver_.deploy(VmId{2}, spec(2, core::gib(2), 2)));
+  driver_.remove(VmId{2});
+  EXPECT_FALSE(backend_.has_pin(VmId{2}));
+  EXPECT_EQ(backend_.pin_of(VmId{1}).count(), 1U);  // shrank back
+  EXPECT_EQ(backend_.pinned_vms(), 1U);
+}
+
+TEST_F(PinDriverTest, FullPmDeployFailsWithoutPinning) {
+  ASSERT_TRUE(driver_.deploy(VmId{1}, spec(8, core::gib(2), 1)));
+  EXPECT_FALSE(driver_.deploy(VmId{2}, spec(1, core::gib(2), 1)));
+  EXPECT_FALSE(backend_.has_pin(VmId{2}));
+  EXPECT_EQ(backend_.pinned_vms(), 1U);
+}
+
+TEST_F(PinDriverTest, RetuneRepinsThroughApply) {
+  const auto result = manager_.deploy(VmId{1}, spec(6, core::gib(2), 3));
+  ASSERT_TRUE(result.has_value());
+  driver_.apply(result->repins);
+  const auto repins = manager_.retune(result->vnode, OversubLevel{1});
+  ASSERT_TRUE(repins.has_value());
+  driver_.apply(*repins);
+  EXPECT_EQ(backend_.pin_of(VmId{1}).count(), 6U);
+}
+
+TEST(RecordingBackend, PinOfUnknownThrows) {
+  RecordingPinBackend backend;
+  EXPECT_THROW((void)backend.pin_of(VmId{1}), core::SlackError);
+  EXPECT_THROW(backend.clear_pin(VmId{1}), core::SlackError);
+}
+
+TEST(RecordingBackend, CountsDistinctAndRedundantOps) {
+  RecordingPinBackend backend;
+  topo::CpuSet cpus(8);
+  cpus.set(0);
+  backend.apply_pin(VmId{1}, cpus);
+  backend.apply_pin(VmId{1}, cpus);  // redundant
+  cpus.set(1);
+  backend.apply_pin(VmId{1}, cpus);  // change
+  EXPECT_EQ(backend.pin_ops(), 2U);
+  EXPECT_EQ(backend.skipped_ops(), 1U);
+}
+
+// The §V-A claim: repinning only happens on deploy/destroy, so the pin-op
+// rate stays proportional to VM churn, not to time or VM count.
+TEST(RepinVolume, BoundedByChurn) {
+  const topo::CpuTopology machine = topo::make_dual_epyc_7662();
+  VNodeManager manager(machine);
+  RecordingPinBackend backend;
+  PinDriver driver(manager, backend);
+  core::SplitMix64 rng(3);
+  std::vector<VmId> alive;
+  std::uint64_t next_id = 1;
+  std::uint64_t churn_events = 0;
+  for (int step = 0; step < 300; ++step) {
+    if (alive.empty() || rng.uniform() < 0.6) {
+      const VmId id{next_id++};
+      VmSpec s = spec(static_cast<core::VcpuCount>(1 + rng.below(4)),
+                      core::gib(static_cast<std::int64_t>(1 + rng.below(8))),
+                      static_cast<std::uint8_t>(1 + rng.below(3)));
+      if (driver.deploy(id, s)) {
+        alive.push_back(id);
+        ++churn_events;
+      }
+    } else {
+      const std::size_t pick = rng.below(alive.size());
+      driver.remove(alive[pick]);
+      alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(pick));
+      ++churn_events;
+    }
+  }
+  // Each churn event repins at most the VMs of one vNode; with three nodes
+  // the amortized volume stays well below total_vms per event.
+  EXPECT_GT(churn_events, 0U);
+  EXPECT_LT(backend.pin_ops(),
+            churn_events * (alive.size() + 1));  // sanity upper bound
+  EXPECT_GT(backend.skipped_ops(), 0U);          // slack-absorbed deploys occurred
+}
+
+}  // namespace
+}  // namespace slackvm::local

@@ -1,0 +1,222 @@
+#include "local/vnode_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "topology/builders.hpp"
+
+namespace slackvm::local {
+namespace {
+
+using core::OversubLevel;
+using core::VmId;
+using core::VmSpec;
+
+VmSpec spec(core::VcpuCount vcpus, core::MemMib mem, std::uint8_t ratio) {
+  VmSpec s;
+  s.vcpus = vcpus;
+  s.mem_mib = mem;
+  s.level = OversubLevel{ratio};
+  return s;
+}
+
+class FlatManager : public ::testing::Test {
+ protected:
+  const topo::CpuTopology machine_ = topo::make_flat(8, core::gib(32));
+  VNodeManager manager_{machine_};
+};
+
+TEST_F(FlatManager, FirstDeployCreatesVNode) {
+  const auto result = manager_.deploy(VmId{1}, spec(2, core::gib(4), 1));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->pooled);
+  EXPECT_EQ(manager_.vnodes().size(), 1U);
+  const VNode& node = manager_.vnodes().begin()->second;
+  EXPECT_EQ(node.core_count(), 2U);
+  EXPECT_EQ(manager_.free_cpus().count(), 6U);
+  manager_.check_invariants();
+}
+
+TEST_F(FlatManager, OversubLevelSharesCores) {
+  // Two 2-vCPU VMs at 3:1 need ceil(4/3) = 2 cores total.
+  ASSERT_TRUE(manager_.deploy(VmId{1}, spec(2, core::gib(2), 3)));
+  ASSERT_TRUE(manager_.deploy(VmId{2}, spec(2, core::gib(2), 3)));
+  EXPECT_EQ(manager_.alloc().cores, 2U);
+  manager_.check_invariants();
+}
+
+TEST_F(FlatManager, DistinctLevelsGetDistinctVNodes) {
+  ASSERT_TRUE(manager_.deploy(VmId{1}, spec(1, core::gib(1), 1)));
+  ASSERT_TRUE(manager_.deploy(VmId{2}, spec(1, core::gib(1), 2)));
+  ASSERT_TRUE(manager_.deploy(VmId{3}, spec(1, core::gib(1), 3)));
+  EXPECT_EQ(manager_.vnodes().size(), 3U);
+  // vNode CPU sets are pairwise disjoint (checked by invariants too).
+  manager_.check_invariants();
+}
+
+TEST_F(FlatManager, MemoryBoundRejects) {
+  ASSERT_TRUE(manager_.deploy(VmId{1}, spec(1, core::gib(30), 1)));
+  EXPECT_FALSE(manager_.can_host(spec(1, core::gib(4), 2)));
+  EXPECT_FALSE(manager_.deploy(VmId{2}, spec(1, core::gib(4), 2)).has_value());
+  manager_.check_invariants();
+}
+
+TEST_F(FlatManager, CpuBoundRejects) {
+  ASSERT_TRUE(manager_.deploy(VmId{1}, spec(8, core::gib(8), 1)));
+  EXPECT_FALSE(manager_.deploy(VmId{2}, spec(1, core::gib(1), 2)).has_value());
+}
+
+TEST_F(FlatManager, RemoveShrinksAndFrees) {
+  ASSERT_TRUE(manager_.deploy(VmId{1}, spec(4, core::gib(4), 2)));  // 2 cores
+  ASSERT_TRUE(manager_.deploy(VmId{2}, spec(4, core::gib(4), 2)));  // 4 cores total
+  EXPECT_EQ(manager_.alloc().cores, 4U);
+  manager_.remove(VmId{1});
+  EXPECT_EQ(manager_.alloc().cores, 2U);
+  EXPECT_EQ(manager_.committed_mem(), core::gib(4));
+  manager_.check_invariants();
+}
+
+TEST_F(FlatManager, RemoveLastVmDestroysVNode) {
+  ASSERT_TRUE(manager_.deploy(VmId{1}, spec(2, core::gib(2), 2)));
+  manager_.remove(VmId{1});
+  EXPECT_TRUE(manager_.vnodes().empty());
+  EXPECT_EQ(manager_.free_cpus().count(), 8U);
+  EXPECT_EQ(manager_.committed_mem(), 0);
+  manager_.check_invariants();
+}
+
+TEST_F(FlatManager, RemoveUnknownThrows) {
+  EXPECT_THROW(manager_.remove(VmId{404}), core::SlackError);
+}
+
+TEST_F(FlatManager, RepinsCoverWholeVNode) {
+  ASSERT_TRUE(manager_.deploy(VmId{1}, spec(2, core::gib(2), 2)));  // 1 core
+  const auto result = manager_.deploy(VmId{2}, spec(2, core::gib(2), 2));
+  ASSERT_TRUE(result.has_value());
+  // Both VMs are repinned to the grown 2-core set.
+  ASSERT_EQ(result->repins.size(), 2U);
+  for (const PinUpdate& pin : result->repins) {
+    EXPECT_EQ(pin.cpus, manager_.pin_of(VmId{1}));
+    EXPECT_EQ(pin.cpus.count(), 2U);
+  }
+}
+
+TEST_F(FlatManager, CanHostAgreesWithDeploy) {
+  core::SplitMix64 rng(99);
+  std::uint64_t id = 1;
+  for (int i = 0; i < 200; ++i) {
+    const VmSpec s = spec(static_cast<core::VcpuCount>(1 + rng.below(4)),
+                          core::gib(static_cast<std::int64_t>(1 + rng.below(8))),
+                          static_cast<std::uint8_t>(1 + rng.below(3)));
+    const bool predicted = manager_.can_host(s);
+    const bool actual = manager_.deploy(VmId{id}, s).has_value();
+    EXPECT_EQ(predicted, actual);
+    if (actual) {
+      ++id;
+    } else {
+      break;
+    }
+  }
+}
+
+TEST(VNodeManagerPooling, UpgradeIntoStricterNode) {
+  // Machine with 4 cores: a 2:1 node takes 3 cores, a 1:1 node takes 1.
+  const topo::CpuTopology machine = topo::make_flat(4, core::gib(64));
+  VNodeManager manager(machine, PoolingPolicy::kUpgrade);
+  ASSERT_TRUE(manager.deploy(VmId{1}, spec(6, core::gib(1), 2)));  // 3 cores @2:1
+  ASSERT_TRUE(manager.deploy(VmId{2}, spec(1, core::gib(1), 1)));  // 1 core @1:1
+  // No room for a 3:1 vNode; pooling upgrades the VM into the 2:1 node if
+  // the 2:1 bound still holds (6+0 vcpus... no: 6 vCPUs on 3 cores is full).
+  EXPECT_FALSE(manager.deploy(VmId{3}, spec(1, core::gib(1), 3)).has_value());
+  // Free a slot: removing the 1:1 VM will not help the 2:1 bound, but a
+  // smaller 2:1 commitment will.
+  manager.remove(VmId{1});
+  ASSERT_TRUE(manager.deploy(VmId{4}, spec(4, core::gib(1), 2)));  // 2 cores @2:1
+  const auto pooled = manager.deploy(VmId{5}, spec(1, core::gib(1), 3));
+  ASSERT_TRUE(pooled.has_value());
+  // 3:1 VM cannot open its own node (cores full: 2 + 1(1:1 node still
+  // present? it was removed) ...) -> it must have pooled or created.
+  manager.check_invariants();
+}
+
+TEST(VNodeManagerPooling, PoolingKeepsStrictBound) {
+  const topo::CpuTopology machine = topo::make_flat(2, core::gib(64));
+  VNodeManager manager(machine, PoolingPolicy::kUpgrade);
+  // 2:1 node owns both cores with 3 vCPUs committed (bound: 4).
+  ASSERT_TRUE(manager.deploy(VmId{1}, spec(3, core::gib(1), 2)));
+  // A 3:1 VM with 1 vCPU fits the 2:1 bound (4 vCPUs on 2 cores).
+  const auto pooled = manager.deploy(VmId{2}, spec(1, core::gib(1), 3));
+  ASSERT_TRUE(pooled.has_value());
+  EXPECT_TRUE(pooled->pooled);
+  // Another would need 5 vCPUs on 2 cores at 2:1 -> rejected.
+  EXPECT_FALSE(manager.deploy(VmId{3}, spec(1, core::gib(1), 3)).has_value());
+  manager.check_invariants();
+}
+
+TEST(VNodeManagerPooling, NeverPoolsIntoPremium) {
+  const topo::CpuTopology machine = topo::make_flat(2, core::gib(64));
+  VNodeManager manager(machine, PoolingPolicy::kUpgrade);
+  ASSERT_TRUE(manager.deploy(VmId{1}, spec(1, core::gib(1), 1)));
+  ASSERT_TRUE(manager.deploy(VmId{2}, spec(2, core::gib(1), 2)));
+  // Machine full; a 3:1 VM may only pool into the 2:1 node (which is full),
+  // never into the premium 1:1 node.
+  EXPECT_FALSE(manager.deploy(VmId{3}, spec(1, core::gib(1), 3)).has_value());
+}
+
+TEST(VNodeManagerPooling, DisabledPolicyRejects) {
+  const topo::CpuTopology machine = topo::make_flat(2, core::gib(64));
+  VNodeManager manager(machine, PoolingPolicy::kNone);
+  ASSERT_TRUE(manager.deploy(VmId{1}, spec(3, core::gib(1), 2)));
+  EXPECT_FALSE(manager.deploy(VmId{2}, spec(1, core::gib(1), 3)).has_value());
+}
+
+TEST(VNodeManagerEpyc, VNodesLandOnSeparateSockets) {
+  const topo::CpuTopology epyc = topo::make_dual_epyc_7662();
+  VNodeManager manager(epyc);
+  ASSERT_TRUE(manager.deploy(VmId{1}, spec(8, core::gib(16), 1)));
+  ASSERT_TRUE(manager.deploy(VmId{2}, spec(8, core::gib(8), 3)));
+  ASSERT_EQ(manager.vnodes().size(), 2U);
+  std::vector<std::uint32_t> sockets;
+  for (const auto& [id, node] : manager.vnodes()) {
+    sockets.push_back(epyc.cpu(node.cpus().first()).socket);
+  }
+  EXPECT_NE(sockets[0], sockets[1]);
+}
+
+// Property test: random deploy/remove churn preserves every invariant.
+class ChurnProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnProperty, InvariantsHoldUnderChurn) {
+  const topo::CpuTopology epyc = topo::make_dual_epyc_7662();
+  VNodeManager manager(epyc, GetParam() % 2 == 0 ? PoolingPolicy::kNone
+                                                 : PoolingPolicy::kUpgrade);
+  core::SplitMix64 rng(GetParam());
+  std::vector<VmId> alive;
+  std::uint64_t next_id = 1;
+  for (int step = 0; step < 400; ++step) {
+    const bool do_deploy = alive.empty() || rng.uniform() < 0.6;
+    if (do_deploy) {
+      const VmSpec s = spec(static_cast<core::VcpuCount>(1 + rng.below(8)),
+                            core::gib(static_cast<std::int64_t>(1 + rng.below(16))),
+                            static_cast<std::uint8_t>(1 + rng.below(3)));
+      const VmId id{next_id++};
+      if (manager.deploy(id, s)) {
+        alive.push_back(id);
+      }
+    } else {
+      const std::size_t pick = rng.below(alive.size());
+      manager.remove(alive[pick]);
+      alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    manager.check_invariants();
+  }
+  EXPECT_EQ(manager.vm_count(), alive.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 10, 77, 123));
+
+}  // namespace
+}  // namespace slackvm::local

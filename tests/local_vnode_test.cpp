@@ -1,0 +1,106 @@
+#include "local/vnode.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace slackvm::local {
+namespace {
+
+using core::OversubLevel;
+using core::VmId;
+using core::VmSpec;
+
+VmSpec spec(core::VcpuCount vcpus, core::MemMib mem, std::uint8_t ratio) {
+  VmSpec s;
+  s.vcpus = vcpus;
+  s.mem_mib = mem;
+  s.level = OversubLevel{ratio};
+  return s;
+}
+
+TEST(VNodeTest, StartsEmpty) {
+  const VNode node(0, OversubLevel{2}, 16);
+  EXPECT_TRUE(node.empty());
+  EXPECT_EQ(node.committed_vcpus(), 0U);
+  EXPECT_EQ(node.committed_mem(), 0);
+  EXPECT_EQ(node.required_cores(), 0U);
+  EXPECT_TRUE(node.capacity_ok());
+}
+
+TEST(VNodeTest, AddVmAccumulatesCommitments) {
+  VNode node(0, OversubLevel{2}, 16);
+  node.add_vm(VmId{1}, spec(4, core::gib(8), 2));
+  node.add_vm(VmId{2}, spec(2, core::gib(4), 2));
+  EXPECT_EQ(node.committed_vcpus(), 6U);
+  EXPECT_EQ(node.committed_mem(), core::gib(12));
+  EXPECT_EQ(node.vm_count(), 2U);
+  EXPECT_EQ(node.required_cores(), 3U);  // ceil(6/2)
+}
+
+TEST(VNodeTest, RemoveVmReleasesCommitments) {
+  VNode node(0, OversubLevel{3}, 16);
+  node.add_vm(VmId{1}, spec(3, core::gib(2), 3));
+  node.add_vm(VmId{2}, spec(3, core::gib(2), 3));
+  node.remove_vm(VmId{1});
+  EXPECT_EQ(node.committed_vcpus(), 3U);
+  EXPECT_EQ(node.committed_mem(), core::gib(2));
+  EXPECT_FALSE(node.hosts(VmId{1}));
+  EXPECT_TRUE(node.hosts(VmId{2}));
+}
+
+TEST(VNodeTest, DuplicateAddThrows) {
+  VNode node(0, OversubLevel{1}, 8);
+  node.add_vm(VmId{1}, spec(1, core::gib(1), 1));
+  EXPECT_THROW(node.add_vm(VmId{1}, spec(1, core::gib(1), 1)), core::SlackError);
+}
+
+TEST(VNodeTest, RemoveUnknownThrows) {
+  VNode node(0, OversubLevel{1}, 8);
+  EXPECT_THROW(node.remove_vm(VmId{9}), core::SlackError);
+}
+
+TEST(VNodeTest, StricterVmRejected) {
+  // A 1:1 VM must never land in a 3:1 node (the node's guarantee is weaker).
+  VNode node(0, OversubLevel{3}, 8);
+  EXPECT_THROW(node.add_vm(VmId{1}, spec(1, core::gib(1), 1)), core::SlackError);
+}
+
+TEST(VNodeTest, PooledLaxerVmAccepted) {
+  // §V-B: a 3:1 VM may be upgraded into a 2:1 node.
+  VNode node(0, OversubLevel{2}, 8);
+  node.add_vm(VmId{1}, spec(2, core::gib(1), 3));
+  EXPECT_EQ(node.strictest_hosted_level(), OversubLevel{2});
+}
+
+TEST(VNodeTest, CapacityInvariant) {
+  VNode node(0, OversubLevel{2}, 8);
+  topo::CpuSet cpus(8);
+  cpus.set(0);
+  cpus.set(1);
+  node.assign_cpus(cpus);
+  node.add_vm(VmId{1}, spec(4, core::gib(1), 2));
+  EXPECT_TRUE(node.capacity_ok());  // 4 vCPUs on 2 cores at 2:1
+  node.add_vm(VmId{2}, spec(1, core::gib(1), 2));
+  EXPECT_FALSE(node.capacity_ok());  // 5 > 2*2
+}
+
+TEST(VNodeTest, RequiredCoresWithExtraVcpus) {
+  VNode node(0, OversubLevel{3}, 8);
+  node.add_vm(VmId{1}, spec(2, core::gib(1), 3));
+  EXPECT_EQ(node.required_cores_with(1), 1U);  // 3 vCPUs / 3
+  EXPECT_EQ(node.required_cores_with(2), 2U);  // 4 vCPUs / 3
+}
+
+TEST(VNodeTest, VmIdsAndSpecLookup) {
+  VNode node(0, OversubLevel{1}, 8);
+  node.add_vm(VmId{5}, spec(2, core::gib(4), 1));
+  const auto ids = node.vm_ids();
+  ASSERT_EQ(ids.size(), 1U);
+  EXPECT_EQ(ids[0], VmId{5});
+  EXPECT_EQ(node.spec_of(VmId{5}).vcpus, 2U);
+  EXPECT_THROW((void)node.spec_of(VmId{6}), core::SlackError);
+}
+
+}  // namespace
+}  // namespace slackvm::local

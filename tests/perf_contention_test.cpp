@@ -1,0 +1,116 @@
+#include "perf/contention.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/stats.hpp"
+
+namespace slackvm::perf {
+namespace {
+
+TEST(ContentionModelTest, InflationIsMonotoneInDemand) {
+  const ContentionModel model;
+  double previous = 0.0;
+  for (double q = 0.0; q <= 3.4; q += 0.2) {
+    const double inflation = model.contention_inflation(q);
+    EXPECT_GT(inflation, previous) << "q=" << q;
+    previous = inflation;
+  }
+}
+
+TEST(ContentionModelTest, ZeroDemandCostsBaseService) {
+  const ContentionModel model;
+  EXPECT_DOUBLE_EQ(model.expected_response_ms(0.0, 0.0, false),
+                   model.params().base_service_ms);
+}
+
+TEST(ContentionModelTest, CalibrationHitsTableIvBaseline) {
+  // The curve was calibrated against Table IV's baseline column at the
+  // per-core demands of the three dedicated scenarios (q = level * 1.02).
+  const ContentionModel model;
+  EXPECT_NEAR(model.expected_response_ms(1.02, 0.0, false), 1.16, 0.02);
+  EXPECT_NEAR(model.expected_response_ms(2.04, 0.0, false), 1.46, 0.02);
+  EXPECT_NEAR(model.expected_response_ms(3.06, 0.0, false), 3.47, 0.05);
+}
+
+TEST(ContentionModelTest, ConstrainedPenaltyReproducesTableIvFactors) {
+  // Table IV overhead factors x1.09 (1:1), x1.13 (2:1), x2.21 (3:1),
+  // evaluated at the operating points the shared testbed PM actually
+  // realizes: (q, hetero) = (0.94, 0.4), (2.10, 1.0), (3.00, 1.0).
+  const ContentionModel model;
+  EXPECT_NEAR(model.constrained_penalty(0.94, 0.4), 1.09, 0.02);
+  EXPECT_NEAR(model.constrained_penalty(2.10, 1.0), 1.13, 0.02);
+  // The 3:1 x2.21 factor decomposes into the constrained penalty (~x1.61)
+  // times the density mismatch R(3.00)/R(2.75) (~x1.37): the dedicated 3:1
+  // PM is memory-capped below full vCPU density while the vNode is not.
+  EXPECT_NEAR(model.constrained_penalty(3.00, 1.0), 1.61, 0.05);
+  const double density_mismatch =
+      model.contention_inflation(3.00) / model.contention_inflation(2.75);
+  EXPECT_NEAR(model.constrained_penalty(3.00, 1.0) * density_mismatch, 2.21, 0.15);
+}
+
+TEST(ContentionModelTest, PenaltyGrowsWithSmtPressure) {
+  const ContentionModel model;
+  EXPECT_LT(model.constrained_penalty(1.0, 0.0), model.constrained_penalty(2.0, 0.0));
+  EXPECT_LT(model.constrained_penalty(2.0, 0.0), model.constrained_penalty(3.0, 0.0));
+}
+
+TEST(ContentionModelTest, NoSmtPenaltyBelowOneRunnablePerCore) {
+  const ContentionModel model;
+  const double at_zero = model.constrained_penalty(0.0, 0.0);
+  const double at_one = model.constrained_penalty(1.0, 0.0);
+  EXPECT_DOUBLE_EQ(at_zero, at_one);  // only the flat pinning cost
+  EXPECT_NEAR(at_zero, 1.0 + model.params().pinning_coeff, 1e-12);
+}
+
+TEST(ContentionModelTest, HeterogeneityAddsOverhead) {
+  const ContentionModel model;
+  EXPECT_GT(model.constrained_penalty(1.0, 0.5), model.constrained_penalty(1.0, 0.0));
+  EXPECT_THROW((void)model.constrained_penalty(1.0, 1.5), core::SlackError);
+}
+
+TEST(ContentionModelTest, UnconstrainedIgnoresPenalty) {
+  const ContentionModel model;
+  EXPECT_LT(model.expected_response_ms(2.0, 0.0, false),
+            model.expected_response_ms(2.0, 0.0, true));
+}
+
+TEST(ContentionModelTest, SaturationClampsInsteadOfDiverging) {
+  const ContentionModel model;
+  const double extreme = model.contention_inflation(10.0);
+  EXPECT_TRUE(std::isfinite(extreme));
+  EXPECT_GT(extreme, model.contention_inflation(3.4));
+}
+
+TEST(ContentionModelTest, NoiseMedianMatchesExpected) {
+  const ContentionModel model;
+  core::SplitMix64 rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(model.sample_response_ms(2.0, 0.0, false, rng));
+  }
+  const double expected = model.expected_response_ms(2.0, 0.0, false);
+  EXPECT_NEAR(core::median(samples), expected, expected * 0.03);
+}
+
+TEST(ContentionModelTest, NoiseIsDeterministicPerSeed) {
+  const ContentionModel model;
+  core::SplitMix64 a(9);
+  core::SplitMix64 b(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(model.sample_response_ms(1.5, 0.1, true, a),
+                     model.sample_response_ms(1.5, 0.1, true, b));
+  }
+}
+
+TEST(ContentionModelTest, InvalidParamsRejected) {
+  CalibrationParams params;
+  params.base_service_ms = 0.0;
+  EXPECT_THROW(ContentionModel{params}, core::SlackError);
+}
+
+}  // namespace
+}  // namespace slackvm::perf

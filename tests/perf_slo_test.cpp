@@ -1,0 +1,71 @@
+#include "perf/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace slackvm::perf {
+namespace {
+
+TEST(SloSeriesTest, CountsViolations) {
+  const std::vector<double> p90{1.0, 2.0, 3.0, 4.0};
+  const SloSeries series = evaluate_series(p90, Slo{2.5});
+  EXPECT_EQ(series.windows, 4U);
+  EXPECT_EQ(series.violations, 2U);
+  EXPECT_DOUBLE_EQ(series.violation_rate(), 0.5);
+}
+
+TEST(SloSeriesTest, BoundaryIsNotAViolation) {
+  const std::vector<double> p90{2.5};
+  EXPECT_EQ(evaluate_series(p90, Slo{2.5}).violations, 0U);
+}
+
+TEST(SloSeriesTest, EmptySeriesHasZeroRate) {
+  const SloSeries series = evaluate_series({}, Slo{1.0});
+  EXPECT_DOUBLE_EQ(series.violation_rate(), 0.0);
+}
+
+TEST(SloSeriesTest, NonPositiveTargetRejected) {
+  const std::vector<double> p90{1.0};
+  EXPECT_THROW((void)evaluate_series(p90, Slo{0.0}), core::SlackError);
+}
+
+TEST(PaperSlos, ScaleWithHeadroom) {
+  const auto slos = paper_slos(2.0);
+  EXPECT_DOUBLE_EQ(slos.at(1).p90_target_ms, 2.32);
+  EXPECT_DOUBLE_EQ(slos.at(2).p90_target_ms, 2.92);
+  EXPECT_DOUBLE_EQ(slos.at(3).p90_target_ms, 6.94);
+  EXPECT_THROW((void)paper_slos(0.0), core::SlackError);
+}
+
+TEST(SloEvaluate, FullTestbedReport) {
+  TestbedConfig config;
+  config.duration = 20.0 * 60;
+  const TestbedResult result = run_testbed(config);
+  const SloReport report = evaluate(result, paper_slos(2.0));
+
+  ASSERT_EQ(report.baseline.size(), 3U);
+  ASSERT_EQ(report.slackvm.size(), 3U);
+  // The paper's core QoS claim quantified: the premium tier stays within a
+  // 2x-median SLO in both scenarios, while the 3:1 tier violates it heavily
+  // under SlackVM (the penalty lands on the tier without strict SLOs).
+  EXPECT_LT(report.baseline.at(1).violation_rate(), 0.05);
+  EXPECT_LT(report.slackvm.at(1).violation_rate(), 0.10);
+  EXPECT_GT(report.slackvm.at(3).violation_rate(),
+            report.baseline.at(3).violation_rate());
+}
+
+TEST(SloEvaluate, SkipsUnconfiguredLevels) {
+  TestbedConfig config;
+  config.duration = 10.0 * 60;
+  const TestbedResult result = run_testbed(config);
+  const std::map<std::uint8_t, Slo> only_premium{{1, Slo{5.0}}};
+  const SloReport report = evaluate(result, only_premium);
+  EXPECT_EQ(report.baseline.size(), 1U);
+  EXPECT_TRUE(report.baseline.contains(1));
+}
+
+}  // namespace
+}  // namespace slackvm::perf

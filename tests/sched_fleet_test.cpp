@@ -1,0 +1,146 @@
+#include "sched/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "sched/policy.hpp"
+#include "sched/vcluster.hpp"
+#include "sim/datacenter.hpp"
+#include "sim/replay.hpp"
+#include "workload/generator.hpp"
+
+namespace slackvm::sched {
+namespace {
+
+using core::gib;
+using core::OversubLevel;
+using core::VmId;
+using core::VmSpec;
+
+VmSpec spec(core::VcpuCount vcpus, core::MemMib mem, std::uint8_t ratio) {
+  VmSpec s;
+  s.vcpus = vcpus;
+  s.mem_mib = mem;
+  s.level = OversubLevel{ratio};
+  return s;
+}
+
+TEST(FleetSpecTest, UniformCycles) {
+  const FleetSpec fleet = FleetSpec::uniform({32, gib(128)});
+  EXPECT_FALSE(fleet.heterogeneous());
+  for (HostId id = 0; id < 5; ++id) {
+    EXPECT_EQ(fleet.config_for(id), (core::Resources{32, gib(128)}));
+  }
+}
+
+TEST(FleetSpecTest, CyclesRoundRobin) {
+  const FleetSpec fleet({{16, gib(64)}, {32, gib(256)}});
+  EXPECT_TRUE(fleet.heterogeneous());
+  EXPECT_EQ(fleet.config_for(0).cores, 16U);
+  EXPECT_EQ(fleet.config_for(1).cores, 32U);
+  EXPECT_EQ(fleet.config_for(2).cores, 16U);
+  EXPECT_EQ(fleet.config_for(7).cores, 32U);
+}
+
+TEST(FleetSpecTest, MaxConfigTakesComponentWiseMax) {
+  const FleetSpec fleet({{16, gib(256)}, {48, gib(64)}});
+  EXPECT_EQ(fleet.max_config(), (core::Resources{48, gib(256)}));
+}
+
+TEST(FleetSpecTest, EmptyOrDegenerateRejected) {
+  EXPECT_THROW(FleetSpec({}), core::SlackError);
+  EXPECT_THROW(FleetSpec({{0, gib(1)}}), core::SlackError);
+}
+
+TEST(FleetSpecTest, ToStringListsCycle) {
+  const FleetSpec fleet({{16, gib(64)}, {32, gib(128)}});
+  EXPECT_EQ(fleet.to_string(), "fleet[16c/64GiB, 32c/128GiB]");
+}
+
+TEST(FleetVCluster, OpensFleetConfigsInOrder) {
+  VCluster cluster("het", FleetSpec({{8, gib(32)}, {32, gib(128)}}),
+                   make_first_fit());
+  cluster.place(VmId{1}, spec(8, gib(8), 1));   // fills PM 0 (8 cores)
+  cluster.place(VmId{2}, spec(8, gib(8), 1));   // opens PM 1 (32 cores)
+  ASSERT_EQ(cluster.opened_hosts(), 2U);
+  EXPECT_EQ(cluster.hosts()[0].config().cores, 8U);
+  EXPECT_EQ(cluster.hosts()[1].config().cores, 32U);
+}
+
+TEST(FleetVCluster, SkipsTooSmallPmInCycle) {
+  // A VM needing 16 cores cannot use the 8-core generation: the cluster
+  // keeps opening PMs until the cycle supplies one that fits.
+  VCluster cluster("het", FleetSpec({{8, gib(32)}, {32, gib(128)}}),
+                   make_first_fit());
+  const HostId host = cluster.place(VmId{1}, spec(16, gib(8), 1));
+  EXPECT_EQ(cluster.hosts()[host].config().cores, 32U);
+}
+
+TEST(FleetVCluster, ImpossibleVmThrows) {
+  VCluster cluster("het", FleetSpec({{8, gib(32)}, {16, gib(64)}}),
+                   make_first_fit());
+  EXPECT_THROW(cluster.place(VmId{1}, spec(17, gib(8), 1)), core::SlackError);
+}
+
+TEST(FleetVCluster, ProgressScoreRoutesByTargetRatio) {
+  // One CPU-rich PM (M/C 2) and one memory-rich PM (M/C 8) are open. The
+  // progress score sends a CPU-bound VM to the CPU-rich PM and a
+  // memory-bound VM to the memory-rich one; First-Fit sends both to PM 0.
+  const FleetSpec fleet({{32, gib(64)}, {32, gib(256)}});
+  VCluster progress("p", fleet, make_progress_policy());
+  // Open both PMs: the second seed VM exceeds PM 0's remaining memory.
+  // PM 0 (target 2) ends up memory-heavy (ratio 10.25), PM 1 (target 8)
+  // CPU-heavy (ratio 3) — each needs the opposite kind of VM.
+  progress.place(VmId{1}, spec(4, gib(41), 1));
+  progress.place(VmId{2}, spec(8, gib(24), 1));
+  ASSERT_EQ(progress.opened_hosts(), 2U);
+
+  // A CPU-bound VM corrects PM 0 toward its low target.
+  const HostId cpu_vm = progress.place(VmId{3}, spec(4, gib(1), 1));
+  EXPECT_EQ(cpu_vm, 0U);
+  // A memory-bound VM corrects PM 1 toward its high target.
+  const HostId mem_vm = progress.place(VmId{4}, spec(1, gib(16), 1));
+  EXPECT_EQ(mem_vm, 1U);
+}
+
+TEST(FleetDatacenter, SharedFleetReplaysWholeTrace) {
+  const workload::Trace trace =
+      workload::Generator(workload::ovhcloud_catalog(), workload::distribution('E'),
+                          {.target_population = 80,
+                           .horizon = 2.0 * 24 * 3600,
+                           .mean_lifetime = 1.0 * 24 * 3600,
+                           .seed = 5})
+          .generate();
+  const FleetSpec fleet({{32, core::gib(96)}, {32, core::gib(192)}});
+  sim::Datacenter dc = sim::Datacenter::shared_fleet(fleet, make_progress_policy);
+  const sim::RunResult result = sim::replay(dc, trace);
+  EXPECT_EQ(result.placed_vms, trace.size());
+  EXPECT_GT(result.opened_pms, 0U);
+}
+
+TEST(FleetDatacenter, SlackVmPolicyMatchesFirstFitOnMixedFleet) {
+  // The composite policy (progress + packing pressure, §VII-B2's "weighted
+  // alongside other criteria") must never lose to plain First-Fit.
+  const workload::Trace trace =
+      workload::Generator(workload::ovhcloud_catalog(), workload::distribution('F'),
+                          {.target_population = 120,
+                           .horizon = 3.0 * 24 * 3600,
+                           .mean_lifetime = 1.5 * 24 * 3600,
+                           .seed = 9})
+          .generate();
+  const FleetSpec fleet({{32, core::gib(96)}, {32, core::gib(192)}});
+  sim::Datacenter ff = sim::Datacenter::shared_fleet(fleet, make_first_fit);
+  sim::Datacenter slack = sim::Datacenter::shared_fleet(
+      fleet, [] { return make_slackvm_policy(); });
+  const auto ff_result = sim::replay(ff, trace);
+  const auto slack_result = sim::replay(slack, trace);
+  EXPECT_LE(slack_result.opened_pms, ff_result.opened_pms);
+}
+
+TEST(SlackVmPolicy, NameReflectsComposition) {
+  EXPECT_EQ(make_slackvm_policy(0.25)->name(),
+            "score(composite(1*progress-to-target-ratio+0.25*best-fit))");
+}
+
+}  // namespace
+}  // namespace slackvm::sched

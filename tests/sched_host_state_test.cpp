@@ -1,0 +1,114 @@
+#include "sched/host_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace slackvm::sched {
+namespace {
+
+using core::gib;
+using core::OversubLevel;
+using core::VmId;
+using core::VmSpec;
+
+VmSpec spec(core::VcpuCount vcpus, core::MemMib mem, std::uint8_t ratio) {
+  VmSpec s;
+  s.vcpus = vcpus;
+  s.mem_mib = mem;
+  s.level = OversubLevel{ratio};
+  return s;
+}
+
+const core::Resources kWorker{32, gib(128)};
+
+TEST(HostStateTest, StartsEmpty) {
+  const HostState host(0, kWorker);
+  EXPECT_TRUE(host.empty());
+  EXPECT_EQ(host.alloc(), (core::Resources{}));
+  EXPECT_EQ(host.unallocated(), kWorker);
+}
+
+TEST(HostStateTest, AddCommitsIntegerCores) {
+  HostState host(0, kWorker);
+  host.add(VmId{1}, spec(4, gib(8), 3));  // ceil(4/3) = 2 cores
+  EXPECT_EQ(host.alloc(), (core::Resources{2, gib(8)}));
+  host.add(VmId{2}, spec(2, gib(4), 3));  // 6 vcpus at 3:1 -> 2 cores still
+  EXPECT_EQ(host.alloc().cores, 2U);
+  host.add(VmId{3}, spec(1, gib(1), 3));  // 7 vcpus -> 3 cores
+  EXPECT_EQ(host.alloc().cores, 3U);
+}
+
+TEST(HostStateTest, LevelsAccountSeparately) {
+  HostState host(0, kWorker);
+  host.add(VmId{1}, spec(3, gib(4), 2));  // 2 cores @2:1
+  host.add(VmId{2}, spec(3, gib(4), 3));  // 1 core @3:1
+  EXPECT_EQ(host.alloc().cores, 3U);
+  EXPECT_EQ(host.committed_vcpus(OversubLevel{2}), 3U);
+  EXPECT_EQ(host.committed_vcpus(OversubLevel{3}), 3U);
+  EXPECT_EQ(host.committed_vcpus(OversubLevel{1}), 0U);
+  const auto commitments = host.level_commitments();
+  EXPECT_EQ(commitments.size(), 2U);
+}
+
+TEST(HostStateTest, CanHostChecksBothDimensions) {
+  HostState host(0, kWorker);
+  host.add(VmId{1}, spec(30, gib(8), 1));
+  EXPECT_TRUE(host.can_host(spec(2, gib(8), 1)));
+  EXPECT_FALSE(host.can_host(spec(3, gib(8), 1)));     // 33 cores
+  EXPECT_FALSE(host.can_host(spec(1, gib(121), 1)));   // memory
+}
+
+TEST(HostStateTest, OversubVmMayBeAbsorbedBySlack) {
+  HostState host(0, core::Resources{2, gib(128)});
+  host.add(VmId{1}, spec(3, gib(1), 2));  // 2 cores (ceil 3/2), host full on CPU
+  // One more vCPU at 2:1 fits the existing rounding slack: ceil(4/2) = 2.
+  EXPECT_TRUE(host.can_host(spec(1, gib(1), 2)));
+  // But a 1:1 vCPU needs a new core.
+  EXPECT_FALSE(host.can_host(spec(1, gib(1), 1)));
+}
+
+TEST(HostStateTest, RemoveRestoresState) {
+  HostState host(0, kWorker);
+  host.add(VmId{1}, spec(4, gib(16), 2));
+  host.add(VmId{2}, spec(2, gib(8), 1));
+  host.remove(VmId{1});
+  EXPECT_EQ(host.alloc(), (core::Resources{2, gib(8)}));
+  host.remove(VmId{2});
+  EXPECT_TRUE(host.empty());
+  EXPECT_EQ(host.alloc(), (core::Resources{}));
+}
+
+TEST(HostStateTest, RemoveUnknownThrows) {
+  HostState host(0, kWorker);
+  EXPECT_THROW(host.remove(VmId{1}), core::SlackError);
+}
+
+TEST(HostStateTest, DuplicateAddThrows) {
+  HostState host(0, kWorker);
+  host.add(VmId{1}, spec(1, gib(1), 1));
+  EXPECT_THROW(host.add(VmId{1}, spec(1, gib(1), 1)), core::SlackError);
+}
+
+TEST(HostStateTest, CoresWithMatchesAddRemove) {
+  HostState host(0, kWorker);
+  host.add(VmId{1}, spec(5, gib(4), 3));
+  const VmSpec candidate = spec(2, gib(2), 3);
+  const core::CoreCount predicted = host.cores_with(candidate);
+  host.add(VmId{2}, candidate);
+  EXPECT_EQ(host.alloc().cores, predicted);
+}
+
+TEST(HostStateTest, VcpuBudgetAtSingleLevelMatchesRatio) {
+  // A dedicated 3:1 host accepts up to 96 vCPUs on 32 cores.
+  HostState host(0, kWorker);
+  for (std::uint64_t i = 0; i < 96; ++i) {
+    ASSERT_TRUE(host.can_host(spec(1, gib(1), 3))) << i;
+    host.add(VmId{i + 1}, spec(1, gib(1), 3));
+  }
+  EXPECT_FALSE(host.can_host(spec(1, gib(1), 3)));
+  EXPECT_EQ(host.alloc().cores, 32U);
+}
+
+}  // namespace
+}  // namespace slackvm::sched

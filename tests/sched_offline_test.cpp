@@ -1,0 +1,136 @@
+#include "sched/offline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "workload/analysis.hpp"
+#include "workload/generator.hpp"
+
+namespace slackvm::sched {
+namespace {
+
+using core::gib;
+using core::OversubLevel;
+using core::VmSpec;
+
+VmSpec spec(core::VcpuCount vcpus, core::MemMib mem, std::uint8_t ratio = 1) {
+  VmSpec s;
+  s.vcpus = vcpus;
+  s.mem_mib = mem;
+  s.level = OversubLevel{ratio};
+  return s;
+}
+
+const core::Resources kWorker{32, gib(128)};
+
+TEST(LowerBound, EmptySetNeedsNothing) {
+  EXPECT_EQ(lower_bound_pms({}, kWorker), 0U);
+}
+
+TEST(LowerBound, CpuDimensionDominates) {
+  // 64 fractional cores of demand, tiny memory -> 2 PMs.
+  const std::vector<VmSpec> vms(16, spec(4, gib(1)));
+  EXPECT_EQ(lower_bound_pms(vms, kWorker), 2U);
+}
+
+TEST(LowerBound, MemoryDimensionDominates) {
+  const std::vector<VmSpec> vms(10, spec(1, gib(64)));
+  EXPECT_EQ(lower_bound_pms(vms, kWorker), 5U);
+}
+
+TEST(LowerBound, OversubscriptionShrinksCpuDemand) {
+  // 96 vCPUs at 3:1 = 32 fractional cores -> 1 PM.
+  const std::vector<VmSpec> vms(32, spec(3, gib(1), 3));
+  EXPECT_EQ(lower_bound_pms(vms, kWorker), 1U);
+}
+
+TEST(LowerBound, ExactFitIsTight) {
+  const std::vector<VmSpec> vms(8, spec(4, gib(16)));
+  EXPECT_EQ(lower_bound_pms(vms, kWorker), 1U);
+}
+
+TEST(SizeKey, MeasuresBehaveAsDocumented) {
+  const VmSpec vm = spec(8, gib(16));  // cores 0.25, mem 0.125 of the worker
+  EXPECT_DOUBLE_EQ(size_key(vm, kWorker, SizeMeasure::kCores), 0.25);
+  EXPECT_DOUBLE_EQ(size_key(vm, kWorker, SizeMeasure::kMemory), 0.125);
+  EXPECT_DOUBLE_EQ(size_key(vm, kWorker, SizeMeasure::kMaxNormalized), 0.25);
+  EXPECT_DOUBLE_EQ(size_key(vm, kWorker, SizeMeasure::kSumNormalized), 0.375);
+}
+
+TEST(Ffd, PacksExactFitPerfectly) {
+  const std::vector<VmSpec> vms(16, spec(4, gib(16)));
+  EXPECT_EQ(pack_ffd(vms, kWorker), 2U);
+}
+
+TEST(Ffd, DecreasingOrderBeatsPathologicalArrival) {
+  // Classic bin-packing instance: large items after small ones. FFD sorts
+  // first, so the arrival order cannot hurt it.
+  std::vector<VmSpec> vms;
+  for (int i = 0; i < 8; ++i) {
+    vms.push_back(spec(4, gib(4)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    vms.push_back(spec(24, gib(16)));
+  }
+  // Demand: 32+96 = 128 fractional cores = 4 PMs at the bound.
+  const std::size_t bins = pack_ffd(vms, kWorker);
+  EXPECT_EQ(bins, lower_bound_pms(vms, kWorker));
+}
+
+TEST(Bfd, NeverWorseThanLowerBoundAndSane) {
+  const std::vector<VmSpec> vms{spec(16, gib(8)), spec(16, gib(8)), spec(8, gib(96)),
+                                spec(8, gib(96)), spec(2, gib(32))};
+  const std::size_t bins = pack_bfd(vms, kWorker);
+  EXPECT_GE(bins, lower_bound_pms(vms, kWorker));
+  EXPECT_LE(bins, vms.size());
+}
+
+TEST(Offline, OversizedVmThrows) {
+  const std::vector<VmSpec> vms{spec(33, gib(1))};
+  EXPECT_THROW((void)pack_ffd(vms, kWorker), core::SlackError);
+}
+
+// Property: on random mixed-level workloads, lower bound <= BFD <= FFD+1ish
+// and both heuristics stay within a small factor of the bound.
+class OfflineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OfflineProperty, HeuristicsBracketTheBound) {
+  core::SplitMix64 rng(GetParam());
+  std::vector<VmSpec> vms;
+  for (int i = 0; i < 120; ++i) {
+    vms.push_back(spec(static_cast<core::VcpuCount>(1 + rng.below(8)),
+                       gib(static_cast<std::int64_t>(1 + rng.below(32))),
+                       static_cast<std::uint8_t>(1 + rng.below(3))));
+  }
+  const std::size_t bound = lower_bound_pms(vms, kWorker);
+  const std::size_t ffd = pack_ffd(vms, kWorker);
+  const std::size_t bfd = pack_bfd(vms, kWorker);
+  EXPECT_GE(ffd, bound);
+  EXPECT_GE(bfd, bound);
+  // Vector FFD/BFD are near-optimal on these benign instances.
+  EXPECT_LE(static_cast<double>(ffd), 1.6 * static_cast<double>(bound) + 1.0);
+  EXPECT_LE(static_cast<double>(bfd), 1.6 * static_cast<double>(bound) + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OfflineProperty, ::testing::Values(1, 2, 3, 7, 21));
+
+TEST(Offline, PeakSnapshotOfTraceIsPackable) {
+  const workload::Trace trace =
+      workload::Generator(workload::azure_catalog(), workload::distribution('E'),
+                          {.target_population = 100,
+                           .horizon = 2.0 * 24 * 3600,
+                           .mean_lifetime = 1.0 * 24 * 3600,
+                           .seed = 13})
+          .generate();
+  const auto snapshot = workload::peak_snapshot(trace);
+  ASSERT_FALSE(snapshot.empty());
+  const std::size_t bound = lower_bound_pms(snapshot, kWorker);
+  const std::size_t ffd = pack_ffd(snapshot, kWorker);
+  EXPECT_GE(ffd, bound);
+  EXPECT_LE(ffd, bound + 3);
+}
+
+}  // namespace
+}  // namespace slackvm::sched

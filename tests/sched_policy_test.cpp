@@ -1,0 +1,114 @@
+#include "sched/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace slackvm::sched {
+namespace {
+
+using core::gib;
+using core::OversubLevel;
+using core::VmId;
+using core::VmSpec;
+
+VmSpec spec(core::VcpuCount vcpus, core::MemMib mem, std::uint8_t ratio) {
+  VmSpec s;
+  s.vcpus = vcpus;
+  s.mem_mib = mem;
+  s.level = OversubLevel{ratio};
+  return s;
+}
+
+const core::Resources kWorker{32, gib(128)};
+
+std::vector<HostState> make_hosts(std::size_t n) {
+  std::vector<HostState> hosts;
+  for (std::size_t i = 0; i < n; ++i) {
+    hosts.emplace_back(static_cast<HostId>(i), kWorker);
+  }
+  return hosts;
+}
+
+TEST(FirstFit, PicksLowestFeasibleIndex) {
+  auto hosts = make_hosts(3);
+  hosts[0].add(VmId{1}, spec(32, gib(32), 1));  // full on CPU
+  const FirstFitPolicy policy;
+  const auto chosen = policy.select(hosts, spec(4, gib(4), 1));
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(*chosen, 1U);
+}
+
+TEST(FirstFit, NulloptWhenNothingFits) {
+  auto hosts = make_hosts(2);
+  hosts[0].add(VmId{1}, spec(32, gib(1), 1));
+  hosts[1].add(VmId{2}, spec(32, gib(1), 1));
+  const FirstFitPolicy policy;
+  EXPECT_FALSE(policy.select(hosts, spec(1, gib(1), 1)).has_value());
+}
+
+TEST(FirstFit, EmptyClusterReturnsNullopt) {
+  const std::vector<HostState> hosts;
+  const FirstFitPolicy policy;
+  EXPECT_FALSE(policy.select(hosts, spec(1, gib(1), 1)).has_value());
+}
+
+TEST(ScorePolicyTest, PicksHighestScore) {
+  auto hosts = make_hosts(3);
+  // Make host 2 CPU-heavy so a memory-heavy VM scores best there.
+  hosts[2].add(VmId{1}, spec(16, gib(16), 1));
+  const ScorePolicy policy(std::make_unique<ProgressScorer>());
+  const auto chosen = policy.select(hosts, spec(1, gib(8), 1));
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(*chosen, 2U);
+}
+
+TEST(ScorePolicyTest, TieBreaksOnLowestIndex) {
+  auto hosts = make_hosts(4);
+  const ScorePolicy policy(std::make_unique<ProgressScorer>());
+  // All hosts empty -> identical scores -> lowest id wins.
+  const auto chosen = policy.select(hosts, spec(2, gib(8), 1));
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(*chosen, 0U);
+}
+
+TEST(ScorePolicyTest, SkipsInfeasibleEvenIfBestScoring) {
+  auto hosts = make_hosts(2);
+  hosts[0].add(VmId{1}, spec(16, gib(8), 1));    // CPU heavy, would score best
+  hosts[0].add(VmId{2}, spec(1, gib(118), 1));   // ...but memory-full
+  const ScorePolicy policy(std::make_unique<ProgressScorer>());
+  const auto chosen = policy.select(hosts, spec(1, gib(8), 1));
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(*chosen, 1U);
+}
+
+TEST(ScorePolicyTest, BestFitConsolidates) {
+  auto hosts = make_hosts(2);
+  hosts[1].add(VmId{1}, spec(8, gib(32), 1));
+  const auto policy = make_best_fit();
+  const auto chosen = policy->select(hosts, spec(1, gib(4), 1));
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(*chosen, 1U);  // fuller host preferred
+}
+
+TEST(ScorePolicyTest, WorstFitSpreads) {
+  auto hosts = make_hosts(2);
+  hosts[1].add(VmId{1}, spec(8, gib(32), 1));
+  const auto policy = make_worst_fit();
+  const auto chosen = policy->select(hosts, spec(1, gib(4), 1));
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(*chosen, 0U);  // emptier host preferred
+}
+
+TEST(PolicyFactories, NamesAreDescriptive) {
+  EXPECT_EQ(make_first_fit()->name(), "first-fit");
+  EXPECT_EQ(make_progress_policy()->name(), "score(progress-to-target-ratio)");
+  EXPECT_EQ(make_best_fit()->name(), "score(best-fit)");
+}
+
+TEST(ScorePolicyTest, NullScorerRejected) {
+  EXPECT_THROW(ScorePolicy{nullptr}, core::SlackError);
+}
+
+}  // namespace
+}  // namespace slackvm::sched

@@ -1,0 +1,139 @@
+#include "sched/rebalancer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "sched/policy.hpp"
+
+namespace slackvm::sched {
+namespace {
+
+using core::gib;
+using core::OversubLevel;
+using core::VmId;
+using core::VmSpec;
+
+VmSpec spec(core::VcpuCount vcpus, core::MemMib mem, std::uint8_t ratio) {
+  VmSpec s;
+  s.vcpus = vcpus;
+  s.mem_mib = mem;
+  s.level = OversubLevel{ratio};
+  return s;
+}
+
+const core::Resources kWorker{32, gib(128)};
+
+TEST(VClusterMigrate, MovesVmBetweenHosts) {
+  VCluster cluster("c", kWorker, make_first_fit());
+  cluster.place(VmId{1}, spec(30, gib(8), 1));  // host 0 nearly full
+  cluster.place(VmId{2}, spec(4, gib(8), 1));   // overflows to host 1
+  ASSERT_EQ(cluster.opened_hosts(), 2U);
+  ASSERT_EQ(cluster.host_of(VmId{2}), 1U);
+  // After VM 1 departs, VM 2 can migrate back to host 0.
+  cluster.remove(VmId{1});
+  EXPECT_TRUE(cluster.migrate(VmId{2}, 0));
+  EXPECT_EQ(cluster.host_of(VmId{2}), 0U);
+  EXPECT_TRUE(cluster.hosts()[1].empty());
+}
+
+TEST(VClusterMigrate, RejectedMoveLeavesStateIntact) {
+  VCluster cluster("c", kWorker, make_first_fit());
+  cluster.place(VmId{1}, spec(30, gib(8), 1));
+  cluster.place(VmId{2}, spec(4, gib(8), 1));
+  EXPECT_FALSE(cluster.migrate(VmId{2}, 0));  // host 0 cannot take 4 more cores
+  EXPECT_EQ(cluster.host_of(VmId{2}), 1U);
+  EXPECT_EQ(cluster.hosts()[1].vm_count(), 1U);
+}
+
+TEST(VClusterMigrate, SelfMigrationIsNoop) {
+  VCluster cluster("c", kWorker, make_first_fit());
+  cluster.place(VmId{1}, spec(2, gib(2), 1));
+  EXPECT_TRUE(cluster.migrate(VmId{1}, 0));
+  EXPECT_EQ(cluster.host_of(VmId{1}), 0U);
+}
+
+TEST(VClusterMigrate, UnknownVmOrHostThrows) {
+  VCluster cluster("c", kWorker, make_first_fit());
+  cluster.place(VmId{1}, spec(2, gib(2), 1));
+  EXPECT_THROW(cluster.migrate(VmId{9}, 0), core::SlackError);
+  EXPECT_THROW(cluster.migrate(VmId{1}, 5), core::SlackError);
+}
+
+TEST(RebalancerTest, DrainsStragglerHost) {
+  // Build the post-churn pattern the paper's future work targets: two
+  // lightly used hosts that fit onto one.
+  VCluster cluster("c", kWorker, make_first_fit());
+  cluster.place(VmId{1}, spec(30, gib(8), 1));
+  cluster.place(VmId{2}, spec(8, gib(8), 1));  // host 1
+  cluster.place(VmId{3}, spec(4, gib(8), 1));  // host 1
+  cluster.remove(VmId{1});                     // host 0 now empty-ish
+  cluster.place(VmId{4}, spec(2, gib(2), 1));  // lands on host 0 (first fit)
+  ASSERT_EQ(cluster.host_of(VmId{4}), 0U);
+
+  const Rebalancer rebalancer;
+  const MigrationPlan plan = rebalancer.plan(cluster, 10);
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(plan.hosts_emptied, 1U);
+  const std::size_t applied = Rebalancer::apply_plan(cluster, plan);
+  EXPECT_EQ(applied, plan.migrations.size());
+  // One of the two hosts is now empty.
+  const bool host0_empty = cluster.hosts()[0].empty();
+  const bool host1_empty = cluster.hosts()[1].empty();
+  EXPECT_TRUE(host0_empty || host1_empty);
+}
+
+TEST(RebalancerTest, RespectsMigrationBudget) {
+  VCluster cluster("c", kWorker, make_first_fit());
+  // Host 0 full; host 1 has 3 VMs that would all need to move.
+  cluster.place(VmId{1}, spec(20, gib(8), 1));
+  for (std::uint64_t i = 2; i <= 4; ++i) {
+    cluster.place(VmId{i}, spec(16, gib(8), 1));  // forces extra hosts
+  }
+  const Rebalancer rebalancer;
+  const MigrationPlan plan = rebalancer.plan(cluster, 0);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(RebalancerTest, NoPlanOnWellPackedCluster) {
+  VCluster cluster("c", kWorker, make_first_fit());
+  cluster.place(VmId{1}, spec(32, gib(8), 1));
+  cluster.place(VmId{2}, spec(32, gib(8), 1));
+  const Rebalancer rebalancer;
+  EXPECT_TRUE(rebalancer.plan(cluster, 10).empty());
+}
+
+TEST(RebalancerTest, PlanDoesNotMutateCluster) {
+  VCluster cluster("c", kWorker, make_first_fit());
+  cluster.place(VmId{1}, spec(4, gib(8), 1));
+  cluster.place(VmId{2}, spec(30, gib(8), 1));  // host 1
+  const Rebalancer rebalancer;
+  (void)rebalancer.plan(cluster, 10);
+  EXPECT_EQ(cluster.host_of(VmId{1}), 0U);
+  EXPECT_EQ(cluster.host_of(VmId{2}), 1U);
+}
+
+TEST(RebalancerTest, MultiLevelDrainKeepsVNodeAccounting) {
+  // Mixed-level VMs migrate with their oversubscription semantics intact.
+  VCluster cluster("c", kWorker, make_progress_policy());
+  cluster.place(VmId{1}, spec(24, gib(24), 1));
+  cluster.place(VmId{2}, spec(12, gib(12), 3));   // 4 cores, same host
+  cluster.place(VmId{3}, spec(30, gib(30), 1));   // host 1
+  cluster.place(VmId{4}, spec(3, gib(4), 3));     // host 1 (1 core)
+  cluster.remove(VmId{1});
+  cluster.remove(VmId{2});
+  // Host 0 nearly empty now; place a small VM there.
+  cluster.place(VmId{5}, spec(2, gib(2), 2));
+  const Rebalancer rebalancer;
+  const MigrationPlan plan = rebalancer.plan(cluster, 10);
+  Rebalancer::apply_plan(cluster, plan);
+  // All VMs still placed; totals consistent.
+  EXPECT_EQ(cluster.vm_count(), 3U);
+  core::Resources total;
+  for (const HostState& host : cluster.hosts()) {
+    total += host.alloc();
+  }
+  EXPECT_EQ(total, cluster.total_alloc());
+}
+
+}  // namespace
+}  // namespace slackvm::sched

@@ -1,0 +1,111 @@
+#include "sched/vcluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace slackvm::sched {
+namespace {
+
+using core::gib;
+using core::OversubLevel;
+using core::VmId;
+using core::VmSpec;
+
+VmSpec spec(core::VcpuCount vcpus, core::MemMib mem, std::uint8_t ratio) {
+  VmSpec s;
+  s.vcpus = vcpus;
+  s.mem_mib = mem;
+  s.level = OversubLevel{ratio};
+  return s;
+}
+
+const core::Resources kWorker{32, gib(128)};
+
+VCluster make_ff_cluster() {
+  return VCluster("test", kWorker, std::make_unique<FirstFitPolicy>());
+}
+
+TEST(VClusterTest, OpensHostOnDemand) {
+  VCluster cluster = make_ff_cluster();
+  EXPECT_EQ(cluster.opened_hosts(), 0U);
+  cluster.place(VmId{1}, spec(4, gib(8), 1));
+  EXPECT_EQ(cluster.opened_hosts(), 1U);
+}
+
+TEST(VClusterTest, FirstFitFillsBeforeOpening) {
+  VCluster cluster = make_ff_cluster();
+  // 8 VMs of 4 cores fill one worker exactly.
+  for (std::uint64_t i = 1; i <= 8; ++i) {
+    cluster.place(VmId{i}, spec(4, gib(8), 1));
+  }
+  EXPECT_EQ(cluster.opened_hosts(), 1U);
+  cluster.place(VmId{9}, spec(4, gib(8), 1));
+  EXPECT_EQ(cluster.opened_hosts(), 2U);
+}
+
+TEST(VClusterTest, EmptiedHostsAreReused) {
+  VCluster cluster = make_ff_cluster();
+  for (std::uint64_t i = 1; i <= 9; ++i) {
+    cluster.place(VmId{i}, spec(4, gib(8), 1));
+  }
+  ASSERT_EQ(cluster.opened_hosts(), 2U);
+  for (std::uint64_t i = 1; i <= 9; ++i) {
+    cluster.remove(VmId{i});
+  }
+  // Opened count never shrinks (PMs were provisioned)...
+  EXPECT_EQ(cluster.opened_hosts(), 2U);
+  // ...but new placements reuse host 0 first.
+  EXPECT_EQ(cluster.place(VmId{10}, spec(1, gib(1), 1)), 0U);
+  EXPECT_EQ(cluster.opened_hosts(), 2U);
+}
+
+TEST(VClusterTest, HostOfTracksPlacement) {
+  VCluster cluster = make_ff_cluster();
+  const HostId host = cluster.place(VmId{1}, spec(2, gib(4), 1));
+  EXPECT_EQ(cluster.host_of(VmId{1}), host);
+  cluster.remove(VmId{1});
+  EXPECT_THROW((void)cluster.host_of(VmId{1}), core::SlackError);
+}
+
+TEST(VClusterTest, RemoveUnknownThrows) {
+  VCluster cluster = make_ff_cluster();
+  EXPECT_THROW(cluster.remove(VmId{5}), core::SlackError);
+}
+
+TEST(VClusterTest, OversizedVmThrows) {
+  VCluster cluster = make_ff_cluster();
+  EXPECT_THROW(cluster.place(VmId{1}, spec(33, gib(8), 1)), core::SlackError);
+  EXPECT_THROW(cluster.place(VmId{2}, spec(1, gib(129), 1)), core::SlackError);
+}
+
+TEST(VClusterTest, TotalsAggregate) {
+  VCluster cluster = make_ff_cluster();
+  cluster.place(VmId{1}, spec(4, gib(8), 1));
+  cluster.place(VmId{2}, spec(30, gib(16), 1));  // forces a second host
+  EXPECT_EQ(cluster.opened_hosts(), 2U);
+  EXPECT_EQ(cluster.total_config(), (core::Resources{64, gib(256)}));
+  EXPECT_EQ(cluster.total_alloc(), (core::Resources{34, gib(24)}));
+}
+
+TEST(VClusterTest, VmCountTracksLiveVms) {
+  VCluster cluster = make_ff_cluster();
+  cluster.place(VmId{1}, spec(1, gib(1), 1));
+  cluster.place(VmId{2}, spec(1, gib(1), 1));
+  EXPECT_EQ(cluster.vm_count(), 2U);
+  cluster.remove(VmId{1});
+  EXPECT_EQ(cluster.vm_count(), 1U);
+}
+
+TEST(VClusterTest, MultiLevelHostsOnSharedCluster) {
+  // A shared cluster accepts mixed levels on one host (vNode accounting).
+  VCluster cluster("shared", kWorker, make_progress_policy());
+  cluster.place(VmId{1}, spec(16, gib(16), 1));
+  cluster.place(VmId{2}, spec(24, gib(24), 3));  // 8 cores
+  cluster.place(VmId{3}, spec(8, gib(64), 2));   // 4 cores
+  EXPECT_EQ(cluster.opened_hosts(), 1U);
+  EXPECT_EQ(cluster.total_alloc(), (core::Resources{28, gib(104)}));
+}
+
+}  // namespace
+}  // namespace slackvm::sched

@@ -1,0 +1,117 @@
+#include "sim/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/policy.hpp"
+#include "sim/replay.hpp"
+#include "workload/generator.hpp"
+
+namespace slackvm::sim {
+namespace {
+
+using core::gib;
+
+const core::Resources kWorker{32, gib(128)};
+
+core::VmInstance make_vm(std::uint64_t id, core::SimTime arrival, core::SimTime departure,
+                         core::VcpuCount vcpus, std::uint8_t ratio = 1) {
+  core::VmInstance vm;
+  vm.id = core::VmId{id};
+  vm.spec.vcpus = vcpus;
+  vm.spec.mem_mib = gib(4);
+  vm.spec.level = core::OversubLevel{ratio};
+  vm.arrival = arrival;
+  vm.departure = departure;
+  return vm;
+}
+
+DatacenterFactory shared_factory(const sim::PolicyFactory& policy) {
+  return [policy] { return Datacenter::shared(kWorker, policy); };
+}
+
+TEST(FixedFleet, TryDeployRejectsBeyondCap) {
+  Datacenter dc = Datacenter::shared(kWorker, sched::make_first_fit);
+  dc.set_max_hosts_per_cluster(1);
+  EXPECT_TRUE(dc.try_deploy(core::VmId{1}, make_vm(1, 0, 1, 32).spec));
+  EXPECT_FALSE(dc.try_deploy(core::VmId{2}, make_vm(2, 0, 1, 4).spec));
+  EXPECT_EQ(dc.opened_pms(), 1U);
+  EXPECT_EQ(dc.vm_count(), 1U);
+}
+
+TEST(FixedFleet, RejectionLeavesClusterUnchanged) {
+  sched::VCluster cluster("capped", kWorker, sched::make_first_fit());
+  cluster.set_max_hosts(1);
+  ASSERT_TRUE(cluster.try_place(core::VmId{1}, make_vm(1, 0, 1, 32).spec));
+  const auto before = cluster.total_alloc();
+  EXPECT_FALSE(cluster.try_place(core::VmId{2}, make_vm(2, 0, 1, 1).spec).has_value());
+  EXPECT_EQ(cluster.total_alloc(), before);
+  EXPECT_EQ(cluster.opened_hosts(), 1U);
+}
+
+TEST(FixedFleet, FeasibilityMatchesHandComputedBound) {
+  // Two concurrent 32-core VMs need 2 PMs; sequential ones need 1.
+  const workload::Trace concurrent(
+      {make_vm(1, 0, 100, 32), make_vm(2, 50, 150, 32)});
+  EXPECT_FALSE(feasible_with(shared_factory(sched::make_first_fit), concurrent, 1));
+  EXPECT_TRUE(feasible_with(shared_factory(sched::make_first_fit), concurrent, 2));
+
+  const workload::Trace sequential(
+      {make_vm(1, 0, 100, 32), make_vm(2, 100, 200, 32)});
+  EXPECT_TRUE(feasible_with(shared_factory(sched::make_first_fit), sequential, 1));
+}
+
+TEST(FixedFleet, MinFleetNeverExceedsElastic) {
+  const workload::Trace trace =
+      workload::Generator(workload::ovhcloud_catalog(), workload::distribution('F'),
+                          {.target_population = 100,
+                           .horizon = 3.0 * 24 * 3600,
+                           .mean_lifetime = 1.0 * 24 * 3600,
+                           .seed = 17})
+          .generate();
+  for (const sim::PolicyFactory& policy :
+       {sim::PolicyFactory(sched::make_first_fit),
+        sim::PolicyFactory(sched::make_progress_policy)}) {
+    const MinFleetResult result = find_min_fleet(shared_factory(policy), trace);
+    EXPECT_GE(result.elastic_pms, result.min_pms);
+    EXPECT_GT(result.min_pms, 0U);
+    EXPECT_GT(result.probes, 0U);
+  }
+}
+
+TEST(FixedFleet, FirstFitElasticEqualsFixedMin) {
+  // First-Fit never prefers a later host, so lazily-opened PMs change
+  // nothing: the elastic count is already its minimal fleet.
+  const workload::Trace trace =
+      workload::Generator(workload::azure_catalog(), workload::distribution('E'),
+                          {.target_population = 80,
+                           .horizon = 2.0 * 24 * 3600,
+                           .mean_lifetime = 1.0 * 24 * 3600,
+                           .seed = 23})
+          .generate();
+  const MinFleetResult result =
+      find_min_fleet(shared_factory(sched::make_first_fit), trace);
+  EXPECT_EQ(result.min_pms, result.elastic_pms);
+}
+
+TEST(FixedFleet, EmptyTraceNeedsNoFleet) {
+  const MinFleetResult result =
+      find_min_fleet(shared_factory(sched::make_first_fit), workload::Trace{});
+  EXPECT_EQ(result.elastic_pms, 0U);
+  EXPECT_EQ(result.min_pms, 0U);
+}
+
+TEST(FixedFleet, DedicatedModeCapsPerCluster) {
+  const workload::Trace trace({make_vm(1, 0, 100, 32, 1), make_vm(2, 0, 100, 32, 1),
+                               make_vm(3, 0, 100, 96, 3)});
+  const DatacenterFactory factory = [] {
+    return Datacenter::dedicated(kWorker,
+                                 {core::OversubLevel{1}, core::OversubLevel{3}},
+                                 sched::make_first_fit);
+  };
+  // Per-cluster cap 1: the two 1:1 VMs cannot coexist.
+  EXPECT_FALSE(feasible_with(factory, trace, 1));
+  EXPECT_TRUE(feasible_with(factory, trace, 2));
+}
+
+}  // namespace
+}  // namespace slackvm::sim

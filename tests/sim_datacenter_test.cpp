@@ -1,0 +1,94 @@
+#include "sim/datacenter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "sched/policy.hpp"
+
+namespace slackvm::sim {
+namespace {
+
+using core::gib;
+using core::OversubLevel;
+using core::VmId;
+using core::VmSpec;
+
+VmSpec spec(core::VcpuCount vcpus, core::MemMib mem, std::uint8_t ratio) {
+  VmSpec s;
+  s.vcpus = vcpus;
+  s.mem_mib = mem;
+  s.level = OversubLevel{ratio};
+  return s;
+}
+
+const core::Resources kWorker{32, gib(128)};
+
+std::vector<OversubLevel> all_levels() {
+  return {OversubLevel{1}, OversubLevel{2}, OversubLevel{3}};
+}
+
+TEST(DatacenterTest, DedicatedRoutesByLevel) {
+  Datacenter dc = Datacenter::dedicated(kWorker, all_levels(), sched::make_first_fit);
+  dc.deploy(VmId{1}, spec(2, gib(4), 1));
+  dc.deploy(VmId{2}, spec(2, gib(4), 2));
+  dc.deploy(VmId{3}, spec(2, gib(4), 3));
+  const auto opened = dc.opened_per_cluster();
+  EXPECT_EQ(opened.at("dedicated-1:1"), 1U);
+  EXPECT_EQ(opened.at("dedicated-2:1"), 1U);
+  EXPECT_EQ(opened.at("dedicated-3:1"), 1U);
+  EXPECT_EQ(dc.opened_pms(), 3U);
+}
+
+TEST(DatacenterTest, DedicatedRejectsUnknownLevel) {
+  Datacenter dc = Datacenter::dedicated(kWorker, {OversubLevel{1}}, sched::make_first_fit);
+  EXPECT_THROW(dc.deploy(VmId{1}, spec(1, gib(1), 2)), core::SlackError);
+}
+
+TEST(DatacenterTest, SharedCoHostsAllLevels) {
+  Datacenter dc = Datacenter::shared(kWorker, sched::make_progress_policy);
+  dc.deploy(VmId{1}, spec(2, gib(4), 1));
+  dc.deploy(VmId{2}, spec(2, gib(4), 2));
+  dc.deploy(VmId{3}, spec(2, gib(4), 3));
+  EXPECT_EQ(dc.opened_pms(), 1U);
+  EXPECT_TRUE(dc.is_shared());
+}
+
+TEST(DatacenterTest, RemoveFreesResources) {
+  Datacenter dc = Datacenter::shared(kWorker, sched::make_progress_policy);
+  dc.deploy(VmId{1}, spec(4, gib(8), 1));
+  EXPECT_EQ(dc.vm_count(), 1U);
+  dc.remove(VmId{1});
+  EXPECT_EQ(dc.vm_count(), 0U);
+  EXPECT_EQ(dc.total_alloc(), (core::Resources{0, 0}));
+}
+
+TEST(DatacenterTest, RemoveUnknownThrows) {
+  Datacenter dc = Datacenter::shared(kWorker, sched::make_progress_policy);
+  EXPECT_THROW(dc.remove(VmId{12}), core::SlackError);
+}
+
+TEST(DatacenterTest, TotalsAggregateAcrossClusters) {
+  Datacenter dc = Datacenter::dedicated(kWorker, all_levels(), sched::make_first_fit);
+  dc.deploy(VmId{1}, spec(4, gib(8), 1));   // 4 cores
+  dc.deploy(VmId{2}, spec(4, gib(8), 2));   // 2 cores
+  EXPECT_EQ(dc.total_alloc(), (core::Resources{6, gib(16)}));
+  EXPECT_EQ(dc.total_config(), (core::Resources{64, gib(256)}));
+}
+
+TEST(DatacenterTest, ThresholdEffectOfDedicatedClusters) {
+  // The structural inefficiency SlackVM removes: three half-empty dedicated
+  // PMs where a single shared PM would do.
+  Datacenter dedicated =
+      Datacenter::dedicated(kWorker, all_levels(), sched::make_first_fit);
+  Datacenter shared = Datacenter::shared(kWorker, sched::make_progress_policy);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const VmSpec s = spec(4, gib(8), static_cast<std::uint8_t>(i + 1));
+    dedicated.deploy(VmId{i * 2 + 1}, s);
+    shared.deploy(VmId{i * 2 + 2}, s);
+  }
+  EXPECT_EQ(dedicated.opened_pms(), 3U);
+  EXPECT_EQ(shared.opened_pms(), 1U);
+}
+
+}  // namespace
+}  // namespace slackvm::sim

@@ -1,0 +1,89 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace slackvm::sim {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(30.0, [&](core::SimTime) { order.push_back(3); });
+  queue.schedule(10.0, [&](core::SimTime) { order.push_back(1); });
+  queue.schedule(20.0, [&](core::SimTime) { order.push_back(2); });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 30.0);
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule(7.0, [&order, i](core::SimTime) { order.push_back(i); });
+  }
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, ActionReceivesFireTime) {
+  EventQueue queue;
+  core::SimTime seen = -1;
+  queue.schedule(42.0, [&](core::SimTime t) { seen = t; });
+  queue.run();
+  EXPECT_DOUBLE_EQ(seen, 42.0);
+}
+
+TEST(EventQueueTest, ReentrantScheduling) {
+  EventQueue queue;
+  std::vector<core::SimTime> fired;
+  queue.schedule(1.0, [&](core::SimTime t) {
+    fired.push_back(t);
+    queue.schedule(t + 1.0, [&](core::SimTime t2) { fired.push_back(t2); });
+  });
+  queue.run();
+  EXPECT_EQ(fired, (std::vector<core::SimTime>{1.0, 2.0}));
+}
+
+TEST(EventQueueTest, SchedulingInThePastThrows) {
+  EventQueue queue;
+  queue.schedule(10.0, [](core::SimTime) {});
+  queue.run();
+  EXPECT_THROW(queue.schedule(5.0, [](core::SimTime) {}), core::SlackError);
+}
+
+TEST(EventQueueTest, StepReturnsFalseWhenEmpty) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.step());
+  queue.schedule(1.0, [](core::SimTime) {});
+  EXPECT_TRUE(queue.step());
+  EXPECT_FALSE(queue.step());
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.schedule(1.0, [&](core::SimTime) { fired.push_back(1); });
+  queue.schedule(5.0, [&](core::SimTime) { fired.push_back(5); });
+  queue.run_until(3.0);
+  EXPECT_EQ(fired, std::vector<int>{1});
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+  EXPECT_EQ(queue.pending(), 1U);
+  queue.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 5}));
+}
+
+TEST(EventQueueTest, PendingCountsScheduled) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  queue.schedule(1.0, [](core::SimTime) {});
+  queue.schedule(2.0, [](core::SimTime) {});
+  EXPECT_EQ(queue.pending(), 2U);
+}
+
+}  // namespace
+}  // namespace slackvm::sim

@@ -1,0 +1,113 @@
+// Scaled-down versions of the Fig. 3 / Fig. 4 protocols; the full-scale
+// sweeps live in the bench harness.
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slackvm::sim {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.generator.target_population = 150;
+  cfg.generator.horizon = 3.0 * 24 * 3600;
+  cfg.generator.mean_lifetime = 1.5 * 24 * 3600;
+  cfg.generator.seed = 42;
+  return cfg;
+}
+
+TEST(ExperimentTest, HeadlineDistributionFSavesPms) {
+  // F = 50% 1:1 (CPU-bound) + 50% 3:1 (memory-bound): the complementary
+  // pairing where the paper reports its peak 9.6% saving.
+  const PackingComparison cmp =
+      compare_packing(workload::ovhcloud_catalog(), workload::distribution('F'),
+                      small_config());
+  EXPECT_GT(cmp.pm_saving_pct(), 2.0);
+  EXPECT_LT(cmp.slackvm.opened_pms, cmp.baseline.opened_pms);
+  EXPECT_EQ(cmp.provider, "ovhcloud");
+  EXPECT_EQ(cmp.distribution, "F");
+}
+
+TEST(ExperimentTest, SingleLevelDistributionsSaveLittle) {
+  // A (all 1:1) and O (all 3:1) have nothing to pool: savings are at most
+  // the marginal threshold effect.
+  for (char letter : {'A', 'O'}) {
+    const PackingComparison cmp = compare_packing(
+        workload::ovhcloud_catalog(), workload::distribution(letter), small_config());
+    EXPECT_LE(std::abs(cmp.pm_saving_pct()), 5.0) << letter;
+  }
+}
+
+TEST(ExperimentTest, BothSidesPlaceWholeTrace) {
+  const PackingComparison cmp = compare_packing(
+      workload::azure_catalog(), workload::distribution('E'), small_config());
+  EXPECT_EQ(cmp.baseline.placed_vms, cmp.slackvm.placed_vms);
+  EXPECT_GT(cmp.baseline.placed_vms, 100U);
+}
+
+TEST(ExperimentTest, UnallocSharesShiftWithOversubscription) {
+  // Fig. 3 shape: distribution A (1:1 only) strands memory (CPU-bound);
+  // distribution O (3:1 only) strands CPU (memory-bound).
+  const ExperimentConfig cfg = small_config();
+  const PackingComparison a =
+      compare_packing(workload::ovhcloud_catalog(), workload::distribution('A'), cfg);
+  const PackingComparison o =
+      compare_packing(workload::ovhcloud_catalog(), workload::distribution('O'), cfg);
+  EXPECT_GT(a.baseline.avg_unalloc_mem_share, a.baseline.avg_unalloc_cpu_share);
+  EXPECT_GT(o.baseline.avg_unalloc_cpu_share, o.baseline.avg_unalloc_mem_share);
+}
+
+TEST(ExperimentTest, SlackVmReducesStrandedResourcesOnF) {
+  const PackingComparison cmp = compare_packing(
+      workload::ovhcloud_catalog(), workload::distribution('F'), small_config());
+  const double base_stranded =
+      cmp.baseline.avg_unalloc_cpu_share + cmp.baseline.avg_unalloc_mem_share;
+  const double slack_stranded =
+      cmp.slackvm.avg_unalloc_cpu_share + cmp.slackvm.avg_unalloc_mem_share;
+  EXPECT_LT(slack_stranded, base_stranded);
+}
+
+TEST(ExperimentTest, SweepCoversAllFifteenDistributions) {
+  ExperimentConfig cfg = small_config();
+  cfg.generator.target_population = 60;  // keep the sweep quick
+  const auto sweep = run_distribution_sweep(workload::azure_catalog(), cfg);
+  ASSERT_EQ(sweep.size(), 15U);
+  EXPECT_EQ(sweep.front().distribution, "A");
+  EXPECT_EQ(sweep.back().distribution, "O");
+}
+
+TEST(ExperimentTest, HeatmapIsLowerTriangularGrid) {
+  ExperimentConfig cfg = small_config();
+  cfg.generator.target_population = 60;
+  const auto cells = run_savings_heatmap(workload::azure_catalog(), cfg);
+  ASSERT_EQ(cells.size(), 15U);
+  for (const HeatmapCell& cell : cells) {
+    EXPECT_GE(cell.pct_1to1, 0);
+    EXPECT_GE(cell.pct_2to1, 0);
+    EXPECT_LE(cell.pct_1to1 + cell.pct_2to1, 100);
+  }
+}
+
+TEST(ExperimentTest, RepetitionsAverageDeterministically) {
+  ExperimentConfig cfg = small_config();
+  cfg.generator.target_population = 60;
+  cfg.repetitions = 2;
+  const PackingComparison first = compare_packing(
+      workload::azure_catalog(), workload::distribution('F'), cfg);
+  const PackingComparison second = compare_packing(
+      workload::azure_catalog(), workload::distribution('F'), cfg);
+  EXPECT_EQ(first.baseline.opened_pms, second.baseline.opened_pms);
+  EXPECT_EQ(first.slackvm.opened_pms, second.slackvm.opened_pms);
+}
+
+TEST(ExperimentTest, SavingPctFormula) {
+  PackingComparison cmp;
+  cmp.baseline.opened_pms = 83;
+  cmp.slackvm.opened_pms = 75;
+  EXPECT_NEAR(cmp.pm_saving_pct(), 9.6, 0.1);  // the paper's headline case
+  cmp.baseline.opened_pms = 0;
+  EXPECT_DOUBLE_EQ(cmp.pm_saving_pct(), 0.0);
+}
+
+}  // namespace
+}  // namespace slackvm::sim

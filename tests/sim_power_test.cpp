@@ -1,0 +1,106 @@
+#include "sim/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "sched/policy.hpp"
+#include "sim/replay.hpp"
+
+namespace slackvm::sim {
+namespace {
+
+RunResult synthetic_result() {
+  RunResult r;
+  r.opened_pms = 10;
+  r.avg_active_pms = 6.0;
+  r.avg_alloc_cores = 96.0;  // 3 PMs' worth on 32-core machines
+  r.duration = 3600.0;       // one hour
+  return r;
+}
+
+TEST(PowerModelTest, ProvisionedFleetEnergy) {
+  const RunResult r = synthetic_result();
+  PowerModel model;
+  model.idle_watts = 100.0;
+  model.peak_watts = 400.0;
+  model.pue = 1.0;
+  model.carbon_g_per_kwh = 500.0;
+  const EnergyReport report = estimate_energy(r, 32, model);
+  // 10 PMs x 100 W idle + 300 W x (96/32 cores) = 1000 + 900 = 1900 W for 1 h.
+  EXPECT_DOUBLE_EQ(report.pm_hours, 10.0);
+  EXPECT_DOUBLE_EQ(report.kwh, 1.9);
+  EXPECT_DOUBLE_EQ(report.carbon_kg, 0.95);
+}
+
+TEST(PowerModelTest, PowerDownIdleUsesActivePms) {
+  const RunResult r = synthetic_result();
+  PowerModel model;
+  model.idle_watts = 100.0;
+  model.peak_watts = 400.0;
+  model.pue = 1.0;
+  const EnergyReport report = estimate_energy(r, 32, model, /*power_down_idle=*/true);
+  // 6 active PMs x 100 W + 900 W dynamic = 1500 W for 1 h.
+  EXPECT_DOUBLE_EQ(report.pm_hours, 6.0);
+  EXPECT_DOUBLE_EQ(report.kwh, 1.5);
+}
+
+TEST(PowerModelTest, PueMultipliesFacilityEnergy) {
+  const RunResult r = synthetic_result();
+  PowerModel base;
+  base.pue = 1.0;
+  PowerModel lossy = base;
+  lossy.pue = 1.5;
+  EXPECT_DOUBLE_EQ(estimate_energy(r, 32, lossy).kwh,
+                   estimate_energy(r, 32, base).kwh * 1.5);
+}
+
+TEST(PowerModelTest, InvalidInputsRejected) {
+  const RunResult r = synthetic_result();
+  EXPECT_THROW((void)estimate_energy(r, 0), core::SlackError);
+  PowerModel inverted;
+  inverted.idle_watts = 500.0;
+  inverted.peak_watts = 100.0;
+  EXPECT_THROW((void)estimate_energy(r, 32, inverted), core::SlackError);
+  PowerModel bad_pue;
+  bad_pue.pue = 0.5;
+  EXPECT_THROW((void)estimate_energy(r, 32, bad_pue), core::SlackError);
+}
+
+TEST(PowerModelTest, ReplayFeedsTheModel) {
+  // A single VM occupying half a PM for the whole run.
+  core::VmInstance vm;
+  vm.id = core::VmId{1};
+  vm.spec.vcpus = 16;
+  vm.spec.mem_mib = core::gib(64);
+  vm.spec.level = core::OversubLevel{1};
+  vm.arrival = 0;
+  vm.departure = 7200;
+  const workload::Trace trace({vm});
+
+  Datacenter dc = Datacenter::shared({32, core::gib(128)}, sched::make_progress_policy);
+  const RunResult result = replay(dc, trace);
+  EXPECT_DOUBLE_EQ(result.duration, 7200.0);
+  EXPECT_NEAR(result.avg_alloc_cores, 16.0, 1e-9);
+  EXPECT_NEAR(result.avg_active_pms, 1.0, 1e-9);
+
+  PowerModel model;
+  model.idle_watts = 100.0;
+  model.peak_watts = 300.0;
+  model.pue = 1.0;
+  const EnergyReport report = estimate_energy(result, 32, model);
+  // 1 PM x 100 W + 200 W x 0.5 = 200 W for 2 h = 0.4 kWh.
+  EXPECT_DOUBLE_EQ(report.kwh, 0.4);
+}
+
+TEST(PowerModelTest, ConsolidationSavesEnergyWithPowerDown) {
+  // Fewer active PMs -> less idle power when idles are suspended.
+  RunResult sparse = synthetic_result();
+  sparse.avg_active_pms = 9.0;
+  RunResult packed = synthetic_result();
+  packed.avg_active_pms = 4.0;
+  EXPECT_LT(estimate_energy(packed, 32, {}, true).kwh,
+            estimate_energy(sparse, 32, {}, true).kwh);
+}
+
+}  // namespace
+}  // namespace slackvm::sim

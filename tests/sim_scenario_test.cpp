@@ -1,0 +1,111 @@
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace slackvm::sim {
+namespace {
+
+TEST(ScenarioParse, ReadsAllKeys) {
+  std::istringstream in(R"(# a comment
+name       test-case
+provider   azure
+distribution E
+population 250
+seed       7
+repetitions 2
+mem_oversub 1.5
+horizon_days 3
+lifetime_days 1
+diurnal    0.4
+host_cores 64
+host_mem_gib 256
+)");
+  const Scenario scenario = parse_scenario(in);
+  EXPECT_EQ(scenario.name, "test-case");
+  EXPECT_EQ(scenario.provider, "azure");
+  EXPECT_EQ(scenario.distribution, 'E');
+  EXPECT_EQ(scenario.config.generator.target_population, 250U);
+  EXPECT_EQ(scenario.config.generator.seed, 7U);
+  EXPECT_EQ(scenario.config.repetitions, 2U);
+  EXPECT_DOUBLE_EQ(scenario.config.mem_oversub, 1.5);
+  EXPECT_DOUBLE_EQ(scenario.config.generator.horizon, 3.0 * 24 * 3600);
+  EXPECT_DOUBLE_EQ(scenario.config.generator.mean_lifetime, 1.0 * 24 * 3600);
+  EXPECT_DOUBLE_EQ(scenario.config.generator.diurnal_amplitude, 0.4);
+  EXPECT_EQ(scenario.config.host_config.cores, 64U);
+  EXPECT_EQ(scenario.config.host_config.mem_mib, core::gib(256));
+  EXPECT_EQ(&scenario.catalog(), &workload::azure_catalog());
+  EXPECT_EQ(scenario.mix().name, "E");
+}
+
+TEST(ScenarioParse, DefaultsApply) {
+  std::istringstream in("population 100\n");
+  const Scenario scenario = parse_scenario(in);
+  EXPECT_EQ(scenario.provider, "ovhcloud");
+  EXPECT_EQ(scenario.distribution, 'F');
+  EXPECT_EQ(scenario.config.repetitions, 1U);
+}
+
+TEST(ScenarioParse, TrailingCommentsStripped) {
+  std::istringstream in("provider azure # the big one\npopulation 50\n");
+  EXPECT_EQ(parse_scenario(in).provider, "azure");
+}
+
+TEST(ScenarioParse, UnknownKeyRejectedWithLineNumber) {
+  std::istringstream in("population 100\nflavor big\n");
+  try {
+    (void)parse_scenario(in);
+    FAIL() << "expected SlackError";
+  } catch (const core::SlackError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ScenarioParse, BadValuesRejected) {
+  std::istringstream bad_number("population many\n");
+  EXPECT_THROW((void)parse_scenario(bad_number), core::SlackError);
+  std::istringstream missing_value("provider\n");
+  EXPECT_THROW((void)parse_scenario(missing_value), core::SlackError);
+  std::istringstream bad_dist("distribution Z\npopulation 10\n");
+  EXPECT_THROW((void)parse_scenario(bad_dist), core::SlackError);
+  std::istringstream bad_provider("provider gcp\npopulation 10\n");
+  EXPECT_THROW((void)parse_scenario(bad_provider), core::SlackError);
+}
+
+TEST(ScenarioParse, RoundTripsThroughWriter) {
+  Scenario original;
+  original.name = "rt";
+  original.provider = "azure";
+  original.distribution = 'H';
+  original.config.generator.target_population = 123;
+  original.config.generator.seed = 9;
+  original.config.mem_oversub = 1.25;
+  std::stringstream buffer;
+  write_scenario(original, buffer);
+  const Scenario restored = parse_scenario(buffer);
+  EXPECT_EQ(restored.name, original.name);
+  EXPECT_EQ(restored.provider, original.provider);
+  EXPECT_EQ(restored.distribution, original.distribution);
+  EXPECT_EQ(restored.config.generator.target_population, 123U);
+  EXPECT_DOUBLE_EQ(restored.config.mem_oversub, 1.25);
+}
+
+TEST(ScenarioRun, SmallScenarioExecutes) {
+  std::istringstream in(R"(name smoke
+provider ovhcloud
+distribution F
+population 60
+horizon_days 2
+lifetime_days 1
+)");
+  const Scenario scenario = parse_scenario(in);
+  const PackingComparison cmp = scenario.run();
+  EXPECT_GT(cmp.baseline.opened_pms, 0U);
+  EXPECT_LE(cmp.slackvm.opened_pms, cmp.baseline.opened_pms + 1);
+}
+
+}  // namespace
+}  // namespace slackvm::sim

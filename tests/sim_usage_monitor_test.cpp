@@ -1,0 +1,141 @@
+#include "sim/usage_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "sched/policy.hpp"
+#include "sim/replay.hpp"
+#include "workload/generator.hpp"
+#include "workload/usage.hpp"
+
+namespace slackvm::sim {
+namespace {
+
+using core::gib;
+
+core::VmInstance make_vm(std::uint64_t id, core::VcpuCount vcpus, core::MemMib mem,
+                         std::uint8_t ratio, core::UsageClass usage,
+                         core::SimTime arrival = 0, core::SimTime departure = 7200) {
+  core::VmInstance vm;
+  vm.id = core::VmId{id};
+  vm.spec.vcpus = vcpus;
+  vm.spec.mem_mib = mem;
+  vm.spec.level = core::OversubLevel{ratio};
+  vm.spec.usage = usage;
+  vm.arrival = arrival;
+  vm.departure = departure;
+  return vm;
+}
+
+TEST(UsageSampleTest, EmptyDatacenter) {
+  Datacenter dc = Datacenter::shared({32, gib(128)}, sched::make_progress_policy);
+  const UsageSample sample = sample_usage(dc, 100.0);
+  EXPECT_EQ(sample.opened_hosts, 0U);
+  EXPECT_DOUBLE_EQ(sample.demand_cores, 0.0);
+}
+
+TEST(UsageSampleTest, DemandMatchesSignals) {
+  Datacenter dc = Datacenter::shared({32, gib(128)}, sched::make_progress_policy);
+  const core::VmInstance vm =
+      make_vm(1, 8, gib(16), 1, core::UsageClass::kSteady);
+  dc.deploy(vm.id, vm.spec);
+  const core::SimTime t = 500.0;
+  const workload::UsageSignal signal(vm.id, vm.spec.usage);
+  const UsageSample sample = sample_usage(dc, t);
+  EXPECT_EQ(sample.opened_hosts, 1U);
+  EXPECT_EQ(sample.alloc_cores, 8U);
+  EXPECT_EQ(sample.capacity_cores, 32U);
+  EXPECT_NEAR(sample.demand_cores, 8.0 * signal.at(t), 1e-12);
+  EXPECT_EQ(sample.overloaded_hosts, 0U);
+}
+
+TEST(UsageSampleTest, OverloadDetectedOnOversubscribedHost) {
+  // 96 steady vCPUs at 3:1 on a 32-core host: demand ~ 96 * 0.675 >> 32.
+  Datacenter dc = Datacenter::shared({32, gib(128)}, sched::make_progress_policy);
+  for (std::uint64_t i = 1; i <= 24; ++i) {
+    dc.deploy(core::VmId{i}, make_vm(i, 4, gib(2), 3, core::UsageClass::kSteady).spec);
+  }
+  const UsageSample sample = sample_usage(dc, 1000.0);
+  EXPECT_EQ(sample.opened_hosts, 1U);
+  EXPECT_GT(sample.demand_cores, 32.0);
+  EXPECT_EQ(sample.overloaded_hosts, 1U);
+}
+
+TEST(UsageMonitorTest, AggregatesSamples) {
+  UsageMonitor monitor(3600.0);
+  UsageSample a;
+  a.demand_cores = 16.0;
+  a.alloc_cores = 32;
+  a.capacity_cores = 64;
+  monitor.record(a);
+  UsageSample b;
+  b.demand_cores = 32.0;
+  b.alloc_cores = 32;
+  b.capacity_cores = 64;
+  b.overloaded_hosts = 2;
+  monitor.record(b);
+
+  const UsageReport report = monitor.report();
+  EXPECT_EQ(report.samples, 2U);
+  EXPECT_DOUBLE_EQ(report.avg_fleet_utilization, 0.375);  // (0.25 + 0.5) / 2
+  EXPECT_DOUBLE_EQ(report.avg_alloc_heat, 0.75);          // (0.5 + 1.0) / 2
+  EXPECT_DOUBLE_EQ(report.overload_host_hours, 2.0);
+  EXPECT_DOUBLE_EQ(report.peak_fleet_utilization, 0.5);
+}
+
+TEST(UsageMonitorTest, ZeroCapacitySamplesSkipped) {
+  UsageMonitor monitor(60.0);
+  monitor.record(UsageSample{});
+  const UsageReport report = monitor.report();
+  EXPECT_EQ(report.samples, 1U);
+  EXPECT_DOUBLE_EQ(report.avg_fleet_utilization, 0.0);
+  EXPECT_DOUBLE_EQ(report.avg_alloc_heat, 0.0);
+}
+
+TEST(UsageMonitorTest, InvalidIntervalRejected) {
+  EXPECT_THROW(UsageMonitor{0.0}, core::SlackError);
+}
+
+TEST(UsageMonitorTest, ReplayIntegration) {
+  const workload::Trace trace =
+      workload::Generator(workload::azure_catalog(), workload::distribution('E'),
+                          {.target_population = 60,
+                           .horizon = 2.0 * 24 * 3600,
+                           .mean_lifetime = 1.0 * 24 * 3600,
+                           .seed = 7})
+          .generate();
+  Datacenter dc = Datacenter::shared({32, gib(128)}, sched::make_progress_policy);
+  UsageMonitor monitor(3600.0);
+  (void)replay(dc, trace, std::nullopt, &monitor);
+  const UsageReport report = monitor.report();
+  EXPECT_GT(report.samples, 40U);  // ~48 hourly samples
+  EXPECT_GT(report.avg_fleet_utilization, 0.05);
+  EXPECT_LT(report.avg_fleet_utilization, 1.0);
+  // Allocated cores run hotter than the fleet average (oversubscription).
+  EXPECT_GT(report.avg_alloc_heat, report.avg_fleet_utilization);
+}
+
+TEST(UsageMonitorTest, SlackVmRaisesFleetUtilization) {
+  const workload::Trace trace =
+      workload::Generator(workload::ovhcloud_catalog(), workload::distribution('F'),
+                          {.target_population = 150,
+                           .horizon = 3.0 * 24 * 3600,
+                           .mean_lifetime = 1.5 * 24 * 3600,
+                           .seed = 21})
+          .generate();
+  Datacenter dedicated = Datacenter::dedicated(
+      {32, gib(128)}, {core::OversubLevel{1}, core::OversubLevel{3}},
+      sched::make_first_fit);
+  UsageMonitor base_monitor(3600.0);
+  (void)replay(dedicated, trace, std::nullopt, &base_monitor);
+
+  Datacenter shared = Datacenter::shared({32, gib(128)}, sched::make_progress_policy);
+  UsageMonitor slack_monitor(3600.0);
+  (void)replay(shared, trace, std::nullopt, &slack_monitor);
+
+  EXPECT_GE(slack_monitor.report().avg_fleet_utilization,
+            base_monitor.report().avg_fleet_utilization);
+}
+
+}  // namespace
+}  // namespace slackvm::sim

@@ -1,0 +1,139 @@
+#include "topology/cpuset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace slackvm::topo {
+namespace {
+
+TEST(CpuSetTest, EmptyOnConstruction) {
+  const CpuSet s(128);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_EQ(s.universe(), 128U);
+}
+
+TEST(CpuSetTest, SetTestReset) {
+  CpuSet s(64);
+  s.set(0);
+  s.set(63);
+  EXPECT_TRUE(s.test(0));
+  EXPECT_TRUE(s.test(63));
+  EXPECT_FALSE(s.test(32));
+  EXPECT_EQ(s.count(), 2U);
+  s.reset(0);
+  EXPECT_FALSE(s.test(0));
+  EXPECT_EQ(s.count(), 1U);
+}
+
+TEST(CpuSetTest, OutOfUniverseThrows) {
+  CpuSet s(16);
+  EXPECT_THROW((void)s.set(16), core::SlackError);
+  EXPECT_THROW((void)s.test(200), core::SlackError);
+}
+
+TEST(CpuSetTest, WordBoundaryMembership) {
+  CpuSet s(130);
+  for (CpuId cpu : {CpuId{63}, CpuId{64}, CpuId{127}, CpuId{128}, CpuId{129}}) {
+    s.set(cpu);
+    EXPECT_TRUE(s.test(cpu));
+  }
+  EXPECT_EQ(s.count(), 5U);
+}
+
+TEST(CpuSetTest, FullSet) {
+  const CpuSet s = CpuSet::full(70);
+  EXPECT_EQ(s.count(), 70U);
+  EXPECT_TRUE(s.test(69));
+}
+
+TEST(CpuSetTest, UnionIntersectionDifference) {
+  CpuSet a(32);
+  a.set(1);
+  a.set(2);
+  CpuSet b(32);
+  b.set(2);
+  b.set(3);
+
+  const CpuSet u = a | b;
+  EXPECT_EQ(u.count(), 3U);
+  const CpuSet i = a & b;
+  EXPECT_EQ(i.count(), 1U);
+  EXPECT_TRUE(i.test(2));
+  const CpuSet d = a - b;
+  EXPECT_EQ(d.count(), 1U);
+  EXPECT_TRUE(d.test(1));
+}
+
+TEST(CpuSetTest, MixedUniverseThrows) {
+  CpuSet a(32);
+  CpuSet b(64);
+  EXPECT_THROW(a |= b, core::SlackError);
+}
+
+TEST(CpuSetTest, IntersectsAndContains) {
+  CpuSet a(16);
+  a.set(1);
+  a.set(5);
+  CpuSet b(16);
+  b.set(5);
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(a.contains(b));
+  EXPECT_FALSE(b.contains(a));
+  b.reset(5);
+  b.set(9);
+  EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(CpuSetTest, AsVectorAscending) {
+  CpuSet s(128);
+  s.set(100);
+  s.set(3);
+  s.set(64);
+  const auto v = s.as_vector();
+  ASSERT_EQ(v.size(), 3U);
+  EXPECT_EQ(v[0], 3);
+  EXPECT_EQ(v[1], 64);
+  EXPECT_EQ(v[2], 100);
+}
+
+TEST(CpuSetTest, FirstReturnsLowest) {
+  CpuSet s(256);
+  s.set(200);
+  s.set(77);
+  EXPECT_EQ(s.first(), 77);
+}
+
+TEST(CpuSetTest, FirstOnEmptyThrows) {
+  const CpuSet s(8);
+  EXPECT_THROW((void)s.first(), core::SlackError);
+}
+
+TEST(CpuSetTest, ToStringCompressesRanges) {
+  CpuSet s(32);
+  for (int cpu : {0, 1, 2, 3, 8, 12, 13, 14, 15}) {
+    s.set(static_cast<CpuId>(cpu));
+  }
+  EXPECT_EQ(s.to_string(), "0-3,8,12-15");
+}
+
+TEST(CpuSetTest, ToStringSinglesAndEmpty) {
+  CpuSet s(8);
+  EXPECT_EQ(s.to_string(), "");
+  s.set(5);
+  EXPECT_EQ(s.to_string(), "5");
+}
+
+TEST(CpuSetTest, EqualityIsStructural) {
+  CpuSet a(16);
+  CpuSet b(16);
+  a.set(4);
+  b.set(4);
+  EXPECT_EQ(a, b);
+  b.set(5);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace slackvm::topo

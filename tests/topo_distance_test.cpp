@@ -1,0 +1,141 @@
+// Tests for Algorithm 1 (core distance) and the distance matrix.
+#include "topology/distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topology/builders.hpp"
+
+namespace slackvm::topo {
+namespace {
+
+class EpycDistance : public ::testing::Test {
+ protected:
+  const CpuTopology epyc_ = make_dual_epyc_7662();
+};
+
+TEST_F(EpycDistance, SameThreadIsZero) { EXPECT_EQ(core_distance(epyc_, 7, 7), 0U); }
+
+TEST_F(EpycDistance, SmtSiblingSharesL1) {
+  // Threads 0 and 1 are siblings of core 0 -> first shared level is L1.
+  EXPECT_EQ(core_distance(epyc_, 0, 1), 10U);
+}
+
+TEST_F(EpycDistance, SameCcxSharesL3) {
+  // Threads 0 and 2 are different cores of CCX 0: thread, L1, L2 all
+  // differ (+30), L3 shared -> 30.
+  EXPECT_EQ(core_distance(epyc_, 0, 2), 30U);
+}
+
+TEST_F(EpycDistance, SameSocketDifferentCcx) {
+  // Cores 0 and 4 are in different CCX of socket 0: no cache shared
+  // (+40), NUMA local (10) -> 50.
+  EXPECT_EQ(core_distance(epyc_, 0, 8), 50U);
+}
+
+TEST_F(EpycDistance, CrossSocket) {
+  // Thread 128 lives on socket 1: no shared cache (+40), remote NUMA 32.
+  EXPECT_EQ(core_distance(epyc_, 0, 128), 72U);
+}
+
+TEST_F(EpycDistance, DistanceHierarchyIsMonotone) {
+  // Closer sharing domains yield strictly smaller distances.
+  const auto same_thread = core_distance(epyc_, 0, 0);
+  const auto sibling = core_distance(epyc_, 0, 1);
+  const auto same_ccx = core_distance(epyc_, 0, 2);
+  const auto same_socket = core_distance(epyc_, 0, 8);
+  const auto cross_socket = core_distance(epyc_, 0, 128);
+  EXPECT_LT(same_thread, sibling);
+  EXPECT_LT(sibling, same_ccx);
+  EXPECT_LT(same_ccx, same_socket);
+  EXPECT_LT(same_socket, cross_socket);
+}
+
+TEST(XeonDistance, MonolithicL3KeepsSocketClose) {
+  const CpuTopology xeon = make_dual_xeon_6230();
+  // Any two cores of one socket share the L3 -> distance 30, while cross
+  // socket costs 40 + 21.
+  EXPECT_EQ(core_distance(xeon, 0, 38), 30U);
+  EXPECT_EQ(core_distance(xeon, 0, 40), 61U);
+}
+
+TEST(FlatDistance, NoSmtMeansNoTenDistance) {
+  const CpuTopology flat = make_flat(4, core::gib(8));
+  // Different cores share only L3: thread, L1, L2 differ -> 30.
+  EXPECT_EQ(core_distance(flat, 0, 1), 30U);
+}
+
+// Metric-style properties over several topologies.
+class DistanceProperty : public ::testing::TestWithParam<int> {
+ protected:
+  CpuTopology make() const {
+    switch (GetParam()) {
+      case 0:
+        return make_dual_epyc_7662();
+      case 1:
+        return make_dual_xeon_6230();
+      case 2:
+        return make_sim_worker();
+      default:
+        return make_flat(16, core::gib(64));
+    }
+  }
+};
+
+TEST_P(DistanceProperty, SymmetricAndZeroOnDiagonal) {
+  const CpuTopology topo = make();
+  const std::size_t n = std::min<std::size_t>(topo.cpu_count(), 48);
+  for (std::size_t a = 0; a < n; ++a) {
+    EXPECT_EQ(core_distance(topo, static_cast<CpuId>(a), static_cast<CpuId>(a)), 0U);
+    for (std::size_t b = a + 1; b < n; ++b) {
+      EXPECT_EQ(core_distance(topo, static_cast<CpuId>(a), static_cast<CpuId>(b)),
+                core_distance(topo, static_cast<CpuId>(b), static_cast<CpuId>(a)));
+    }
+  }
+}
+
+TEST_P(DistanceProperty, MatrixMatchesDirectComputation) {
+  const CpuTopology topo = make();
+  const DistanceMatrix dm(topo);
+  ASSERT_EQ(dm.size(), topo.cpu_count());
+  const std::size_t n = std::min<std::size_t>(topo.cpu_count(), 40);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      EXPECT_EQ(dm(static_cast<CpuId>(a), static_cast<CpuId>(b)),
+                core_distance(topo, static_cast<CpuId>(a), static_cast<CpuId>(b)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, DistanceProperty, ::testing::Range(0, 4));
+
+TEST(DistanceMatrixTest, MinDistanceToSet) {
+  const CpuTopology epyc = make_dual_epyc_7662();
+  const DistanceMatrix dm(epyc);
+  CpuSet set(epyc.cpu_count());
+  set.set(0);
+  set.set(128);
+  EXPECT_EQ(dm.min_distance_to(1, set), 10U);    // sibling of 0
+  EXPECT_EQ(dm.min_distance_to(130, set), 30U);  // same CCX as 128
+}
+
+TEST(DistanceMatrixTest, MinDistanceToEmptySetIsUnreachable) {
+  const CpuTopology flat = make_flat(4, core::gib(8));
+  const DistanceMatrix dm(flat);
+  const CpuSet empty(flat.cpu_count());
+  EXPECT_EQ(dm.min_distance_to(0, empty), DistanceMatrix::kUnreachable);
+}
+
+TEST(DistanceMatrixTest, TotalDistanceSums) {
+  const CpuTopology flat = make_flat(4, core::gib(8));
+  const DistanceMatrix dm(flat);
+  CpuSet set(flat.cpu_count());
+  set.set(1);
+  set.set(2);
+  // Each pair of distinct flat cores is 30 apart.
+  EXPECT_EQ(dm.total_distance_to(0, set), 60U);
+}
+
+}  // namespace
+}  // namespace slackvm::topo

@@ -1,0 +1,127 @@
+#include "topology/sysfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/error.hpp"
+#include "topology/builders.hpp"
+#include "topology/distance.hpp"
+
+namespace slackvm::topo {
+namespace {
+
+constexpr const char* kSmallDump = R"(# hand-written 2-socket toy machine
+machine toy-2s
+mem_mib 32768
+cpu 0 core 0 l1 0 l2 0 l3 0 numa 0 socket 0
+cpu 1 core 0 l1 0 l2 0 l3 0 numa 0 socket 0
+cpu 2 core 1 l1 1 l2 1 l3 0 numa 0 socket 0
+cpu 3 core 1 l1 1 l2 1 l3 0 numa 0 socket 0
+cpu 4 core 2 l1 2 l2 2 l3 1 numa 1 socket 1
+cpu 5 core 2 l1 2 l2 2 l3 1 numa 1 socket 1
+numa_distance 0 0 10
+numa_distance 0 1 21
+numa_distance 1 0 21
+numa_distance 1 1 10
+)";
+
+TEST(SysfsParse, ReadsHandWrittenDump) {
+  std::istringstream in(kSmallDump);
+  const CpuTopology topo = parse_topology_dump(in);
+  EXPECT_EQ(topo.name(), "toy-2s");
+  EXPECT_EQ(topo.cpu_count(), 6U);
+  EXPECT_EQ(topo.total_mem(), 32768);
+  EXPECT_EQ(topo.socket_count(), 2U);
+  EXPECT_EQ(topo.numa_count(), 2U);
+  EXPECT_EQ(topo.smt_width(), 2U);
+  EXPECT_EQ(topo.numa_distance(0, 1), 21U);
+  // Algorithm 1 works on the imported machine: SMT sibling 10, same L3 30,
+  // cross socket 40 + 21.
+  EXPECT_EQ(core_distance(topo, 0, 1), 10U);
+  EXPECT_EQ(core_distance(topo, 0, 2), 30U);
+  EXPECT_EQ(core_distance(topo, 0, 4), 61U);
+}
+
+TEST(SysfsParse, RoundTripsBuiltTopologies) {
+  const std::vector<CpuTopology> machines{make_dual_epyc_7662(), make_dual_xeon_6230(),
+                                          make_sim_worker()};
+  for (const CpuTopology& machine : machines) {
+    std::stringstream buffer;
+    write_topology_dump(machine, buffer);
+    const CpuTopology restored = parse_topology_dump(buffer);
+    EXPECT_EQ(restored.name(), machine.name());
+    ASSERT_EQ(restored.cpu_count(), machine.cpu_count());
+    EXPECT_EQ(restored.total_mem(), machine.total_mem());
+    for (std::size_t cpu = 0; cpu < machine.cpu_count(); ++cpu) {
+      const CpuInfo& a = machine.cpu(static_cast<CpuId>(cpu));
+      const CpuInfo& b = restored.cpu(static_cast<CpuId>(cpu));
+      ASSERT_EQ(a.physical_core, b.physical_core);
+      ASSERT_EQ(a.l1, b.l1);
+      ASSERT_EQ(a.l2, b.l2);
+      ASSERT_EQ(a.l3, b.l3);
+      ASSERT_EQ(a.numa, b.numa);
+      ASSERT_EQ(a.socket, b.socket);
+    }
+  }
+}
+
+TEST(SysfsParse, ImplicitDiagonalDistance) {
+  std::istringstream in(
+      "mem_mib 1024\ncpu 0 core 0 l1 0 l2 0 l3 0 numa 0 socket 0\n");
+  const CpuTopology topo = parse_topology_dump(in);
+  EXPECT_EQ(topo.numa_distance(0, 0), 10U);
+}
+
+TEST(SysfsParse, RejectsMissingMemory) {
+  std::istringstream in("cpu 0 core 0 l1 0 l2 0 l3 0 numa 0 socket 0\n");
+  EXPECT_THROW((void)parse_topology_dump(in), core::SlackError);
+}
+
+TEST(SysfsParse, RejectsSparseCpuIds) {
+  std::istringstream in(
+      "mem_mib 1024\n"
+      "cpu 0 core 0 l1 0 l2 0 l3 0 numa 0 socket 0\n"
+      "cpu 2 core 1 l1 1 l2 1 l3 0 numa 0 socket 0\n");
+  EXPECT_THROW((void)parse_topology_dump(in), core::SlackError);
+}
+
+TEST(SysfsParse, RejectsDuplicateCpu) {
+  std::istringstream in(
+      "mem_mib 1024\n"
+      "cpu 0 core 0 l1 0 l2 0 l3 0 numa 0 socket 0\n"
+      "cpu 0 core 0 l1 0 l2 0 l3 0 numa 0 socket 0\n");
+  EXPECT_THROW((void)parse_topology_dump(in), core::SlackError);
+}
+
+TEST(SysfsParse, RejectsMissingField) {
+  std::istringstream in("mem_mib 1024\ncpu 0 core 0 l1 0 l2 0 numa 0 socket 0\n");
+  EXPECT_THROW((void)parse_topology_dump(in), core::SlackError);
+}
+
+TEST(SysfsParse, RejectsUnknownKeyword) {
+  std::istringstream in("gpu 0\n");
+  EXPECT_THROW((void)parse_topology_dump(in), core::SlackError);
+}
+
+TEST(SysfsParse, RejectsMissingCrossDistance) {
+  std::istringstream in(
+      "mem_mib 1024\n"
+      "cpu 0 core 0 l1 0 l2 0 l3 0 numa 0 socket 0\n"
+      "cpu 1 core 1 l1 1 l2 1 l3 1 numa 1 socket 1\n");
+  EXPECT_THROW((void)parse_topology_dump(in), core::SlackError);
+}
+
+TEST(SysfsParse, ErrorCarriesLineNumber) {
+  std::istringstream in("mem_mib 1024\nbogus keyword\n");
+  try {
+    (void)parse_topology_dump(in);
+    FAIL() << "expected SlackError";
+  } catch (const core::SlackError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace slackvm::topo

@@ -1,0 +1,130 @@
+#include "topology/builders.hpp"
+#include "topology/cpu_topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/error.hpp"
+
+namespace slackvm::topo {
+namespace {
+
+TEST(Builders, DualEpycMatchesTableIII) {
+  const CpuTopology epyc = make_dual_epyc_7662();
+  EXPECT_EQ(epyc.cpu_count(), 256U);  // 2 x 64 cores x 2 threads
+  EXPECT_EQ(epyc.total_mem(), core::gib(1024));
+  EXPECT_DOUBLE_EQ(epyc.target_ratio(), 4.0);  // 1000ish GB / 256 threads
+  EXPECT_EQ(epyc.socket_count(), 2U);
+  EXPECT_EQ(epyc.numa_count(), 2U);  // NPS1
+  EXPECT_EQ(epyc.smt_width(), 2U);
+}
+
+TEST(Builders, DualEpycCcxStructure) {
+  const CpuTopology epyc = make_dual_epyc_7662();
+  // Zen2 CCX: 4 cores x 2 threads share one L3 -> 8 threads per zone,
+  // 16 zones per socket, 32 total.
+  std::set<std::uint32_t> zones;
+  std::map<std::uint32_t, int> zone_sizes;
+  for (std::size_t cpu = 0; cpu < epyc.cpu_count(); ++cpu) {
+    const auto l3 = epyc.cpu(static_cast<CpuId>(cpu)).l3;
+    zones.insert(l3);
+    ++zone_sizes[l3];
+  }
+  EXPECT_EQ(zones.size(), 32U);
+  for (const auto& [zone, size] : zone_sizes) {
+    EXPECT_EQ(size, 8);
+  }
+}
+
+TEST(Builders, SimWorkerMatchesPaperSettings) {
+  const CpuTopology worker = make_sim_worker();
+  EXPECT_EQ(worker.cpu_count(), 32U);
+  EXPECT_EQ(worker.total_mem(), core::gib(128));
+  EXPECT_DOUBLE_EQ(worker.target_ratio(), 4.0);
+  EXPECT_EQ(worker.smt_width(), 1U);
+}
+
+TEST(Builders, XeonHasMonolithicL3PerSocket) {
+  const CpuTopology xeon = make_dual_xeon_6230();
+  std::set<std::uint32_t> zones;
+  for (std::size_t cpu = 0; cpu < xeon.cpu_count(); ++cpu) {
+    zones.insert(xeon.cpu(static_cast<CpuId>(cpu)).l3);
+  }
+  EXPECT_EQ(zones.size(), 2U);  // one per socket
+  EXPECT_EQ(xeon.cpu_count(), 80U);
+}
+
+TEST(Builders, FlatTopologySingleZone) {
+  const CpuTopology flat = make_flat(8, core::gib(32));
+  EXPECT_EQ(flat.cpu_count(), 8U);
+  EXPECT_EQ(flat.numa_count(), 1U);
+  for (std::size_t cpu = 1; cpu < flat.cpu_count(); ++cpu) {
+    EXPECT_EQ(flat.cpu(static_cast<CpuId>(cpu)).l3, flat.cpu(0).l3);
+  }
+}
+
+TEST(Topology, SmtSiblingsShareL1AndCore) {
+  const CpuTopology epyc = make_dual_epyc_7662();
+  // Siblings are adjacent ids by construction.
+  const CpuInfo& t0 = epyc.cpu(0);
+  const CpuInfo& t1 = epyc.cpu(1);
+  EXPECT_EQ(t0.physical_core, t1.physical_core);
+  EXPECT_EQ(t0.l1, t1.l1);
+  const CpuSet siblings = epyc.smt_siblings(0);
+  EXPECT_EQ(siblings.count(), 2U);
+  EXPECT_TRUE(siblings.test(0));
+  EXPECT_TRUE(siblings.test(1));
+}
+
+TEST(Topology, SocketCpusPartitionMachine) {
+  const CpuTopology epyc = make_dual_epyc_7662();
+  const CpuSet s0 = epyc.socket_cpus(0);
+  const CpuSet s1 = epyc.socket_cpus(1);
+  EXPECT_EQ(s0.count(), 128U);
+  EXPECT_EQ(s1.count(), 128U);
+  EXPECT_FALSE(s0.intersects(s1));
+  EXPECT_EQ(s0 | s1, epyc.all_cpus());
+}
+
+TEST(Topology, NumaDistanceDiagonalIsLocal) {
+  const CpuTopology epyc = make_dual_epyc_7662();
+  EXPECT_EQ(epyc.numa_distance(0, 0), 10U);
+  EXPECT_EQ(epyc.numa_distance(0, 1), 32U);
+  EXPECT_EQ(epyc.numa_distance(1, 0), 32U);
+}
+
+TEST(Topology, CacheIdOracle) {
+  const CpuTopology epyc = make_dual_epyc_7662();
+  EXPECT_EQ(epyc.cache_id(ShareLevel::kThread, 5), 5U);
+  EXPECT_EQ(epyc.cache_id(ShareLevel::kL1, 0), epyc.cache_id(ShareLevel::kL1, 1));
+  EXPECT_NE(epyc.cache_id(ShareLevel::kL1, 0), epyc.cache_id(ShareLevel::kL1, 2));
+}
+
+TEST(Topology, NpsModeSplitsNumaNodes) {
+  GenericSpec spec;
+  spec.sockets = 2;
+  spec.cores_per_socket = 8;
+  spec.numa_per_socket = 2;  // NPS2
+  spec.total_mem = core::gib(64);
+  const CpuTopology machine = make_generic(spec);
+  EXPECT_EQ(machine.numa_count(), 4U);
+  EXPECT_EQ(machine.numa_distance(0, 1), 12U);  // intra-socket
+  EXPECT_EQ(machine.numa_distance(0, 2), 32U);  // cross-socket
+}
+
+TEST(Topology, GenericRejectsInvalidNumaSplit) {
+  GenericSpec spec;
+  spec.cores_per_socket = 8;
+  spec.numa_per_socket = 3;  // does not divide 8
+  EXPECT_THROW((void)make_generic(spec), core::SlackError);
+}
+
+TEST(Topology, ConfigCountsThreadsAsCores) {
+  const CpuTopology epyc = make_dual_epyc_7662();
+  EXPECT_EQ(epyc.config(), (core::Resources{256, core::gib(1024)}));
+}
+
+}  // namespace
+}  // namespace slackvm::topo

@@ -1,0 +1,107 @@
+#include "workload/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.hpp"
+
+namespace slackvm::workload {
+namespace {
+
+core::VmInstance make_vm(std::uint64_t id, core::SimTime arrival, core::SimTime departure,
+                         core::VcpuCount vcpus, core::MemMib mem, std::uint8_t ratio) {
+  core::VmInstance vm;
+  vm.id = core::VmId{id};
+  vm.spec.vcpus = vcpus;
+  vm.spec.mem_mib = mem;
+  vm.spec.level = core::OversubLevel{ratio};
+  vm.arrival = arrival;
+  vm.departure = departure;
+  return vm;
+}
+
+TEST(AnalysisTest, EmptyTrace) {
+  const TraceStats stats = analyze(Trace{});
+  EXPECT_EQ(stats.vm_count, 0U);
+  EXPECT_EQ(stats.peak_population, 0U);
+  EXPECT_DOUBLE_EQ(stats.peak_mc_ratio(), 0.0);
+  EXPECT_TRUE(peak_snapshot(Trace{}).empty());
+}
+
+TEST(AnalysisTest, AveragesAndShares) {
+  const Trace trace({
+      make_vm(1, 0, 7200, 2, core::gib(4), 1),
+      make_vm(2, 0, 3600, 4, core::gib(8), 3),
+  });
+  const TraceStats stats = analyze(trace);
+  EXPECT_EQ(stats.vm_count, 2U);
+  EXPECT_DOUBLE_EQ(stats.avg_vcpus, 3.0);
+  EXPECT_DOUBLE_EQ(stats.avg_mem_gib, 6.0);
+  EXPECT_DOUBLE_EQ(stats.avg_lifetime_hours, 1.5);
+  EXPECT_DOUBLE_EQ(stats.level_share[1], 0.5);
+  EXPECT_DOUBLE_EQ(stats.level_share[3], 0.5);
+  EXPECT_DOUBLE_EQ(stats.level_share[2], 0.0);
+}
+
+TEST(AnalysisTest, PeakDemandUsesFractionalCores) {
+  const Trace trace({
+      make_vm(1, 0, 100, 2, core::gib(4), 1),   // 2 fractional cores
+      make_vm(2, 10, 100, 6, core::gib(4), 3),  // 2 fractional cores
+  });
+  const TraceStats stats = analyze(trace);
+  EXPECT_EQ(stats.peak_population, 2U);
+  EXPECT_DOUBLE_EQ(stats.peak_frac_cores, 4.0);
+  EXPECT_EQ(stats.peak_mem_mib, core::gib(8));
+  EXPECT_DOUBLE_EQ(stats.peak_mc_ratio(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.peak_time, 10.0);
+}
+
+TEST(AnalysisTest, PeakSnapshotContainsExactlyAliveVms) {
+  // Population peaks at 2 first at t=40 (VMs 1 and 2); the snapshot is
+  // taken at that first peak instant, so VM 3 (arriving later) is absent.
+  const Trace trace({
+      make_vm(1, 0, 50, 1, core::gib(1), 1),
+      make_vm(2, 40, 200, 2, core::gib(2), 1),
+      make_vm(3, 60, 200, 4, core::gib(4), 1),
+  });
+  EXPECT_EQ(trace.peak_population(), 2U);
+  const auto snapshot = peak_snapshot(trace);
+  ASSERT_EQ(snapshot.size(), 2U);
+  core::VcpuCount vcpus = 0;
+  for (const auto& spec : snapshot) {
+    vcpus += spec.vcpus;
+  }
+  EXPECT_EQ(vcpus, 3U);
+}
+
+TEST(AnalysisTest, DepartureAtPeakInstantExcluded) {
+  // VM 1 departs exactly when VM 2 arrives: the snapshot at that instant
+  // holds only VM 2 (slot freed at t is free at t).
+  const Trace trace({
+      make_vm(1, 0, 10, 8, core::gib(1), 1),
+      make_vm(2, 10, 20, 2, core::gib(1), 1),
+  });
+  const auto snapshot = peak_snapshot(trace);
+  ASSERT_EQ(snapshot.size(), 1U);
+  // peak population 1 is reached first at t=0 by VM 1.
+  EXPECT_EQ(snapshot.front().vcpus, 8U);
+}
+
+TEST(AnalysisTest, GeneratedTraceStatsMatchCatalog) {
+  const Trace trace =
+      Generator(azure_catalog(), distribution('A'),
+                {.target_population = 300,
+                 .horizon = 3.0 * 24 * 3600,
+                 .mean_lifetime = 1.0 * 24 * 3600,
+                 .seed = 3})
+          .generate();
+  const TraceStats stats = analyze(trace);
+  // All 1:1 VMs from the full Azure catalog (Table I averages).
+  EXPECT_DOUBLE_EQ(stats.level_share[1], 1.0);
+  EXPECT_NEAR(stats.avg_vcpus, 2.25, 0.15);
+  EXPECT_NEAR(stats.avg_mem_gib, 4.8, 0.5);
+  // Blended 1:1 M/C ratio ~ 2.1 (Table II).
+  EXPECT_NEAR(stats.peak_mc_ratio(), 2.13, 0.4);
+}
+
+}  // namespace
+}  // namespace slackvm::workload

@@ -1,0 +1,179 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace slackvm::workload {
+namespace {
+
+GeneratorConfig small_config(std::uint64_t seed = 1) {
+  GeneratorConfig cfg;
+  cfg.target_population = 100;
+  cfg.horizon = 3.0 * 24 * 3600;
+  cfg.mean_lifetime = 1.0 * 24 * 3600;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  const Generator gen_a(azure_catalog(), distribution('F'), small_config(7));
+  const Generator gen_b(azure_catalog(), distribution('F'), small_config(7));
+  const Trace a = gen_a.generate();
+  const Trace b = gen_b.generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.vms()[i].id, b.vms()[i].id);
+    EXPECT_EQ(a.vms()[i].spec, b.vms()[i].spec);
+    EXPECT_DOUBLE_EQ(a.vms()[i].arrival, b.vms()[i].arrival);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  const Trace a = Generator(azure_catalog(), distribution('F'), small_config(1)).generate();
+  const Trace b = Generator(azure_catalog(), distribution('F'), small_config(2)).generate();
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  EXPECT_NE(a.vms().front().spec, b.vms().front().spec);
+}
+
+TEST(GeneratorTest, PopulationApproachesTarget) {
+  const Trace trace =
+      Generator(azure_catalog(), distribution('E'), small_config(3)).generate();
+  // After the ramp-up the concurrent population should hover near the
+  // target; the peak must be within a factor band.
+  EXPECT_GT(trace.peak_population(), 70U);
+  EXPECT_LT(trace.peak_population(), 160U);
+}
+
+TEST(GeneratorTest, EventsWithinHorizon) {
+  const GeneratorConfig cfg = small_config(4);
+  const Trace trace = Generator(ovhcloud_catalog(), distribution('H'), cfg).generate();
+  for (const auto& vm : trace.vms()) {
+    EXPECT_GE(vm.arrival, 0.0);
+    EXPECT_LT(vm.arrival, cfg.horizon);
+    EXPECT_LE(vm.departure, cfg.horizon);
+    EXPECT_GT(vm.departure, vm.arrival);
+  }
+}
+
+TEST(GeneratorTest, LevelSharesRespected) {
+  const Trace trace =
+      Generator(azure_catalog(), distribution('E'), small_config(5)).generate();
+  std::array<std::size_t, 4> counts{};
+  for (const auto& vm : trace.vms()) {
+    ++counts[vm.spec.level.ratio()];
+  }
+  const double n = static_cast<double>(trace.size());
+  ASSERT_GT(n, 100);
+  // E = 50/25/25.
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.50, 0.06);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.25, 0.06);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / n, 0.25, 0.06);
+}
+
+TEST(GeneratorTest, OversubscribedVmsRespectMemoryCap) {
+  const Trace trace =
+      Generator(ovhcloud_catalog(), distribution('O'), small_config(6)).generate();
+  for (const auto& vm : trace.vms()) {
+    ASSERT_TRUE(vm.spec.level.oversubscribed());
+    EXPECT_LE(vm.spec.mem_mib, kOversubMemCap);
+  }
+}
+
+TEST(GeneratorTest, PremiumVmsUseFullCatalog) {
+  const Trace trace =
+      Generator(ovhcloud_catalog(), distribution('A'), small_config(8)).generate();
+  bool saw_large = false;
+  for (const auto& vm : trace.vms()) {
+    if (vm.spec.mem_mib > kOversubMemCap) {
+      saw_large = true;
+    }
+  }
+  EXPECT_TRUE(saw_large);  // the full OVH catalog includes > 8 GiB flavors
+}
+
+TEST(GeneratorTest, UsageMixMatchesConfiguredShares) {
+  GeneratorConfig cfg = small_config(9);
+  cfg.target_population = 400;
+  const Trace trace = Generator(azure_catalog(), distribution('E'), cfg).generate();
+  std::size_t idle = 0;
+  std::size_t steady = 0;
+  std::size_t interactive = 0;
+  for (const auto& vm : trace.vms()) {
+    switch (vm.spec.usage) {
+      case core::UsageClass::kIdle:
+        ++idle;
+        break;
+      case core::UsageClass::kSteady:
+        ++steady;
+        break;
+      case core::UsageClass::kInteractive:
+        ++interactive;
+        break;
+      default:
+        break;
+    }
+  }
+  const double n = static_cast<double>(trace.size());
+  EXPECT_NEAR(static_cast<double>(idle) / n, 0.10, 0.03);
+  EXPECT_NEAR(static_cast<double>(steady) / n, 0.60, 0.04);
+  EXPECT_NEAR(static_cast<double>(interactive) / n, 0.30, 0.04);
+}
+
+TEST(GeneratorTest, ArrivalRateMatchesLittlesLaw) {
+  const GeneratorConfig cfg = small_config(10);
+  const Trace trace = Generator(azure_catalog(), distribution('E'), cfg).generate();
+  const double expected =
+      static_cast<double>(cfg.target_population) / cfg.mean_lifetime * cfg.horizon;
+  EXPECT_NEAR(static_cast<double>(trace.size()), expected, expected * 0.15);
+}
+
+TEST(GeneratorTest, DiurnalAmplitudeModulatesArrivals) {
+  GeneratorConfig cfg = small_config(11);
+  cfg.target_population = 600;
+  cfg.horizon = 4.0 * 24 * 3600;
+  cfg.diurnal_amplitude = 0.8;
+  const Trace trace = Generator(azure_catalog(), distribution('E'), cfg).generate();
+
+  // Arrivals in the sine peak window (hours 3-9 of each day) must outnumber
+  // those in the trough (hours 15-21) by roughly (1+A)/(1-A).
+  std::size_t peak = 0;
+  std::size_t trough = 0;
+  for (const auto& vm : trace.vms()) {
+    const double hour = std::fmod(vm.arrival / 3600.0, 24.0);
+    if (hour >= 3.0 && hour < 9.0) {
+      ++peak;
+    } else if (hour >= 15.0 && hour < 21.0) {
+      ++trough;
+    }
+  }
+  ASSERT_GT(trough, 0U);
+  const double ratio = static_cast<double>(peak) / static_cast<double>(trough);
+  EXPECT_GT(ratio, 2.0);  // (1+0.8)/(1-0.8) = 9 in the extreme bins
+}
+
+TEST(GeneratorTest, DiurnalPreservesMeanRate) {
+  GeneratorConfig flat = small_config(12);
+  flat.horizon = 4.0 * 24 * 3600;
+  GeneratorConfig wavy = flat;
+  wavy.diurnal_amplitude = 0.5;
+  const std::size_t flat_n =
+      Generator(azure_catalog(), distribution('E'), flat).generate().size();
+  const std::size_t wavy_n =
+      Generator(azure_catalog(), distribution('E'), wavy).generate().size();
+  EXPECT_NEAR(static_cast<double>(wavy_n), static_cast<double>(flat_n),
+              static_cast<double>(flat_n) * 0.15);
+}
+
+TEST(GeneratorTest, InvalidAmplitudeRejected) {
+  GeneratorConfig cfg = small_config(13);
+  cfg.diurnal_amplitude = 1.0;
+  EXPECT_THROW(Generator(azure_catalog(), distribution('E'), cfg), core::SlackError);
+}
+
+}  // namespace
+}  // namespace slackvm::workload

@@ -1,0 +1,111 @@
+#include "workload/level_mix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace slackvm::workload {
+namespace {
+
+TEST(LevelMixTest, PaperGridHasFifteenDistributions) {
+  const auto& dists = paper_distributions();
+  ASSERT_EQ(dists.size(), 15U);
+  EXPECT_EQ(dists.front().name, "A");
+  EXPECT_EQ(dists.back().name, "O");
+}
+
+TEST(LevelMixTest, EndpointsMatchPaper) {
+  // A = only 1:1, O = only 3:1 (§VII-B2).
+  const LevelMix& a = distribution('A');
+  EXPECT_DOUBLE_EQ(a.share_1to1, 1.0);
+  EXPECT_DOUBLE_EQ(a.share_3to1, 0.0);
+  const LevelMix& o = distribution('O');
+  EXPECT_DOUBLE_EQ(o.share_3to1, 1.0);
+  EXPECT_DOUBLE_EQ(o.share_1to1, 0.0);
+}
+
+TEST(LevelMixTest, FIsTheHeadlineSplit) {
+  // Distribution F: 50% at 1:1 and 50% at 3:1 — the 9.6% saving scenario.
+  const LevelMix& f = distribution('F');
+  EXPECT_DOUBLE_EQ(f.share_1to1, 0.5);
+  EXPECT_DOUBLE_EQ(f.share_2to1, 0.0);
+  EXPECT_DOUBLE_EQ(f.share_3to1, 0.5);
+}
+
+TEST(LevelMixTest, No3to1SetMatchesPaper) {
+  // The paper notes A, B, D, G, K carry no 3:1 VMs.
+  for (char letter : {'A', 'B', 'D', 'G', 'K'}) {
+    EXPECT_DOUBLE_EQ(distribution(letter).share_3to1, 0.0) << letter;
+  }
+  for (char letter : {'C', 'E', 'F', 'H', 'I', 'J', 'L', 'M', 'N', 'O'}) {
+    EXPECT_GT(distribution(letter).share_3to1, 0.0) << letter;
+  }
+}
+
+TEST(LevelMixTest, AllDistributionsValid) {
+  for (const LevelMix& mix : paper_distributions()) {
+    EXPECT_TRUE(mix.valid()) << mix.name;
+  }
+}
+
+TEST(LevelMixTest, ShareLookupByLevel) {
+  const LevelMix mix = make_mix(25, 50, 25);
+  EXPECT_DOUBLE_EQ(mix.share(core::OversubLevel{1}), 0.25);
+  EXPECT_DOUBLE_EQ(mix.share(core::OversubLevel{2}), 0.50);
+  EXPECT_DOUBLE_EQ(mix.share(core::OversubLevel{3}), 0.25);
+  EXPECT_DOUBLE_EQ(mix.share(core::OversubLevel{4}), 0.0);
+}
+
+TEST(LevelMixTest, DefaultNameEncodesShares) {
+  EXPECT_EQ(make_mix(50, 25, 25).name, "50/25/25");
+  EXPECT_EQ(make_mix(50, 25, 25, "custom").name, "custom");
+}
+
+TEST(LevelMixTest, InvalidSharesRejected) {
+  EXPECT_THROW((void)make_mix(50, 50, 50), core::SlackError);
+}
+
+TEST(LevelMixTest, OutOfRangeLetterThrows) {
+  EXPECT_THROW((void)distribution('P'), core::SlackError);
+  EXPECT_THROW((void)distribution('a'), core::SlackError);
+}
+
+TEST(LevelMixTest, SamplingFollowsShares) {
+  const LevelMix mix = make_mix(20, 30, 50);
+  core::SplitMix64 rng(3);
+  std::array<int, 4> counts{};
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[mix.sample(rng).ratio()];
+  }
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.20, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.30, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.50, 0.01);
+}
+
+TEST(LevelMixTest, DegenerateMixAlwaysSamplesItsLevel) {
+  const LevelMix mix = make_mix(0, 0, 100);
+  core::SplitMix64 rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(mix.sample(rng), core::OversubLevel{3});
+  }
+}
+
+// Property: every grid distribution sums shares to 1 and steps by 25%.
+class GridProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridProperty, SharesAreQuarters) {
+  const LevelMix& mix = paper_distributions()[static_cast<std::size_t>(GetParam())];
+  for (double share : {mix.share_1to1, mix.share_2to1, mix.share_3to1}) {
+    const double quarters = share * 4.0;
+    EXPECT_NEAR(quarters, std::round(quarters), 1e-9) << mix.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, GridProperty, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace slackvm::workload

@@ -1,0 +1,111 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace slackvm::workload {
+namespace {
+
+core::VmInstance make_vm(std::uint64_t id, core::SimTime arrival, core::SimTime departure,
+                         std::uint8_t ratio = 1) {
+  core::VmInstance vm;
+  vm.id = core::VmId{id};
+  vm.spec.vcpus = 2;
+  vm.spec.mem_mib = core::gib(4);
+  vm.spec.level = core::OversubLevel{ratio};
+  vm.arrival = arrival;
+  vm.departure = departure;
+  return vm;
+}
+
+TEST(TraceTest, SortsByArrival) {
+  Trace trace({make_vm(1, 50, 60), make_vm(2, 10, 20), make_vm(3, 30, 40)});
+  ASSERT_EQ(trace.size(), 3U);
+  EXPECT_EQ(trace.vms()[0].id, core::VmId{2});
+  EXPECT_EQ(trace.vms()[1].id, core::VmId{3});
+  EXPECT_EQ(trace.vms()[2].id, core::VmId{1});
+}
+
+TEST(TraceTest, RejectsNonPositiveLifetime) {
+  EXPECT_THROW(Trace({make_vm(1, 10, 10)}), core::SlackError);
+  EXPECT_THROW(Trace({make_vm(1, 10, 5)}), core::SlackError);
+}
+
+TEST(TraceTest, HorizonIsLatestDeparture) {
+  const Trace trace({make_vm(1, 0, 100), make_vm(2, 10, 250), make_vm(3, 20, 50)});
+  EXPECT_DOUBLE_EQ(trace.horizon(), 250.0);
+  EXPECT_DOUBLE_EQ(Trace{}.horizon(), 0.0);
+}
+
+TEST(TraceTest, PeakPopulationCountsOverlaps) {
+  // [0,100), [10,250), [20,50): all three alive in [20,50).
+  const Trace trace({make_vm(1, 0, 100), make_vm(2, 10, 250), make_vm(3, 20, 50)});
+  EXPECT_EQ(trace.peak_population(), 3U);
+}
+
+TEST(TraceTest, PeakPopulationDepartureFreesSlotAtSameInstant) {
+  // VM 1 departs exactly when VM 2 arrives: peak stays 1.
+  const Trace trace({make_vm(1, 0, 10), make_vm(2, 10, 20)});
+  EXPECT_EQ(trace.peak_population(), 1U);
+}
+
+TEST(TraceTest, FilterLevelKeepsOnlyMatching) {
+  const Trace trace({make_vm(1, 0, 10, 1), make_vm(2, 1, 10, 2), make_vm(3, 2, 10, 2)});
+  const Trace level2 = trace.filter_level(core::OversubLevel{2});
+  EXPECT_EQ(level2.size(), 2U);
+  for (const auto& vm : level2.vms()) {
+    EXPECT_EQ(vm.spec.level, core::OversubLevel{2});
+  }
+}
+
+TEST(TraceTest, CsvRoundTrip) {
+  core::VmInstance vm = make_vm(7, 12.5, 99.25, 3);
+  vm.spec.usage = core::UsageClass::kInteractive;
+  vm.spec.vcpus = 4;
+  vm.spec.mem_mib = core::gib(8);
+  const Trace original({vm, make_vm(8, 1, 2, 1)});
+
+  std::stringstream buffer;
+  original.write_csv(buffer);
+  const Trace restored = Trace::read_csv(buffer);
+
+  ASSERT_EQ(restored.size(), 2U);
+  const core::VmInstance& r = restored.vms()[1];  // sorted by arrival
+  EXPECT_EQ(r.id, core::VmId{7});
+  EXPECT_EQ(r.spec.vcpus, 4U);
+  EXPECT_EQ(r.spec.mem_mib, core::gib(8));
+  EXPECT_EQ(r.spec.level, core::OversubLevel{3});
+  EXPECT_EQ(r.spec.usage, core::UsageClass::kInteractive);
+  EXPECT_DOUBLE_EQ(r.arrival, 12.5);
+  EXPECT_DOUBLE_EQ(r.departure, 99.25);
+}
+
+TEST(TraceTest, CsvHeaderWritten) {
+  std::stringstream buffer;
+  Trace{}.write_csv(buffer);
+  std::string header;
+  std::getline(buffer, header);
+  EXPECT_EQ(header, "id,vcpus,mem_mib,level,usage,arrival,departure");
+}
+
+TEST(TraceTest, ReadCsvRejectsEmptyInput) {
+  std::stringstream buffer;
+  EXPECT_THROW((void)Trace::read_csv(buffer), core::SlackError);
+}
+
+TEST(TraceTest, ReadCsvRejectsTruncatedRow) {
+  std::stringstream buffer("id,vcpus,mem_mib,level,usage,arrival,departure\n1,2,4096\n");
+  EXPECT_THROW((void)Trace::read_csv(buffer), core::SlackError);
+}
+
+TEST(TraceTest, ReadCsvRejectsUnknownUsage) {
+  std::stringstream buffer(
+      "id,vcpus,mem_mib,level,usage,arrival,departure\n1,2,4096,1,gaming,0,10\n");
+  EXPECT_THROW((void)Trace::read_csv(buffer), core::SlackError);
+}
+
+}  // namespace
+}  // namespace slackvm::workload

@@ -1,0 +1,87 @@
+#include "workload/usage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace slackvm::workload {
+namespace {
+
+TEST(UsageSignalTest, BoundedToUnitInterval) {
+  for (const auto usage : {core::UsageClass::kIdle, core::UsageClass::kSteady,
+                           core::UsageClass::kBursty, core::UsageClass::kInteractive}) {
+    const UsageSignal signal(core::VmId{42}, usage);
+    for (core::SimTime t = 0; t < 48 * 3600; t += 613) {
+      const double u = signal.at(t);
+      ASSERT_GE(u, 0.0);
+      ASSERT_LE(u, 1.0);
+    }
+  }
+}
+
+TEST(UsageSignalTest, IdleStaysNearZero) {
+  const UsageSignal signal(core::VmId{1}, core::UsageClass::kIdle);
+  for (core::SimTime t = 0; t < 24 * 3600; t += 997) {
+    EXPECT_LT(signal.at(t), 0.06);
+  }
+}
+
+TEST(UsageSignalTest, SteadyIsHighAndFlat) {
+  const UsageSignal signal(core::VmId{2}, core::UsageClass::kSteady);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (core::SimTime t = 0; t < 24 * 3600; t += 311) {
+    const double u = signal.at(t);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_GT(lo, 0.45);
+  EXPECT_LT(hi - lo, 0.15);  // near constant
+}
+
+TEST(UsageSignalTest, BurstySwingsWidely) {
+  const UsageSignal signal(core::VmId{3}, core::UsageClass::kBursty);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (core::SimTime t = 0; t < 24 * 3600; t += 97) {
+    const double u = signal.at(t);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_GT(hi - lo, 0.4);
+}
+
+TEST(UsageSignalTest, InteractiveIsDiurnal) {
+  const UsageSignal signal(core::VmId{4}, core::UsageClass::kInteractive);
+  // Samples 12 hours apart sit on opposite sides of the diurnal swing.
+  const double morning = signal.at(6 * 3600);
+  const double evening = signal.at(18 * 3600);
+  EXPECT_GT(std::abs(morning - evening), 0.1);
+}
+
+TEST(UsageSignalTest, DeterministicPerVmId) {
+  const UsageSignal a(core::VmId{5}, core::UsageClass::kBursty);
+  const UsageSignal b(core::VmId{5}, core::UsageClass::kBursty);
+  for (core::SimTime t = 0; t < 3600; t += 60) {
+    EXPECT_DOUBLE_EQ(a.at(t), b.at(t));
+  }
+}
+
+TEST(UsageSignalTest, DifferentVmsDecorrelated) {
+  const UsageSignal a(core::VmId{6}, core::UsageClass::kInteractive);
+  const UsageSignal b(core::VmId{7}, core::UsageClass::kInteractive);
+  bool differs = false;
+  for (core::SimTime t = 0; t < 3600 && !differs; t += 60) {
+    differs = std::abs(a.at(t) - b.at(t)) > 1e-6;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(UsageSignalTest, MeanReflectsClass) {
+  EXPECT_LT(UsageSignal(core::VmId{8}, core::UsageClass::kIdle).mean(), 0.05);
+  EXPECT_GT(UsageSignal(core::VmId{9}, core::UsageClass::kSteady).mean(), 0.5);
+}
+
+}  // namespace
+}  // namespace slackvm::workload

@@ -1,0 +1,358 @@
+// slackvm — command-line front end for the library.
+//
+// Subcommands:
+//   catalog   <azure|ovhcloud>                 print the flavor catalog & Table I/II stats
+//   generate  [options]                        generate a workload trace to CSV
+//   analyze   --trace FILE                     aggregate statistics of a trace
+//   replay    --trace FILE [options]           replay a trace under a policy
+//   sweep     [options]                        Fig. 3-style distribution sweep
+//   heatmap   [options]                        Fig. 4-style savings heatmap
+//   topology  [--file DUMP]                    show a machine's topology & distances
+//   run-scenario --file SCENARIO               run a declarative experiment file
+//
+// Common options: --provider azure|ovhcloud, --dist A..O, --seed N,
+// --population N, --policy first-fit|best-fit|worst-fit|random|progress|slackvm,
+// --mode shared|dedicated, --mem-oversub X, --rebalance SECONDS.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "sched/offline.hpp"
+#include "sim/experiment.hpp"
+#include "sim/power.hpp"
+#include "sim/replay.hpp"
+#include "sim/scenario.hpp"
+#include "topology/builders.hpp"
+#include "topology/distance.hpp"
+#include "topology/sysfs.hpp"
+#include "workload/analysis.hpp"
+#include "workload/generator.hpp"
+
+using namespace slackvm;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string provider = "ovhcloud";
+  char dist = 'F';
+  std::uint64_t seed = 42;
+  std::size_t population = 500;
+  std::string policy = "progress";
+  std::string mode = "shared";
+  std::string trace_path;
+  std::string file_path;
+  std::string out_path = "trace.csv";
+  double mem_oversub = 1.0;
+  double rebalance_s = 0.0;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: slackvm <catalog|generate|analyze|replay|sweep|heatmap|topology|run-scenario>"
+               " [options]\n"
+               "options: --provider azure|ovhcloud  --dist A..O  --seed N\n"
+               "         --population N  --policy NAME  --mode shared|dedicated\n"
+               "         --mem-oversub X  --rebalance SECONDS  --trace FILE\n"
+               "         --file DUMP  --out FILE\n");
+  return 2;
+}
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  if (argc < 2) {
+    return std::nullopt;
+  }
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string key = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        throw core::SlackError("missing value for " + key);
+      }
+      return argv[++i];
+    };
+    if (key == "--provider") {
+      args.provider = value();
+    } else if (key == "--dist") {
+      args.dist = value()[0];
+    } else if (key == "--seed") {
+      args.seed = std::strtoull(value(), nullptr, 10);
+    } else if (key == "--population") {
+      args.population = std::strtoull(value(), nullptr, 10);
+    } else if (key == "--policy") {
+      args.policy = value();
+    } else if (key == "--mode") {
+      args.mode = value();
+    } else if (key == "--trace") {
+      args.trace_path = value();
+    } else if (key == "--file") {
+      args.file_path = value();
+    } else if (key == "--out") {
+      args.out_path = value();
+    } else if (key == "--mem-oversub") {
+      args.mem_oversub = std::strtod(value(), nullptr);
+    } else if (key == "--rebalance") {
+      args.rebalance_s = std::strtod(value(), nullptr);
+    } else {
+      throw core::SlackError("unknown option " + key);
+    }
+  }
+  return args;
+}
+
+sim::PolicyFactory policy_factory(const Args& args) {
+  if (args.policy == "first-fit") {
+    return sched::make_first_fit;
+  }
+  if (args.policy == "best-fit") {
+    return sched::make_best_fit;
+  }
+  if (args.policy == "worst-fit") {
+    return sched::make_worst_fit;
+  }
+  if (args.policy == "random") {
+    return [seed = args.seed] { return sched::make_random_fit(seed); };
+  }
+  if (args.policy == "progress") {
+    return sched::make_progress_policy;
+  }
+  if (args.policy == "slackvm") {
+    return [] { return sched::make_slackvm_policy(); };
+  }
+  throw core::SlackError("unknown policy " + args.policy);
+}
+
+workload::Trace load_trace(const Args& args) {
+  if (args.trace_path.empty()) {
+    throw core::SlackError("--trace FILE required");
+  }
+  std::ifstream in(args.trace_path);
+  if (!in) {
+    throw core::SlackError("cannot open " + args.trace_path);
+  }
+  return workload::Trace::read_csv(in);
+}
+
+workload::GeneratorConfig generator_config(const Args& args) {
+  workload::GeneratorConfig cfg;
+  cfg.target_population = args.population;
+  cfg.seed = args.seed;
+  return cfg;
+}
+
+int cmd_catalog(const Args& args) {
+  const workload::Catalog& catalog = workload::catalog_by_name(args.provider);
+  std::printf("catalog %s (%zu flavors)\n", catalog.provider().c_str(),
+              catalog.flavors().size());
+  for (std::size_t i = 0; i < catalog.flavors().size(); ++i) {
+    const workload::Flavor& f = catalog.flavors()[i];
+    std::printf("  %-18s %2u vCPU %6.0f GiB  weight %.4f\n", f.name.c_str(), f.vcpus,
+                core::mib_to_gib(f.mem_mib), catalog.weight(i));
+  }
+  const workload::CatalogStats stats = catalog.stats();
+  std::printf("Table I : %.2f vCPUs / %.2f GB per VM\n", stats.avg_vcpus,
+              stats.avg_mem_gib);
+  std::printf("Table II: M/C 1:1 %.1f, 2:1 %.1f, 3:1 %.1f GB/core\n",
+              catalog.expected_mc_ratio(core::OversubLevel{1}),
+              catalog.expected_mc_ratio(core::OversubLevel{2}),
+              catalog.expected_mc_ratio(core::OversubLevel{3}));
+  return 0;
+}
+
+int cmd_generate(const Args& args) {
+  const workload::Trace trace =
+      workload::Generator(workload::catalog_by_name(args.provider),
+                          workload::distribution(args.dist), generator_config(args))
+          .generate();
+  std::ofstream out(args.out_path);
+  if (!out) {
+    throw core::SlackError("cannot write " + args.out_path);
+  }
+  trace.write_csv(out);
+  std::printf("wrote %zu VMs to %s (provider %s, distribution %c, seed %llu)\n",
+              trace.size(), args.out_path.c_str(), args.provider.c_str(), args.dist,
+              static_cast<unsigned long long>(args.seed));
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  const workload::Trace trace = load_trace(args);
+  const workload::TraceStats stats = workload::analyze(trace);
+  std::printf("VMs            : %zu\n", stats.vm_count);
+  std::printf("peak population: %zu at t=%.0fs\n", stats.peak_population,
+              stats.peak_time);
+  std::printf("avg size       : %.2f vCPUs / %.2f GiB, lifetime %.1f h\n",
+              stats.avg_vcpus, stats.avg_mem_gib, stats.avg_lifetime_hours);
+  std::printf("level shares   : 1:1 %.0f%%  2:1 %.0f%%  3:1 %.0f%%\n",
+              stats.level_share[1] * 100, stats.level_share[2] * 100,
+              stats.level_share[3] * 100);
+  std::printf("peak demand    : %.1f fractional cores, %.0f GiB (M/C %.2f)\n",
+              stats.peak_frac_cores, core::mib_to_gib(stats.peak_mem_mib),
+              stats.peak_mc_ratio());
+  const auto snapshot = workload::peak_snapshot(trace);
+  const core::Resources worker{32, core::gib(128)};
+  std::printf("offline packing: lower bound %zu PMs, FFD %zu, BFD %zu (32c/128GiB)\n",
+              sched::lower_bound_pms(snapshot, worker),
+              sched::pack_ffd(snapshot, worker), sched::pack_bfd(snapshot, worker));
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  const workload::Trace trace = load_trace(args);
+  const core::Resources worker{32, core::gib(128)};
+  sim::Datacenter dc =
+      args.mode == "dedicated"
+          ? sim::Datacenter::dedicated(worker,
+                                       {core::OversubLevel{1}, core::OversubLevel{2},
+                                        core::OversubLevel{3}},
+                                       policy_factory(args), args.mem_oversub)
+          : sim::Datacenter::shared(worker, policy_factory(args), args.mem_oversub);
+  std::optional<sim::RebalanceOptions> rebalance;
+  if (args.rebalance_s > 0) {
+    rebalance = sim::RebalanceOptions{args.rebalance_s, 64};
+  }
+  const sim::RunResult result = sim::replay(dc, trace, rebalance);
+  std::printf("mode %s, policy %s, mem oversub %.2fx\n", args.mode.c_str(),
+              args.policy.c_str(), args.mem_oversub);
+  std::printf("placed VMs     : %zu (peak %zu concurrent)\n", result.placed_vms,
+              result.peak_vms);
+  std::printf("PMs opened     : %zu (peak active %zu)\n", result.opened_pms,
+              result.peak_active_pms);
+  std::printf("stranded       : cpu %.1f%%, mem %.1f%% (time-weighted)\n",
+              result.avg_unalloc_cpu_share * 100, result.avg_unalloc_mem_share * 100);
+  if (result.migrations > 0) {
+    std::printf("migrations     : %zu\n", result.migrations);
+  }
+  const sim::EnergyReport energy = sim::estimate_energy(result, worker.cores);
+  std::printf("energy         : %.0f kWh, %.0f kgCO2e (provisioned fleet)\n",
+              energy.kwh, energy.carbon_kg);
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  sim::ExperimentConfig cfg;
+  cfg.generator = generator_config(args);
+  cfg.mem_oversub = args.mem_oversub;
+  std::printf("dist,share1,share2,share3,baseline_pms,slackvm_pms,saving_pct,"
+              "base_cpu_stranded,base_mem_stranded,slack_cpu_stranded,"
+              "slack_mem_stranded\n");
+  for (const auto& cmp : sim::run_distribution_sweep(
+           workload::catalog_by_name(args.provider), cfg)) {
+    const workload::LevelMix& mix = workload::distribution(cmp.distribution[0]);
+    std::printf("%s,%.0f,%.0f,%.0f,%zu,%zu,%.2f,%.4f,%.4f,%.4f,%.4f\n",
+                cmp.distribution.c_str(), mix.share_1to1 * 100, mix.share_2to1 * 100,
+                mix.share_3to1 * 100, cmp.baseline.opened_pms, cmp.slackvm.opened_pms,
+                cmp.pm_saving_pct(), cmp.baseline.avg_unalloc_cpu_share,
+                cmp.baseline.avg_unalloc_mem_share, cmp.slackvm.avg_unalloc_cpu_share,
+                cmp.slackvm.avg_unalloc_mem_share);
+  }
+  return 0;
+}
+
+int cmd_heatmap(const Args& args) {
+  sim::ExperimentConfig cfg;
+  cfg.generator = generator_config(args);
+  cfg.mem_oversub = args.mem_oversub;
+  std::printf("pct_1to1,pct_2to1,pct_3to1,saving_pct\n");
+  for (const auto& cell :
+       sim::run_savings_heatmap(workload::catalog_by_name(args.provider), cfg)) {
+    std::printf("%d,%d,%d,%.2f\n", cell.pct_1to1, cell.pct_2to1,
+                100 - cell.pct_1to1 - cell.pct_2to1, cell.saving_pct);
+  }
+  return 0;
+}
+
+int cmd_run_scenario(const Args& args) {
+  if (args.file_path.empty()) {
+    throw core::SlackError("--file SCENARIO required");
+  }
+  std::ifstream in(args.file_path);
+  if (!in) {
+    throw core::SlackError("cannot open " + args.file_path);
+  }
+  const sim::Scenario scenario = sim::parse_scenario(in);
+  std::printf("scenario %s: %s distribution %c, %zu VMs, %zu reps\n",
+              scenario.name.c_str(), scenario.provider.c_str(), scenario.distribution,
+              scenario.config.generator.target_population,
+              scenario.config.repetitions);
+  const sim::PackingComparison cmp = scenario.run();
+  std::printf("baseline (dedicated FF): %zu PMs, stranded cpu %.1f%% mem %.1f%%\n",
+              cmp.baseline.opened_pms, cmp.baseline.avg_unalloc_cpu_share * 100,
+              cmp.baseline.avg_unalloc_mem_share * 100);
+  std::printf("slackvm  (shared):       %zu PMs, stranded cpu %.1f%% mem %.1f%%\n",
+              cmp.slackvm.opened_pms, cmp.slackvm.avg_unalloc_cpu_share * 100,
+              cmp.slackvm.avg_unalloc_mem_share * 100);
+  std::printf("==> saving %.1f%%\n", cmp.pm_saving_pct());
+  return 0;
+}
+
+int cmd_topology(const Args& args) {
+  topo::CpuTopology machine = [&args] {
+    if (args.file_path.empty()) {
+      return topo::make_dual_epyc_7662();
+    }
+    std::ifstream in(args.file_path);
+    if (!in) {
+      throw core::SlackError("cannot open " + args.file_path);
+    }
+    return topo::parse_topology_dump(in);
+  }();
+  std::printf("%s: %zu threads, %zu sockets, %zu NUMA, SMT %u, %.0f GiB, M/C %.1f\n",
+              machine.name().c_str(), machine.cpu_count(), machine.socket_count(),
+              machine.numa_count(), machine.smt_width(),
+              core::mib_to_gib(machine.total_mem()), machine.target_ratio());
+  std::printf("Algorithm-1 distances from cpu0 (change points): ");
+  std::uint32_t last = 0xffffffff;
+  for (std::size_t cpu = 0; cpu < machine.cpu_count(); ++cpu) {
+    const auto d = topo::core_distance(machine, 0, static_cast<topo::CpuId>(cpu));
+    if (d != last) {
+      std::printf("cpu%zu:%u ", cpu, d);
+      last = d;
+    }
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const auto args = parse_args(argc, argv);
+    if (!args) {
+      return usage();
+    }
+    if (args->command == "catalog") {
+      return cmd_catalog(*args);
+    }
+    if (args->command == "generate") {
+      return cmd_generate(*args);
+    }
+    if (args->command == "analyze") {
+      return cmd_analyze(*args);
+    }
+    if (args->command == "replay") {
+      return cmd_replay(*args);
+    }
+    if (args->command == "sweep") {
+      return cmd_sweep(*args);
+    }
+    if (args->command == "heatmap") {
+      return cmd_heatmap(*args);
+    }
+    if (args->command == "topology") {
+      return cmd_topology(*args);
+    }
+    if (args->command == "run-scenario") {
+      return cmd_run_scenario(*args);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "slackvm: %s\n", e.what());
+    return 1;
+  }
+}
