@@ -14,6 +14,8 @@ int main(int argc, char** argv) {
   config.generator.seed = bench::arg_u64(argc, argv, "--seed", 42);
   config.generator.target_population = bench::arg_u64(argc, argv, "--population", 500);
   config.repetitions = bench::arg_u64(argc, argv, "--reps", 2);
+  // 0 = every hardware thread; repetitions fan out, cells stay identical.
+  config.parallelism = bench::arg_u64(argc, argv, "--threads", 0);
 
   for (const workload::Catalog* catalog :
        {&workload::ovhcloud_catalog(), &workload::azure_catalog()}) {

@@ -11,6 +11,7 @@
 #include "bench_util.hpp"
 #include "sched/filter.hpp"
 #include "sim/experiment.hpp"
+#include "sim/parallel.hpp"
 #include "sim/replay.hpp"
 
 using namespace slackvm;
@@ -49,6 +50,8 @@ sim::RunResult run_variant(const Variant& variant, const workload::Trace& trace,
 int main(int argc, char** argv) {
   const std::uint64_t seed = bench::arg_u64(argc, argv, "--seed", 42);
   const std::uint64_t population = bench::arg_u64(argc, argv, "--population", 500);
+  // Variants replay independently; 0 = every hardware thread.
+  sim::ParallelRunner runner(bench::arg_u64(argc, argv, "--threads", 0));
   const core::Resources host_config{32, core::gib(128)};
 
   const Variant variants[] = {
@@ -79,11 +82,14 @@ int main(int argc, char** argv) {
     std::printf("%-40s | %5s | %13s | %13s\n", "variant", "PMs", "stranded cpu",
                 "stranded mem");
     bench::print_rule(84);
-    for (const Variant& variant : variants) {
-      const sim::RunResult result = run_variant(variant, trace, host_config, mix);
-      std::printf("%-40s | %5zu | %12.1f%% | %12.1f%%\n", variant.name,
-                  result.opened_pms, result.avg_unalloc_cpu_share * 100,
-                  result.avg_unalloc_mem_share * 100);
+    const std::vector<sim::RunResult> results = runner.map<sim::RunResult>(
+        std::size(variants), [&](std::size_t v) {
+          return run_variant(variants[v], trace, host_config, mix);
+        });
+    for (std::size_t v = 0; v < std::size(variants); ++v) {
+      std::printf("%-40s | %5zu | %12.1f%% | %12.1f%%\n", variants[v].name,
+                  results[v].opened_pms, results[v].avg_unalloc_cpu_share * 100,
+                  results[v].avg_unalloc_mem_share * 100);
     }
     std::printf("\n");
   }

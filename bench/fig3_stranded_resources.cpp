@@ -10,6 +10,7 @@
 
 #include "bench_util.hpp"
 #include "sim/experiment.hpp"
+#include "sim/parallel.hpp"
 
 namespace {
 
@@ -29,14 +30,17 @@ int main(int argc, char** argv) {
   config.generator.target_population =
       bench::arg_u64(argc, argv, "--population", 500);
   config.repetitions = bench::arg_u64(argc, argv, "--reps", 3);
+  config.parallelism = bench::arg_u64(argc, argv, "--threads", 0);
   const workload::Catalog& catalog = bench::arg_flag(argc, argv, "--provider-azure")
                                          ? workload::azure_catalog()
                                          : workload::ovhcloud_catalog();
 
   bench::print_header("Fig. 3 — unallocated resource shares, baseline vs SlackVM (" +
                       catalog.provider() + ")");
-  std::printf("protocol: %zu-VM target, one-week trace, 32c/128GiB PMs, %zu reps\n\n",
-              config.generator.target_population, config.repetitions);
+  std::printf("protocol: %zu-VM target, one-week trace, 32c/128GiB PMs, %zu reps, "
+              "%zu threads\n\n",
+              config.generator.target_population, config.repetitions,
+              sim::resolve_parallelism(config.parallelism));
   std::printf("%4s %10s | %-26s | %-26s\n", "dist", "(1/2/3:1)", "baseline unalloc cpu|mem",
               "slackvm  unalloc cpu|mem");
   bench::print_rule(96);

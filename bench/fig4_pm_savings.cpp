@@ -43,6 +43,8 @@ int main(int argc, char** argv) {
   config.generator.target_population =
       bench::arg_u64(argc, argv, "--population", 500);
   config.repetitions = bench::arg_u64(argc, argv, "--reps", 3);
+  // 0 = every hardware thread; any value yields identical cells.
+  config.parallelism = bench::arg_u64(argc, argv, "--threads", 0);
 
   for (const workload::Catalog* catalog :
        {&workload::ovhcloud_catalog(), &workload::azure_catalog()}) {

@@ -67,6 +67,21 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Canonical derivation of an independent per-task seed from a base seed and
+/// a stable task index. Used by the parallel experiment engine so that the
+/// stream a task draws from depends only on (base, index) — never on the
+/// thread that happens to execute it or on pool scheduling order. The
+/// mapping is pinned by golden constants in tests/core_rng_test.cpp: a
+/// change here silently shifts every benchmark number, so it must be
+/// deliberate.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t base,
+                                                  std::uint64_t index) noexcept {
+  // Decorrelate the index with a Weyl step before mixing so that adjacent
+  // indices land far apart in the seed space, then run one SplitMix64 draw.
+  SplitMix64 mixer(base ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+  return mixer();
+}
+
 /// Precomputed cumulative table for repeated weighted sampling.
 class DiscreteSampler {
  public:

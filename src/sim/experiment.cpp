@@ -1,7 +1,10 @@
 #include "sim/experiment.hpp"
 
+#include <map>
+
 #include "core/oversub.hpp"
 #include "sched/policy.hpp"
+#include "sim/parallel.hpp"
 #include "sim/replay.hpp"
 
 namespace slackvm::sim {
@@ -19,9 +22,73 @@ std::vector<core::OversubLevel> levels_present(const workload::LevelMix& mix) {
   return levels;
 }
 
-/// Average accumulator over repetitions.
-struct Averager {
+std::size_t effective_repetitions(const ExperimentConfig& config) {
+  return config.repetitions == 0 ? 1 : config.repetitions;
+}
+
+/// One (distribution, repetition) cell of the experiment grid: a freshly
+/// generated trace replayed against both cluster organisations. Pure in
+/// (catalog, mix, config, rep) — safe to run from any pool thread.
+struct CellResult {
+  RunResult baseline;
+  RunResult slackvm;
+};
+
+CellResult run_cell(const workload::Catalog& catalog, const workload::LevelMix& mix,
+                    const ExperimentConfig& config, std::size_t rep) {
+  workload::GeneratorConfig gen_cfg = config.generator;
+  gen_cfg.seed = config.generator.seed + rep;
+  const workload::Trace trace = workload::Generator(catalog, mix, gen_cfg).generate();
+
+  CellResult cell;
+  // Baseline: dedicated First-Fit clusters, one per level present.
+  Datacenter baseline = Datacenter::dedicated(config.host_config, levels_present(mix),
+                                              sched::make_first_fit, config.mem_oversub);
+  cell.baseline = replay(baseline, trace);
+
+  // SlackVM: one shared cluster, Algorithm-2 progress scoring.
+  Datacenter slackvm = Datacenter::shared(config.host_config,
+                                          sched::make_progress_policy, config.mem_oversub);
+  cell.slackvm = replay(slackvm, trace);
+  return cell;
+}
+
+/// Reduce one distribution's repetition cells (in repetition order) into a
+/// comparison row.
+PackingComparison reduce_cells(const workload::Catalog& catalog,
+                               const workload::LevelMix& mix,
+                               std::span<const CellResult> cells) {
+  std::vector<RunResult> baseline;
+  std::vector<RunResult> slackvm;
+  baseline.reserve(cells.size());
+  slackvm.reserve(cells.size());
+  for (const CellResult& cell : cells) {
+    baseline.push_back(cell.baseline);
+    slackvm.push_back(cell.slackvm);
+  }
+  PackingComparison out;
+  out.provider = catalog.provider();
+  out.distribution = mix.name;
+  out.baseline = mean_result(baseline);
+  out.slackvm = mean_result(slackvm);
+  return out;
+}
+
+std::size_t round_to_count(double sum, double n) {
+  return static_cast<std::size_t>(sum / n + 0.5);
+}
+
+}  // namespace
+
+RunResult mean_result(std::span<const RunResult> results) {
+  if (results.empty()) {
+    return {};
+  }
+  // Plain left-to-right sums: reducing in repetition order keeps the
+  // floating-point results bit-stable across thread counts.
   double opened = 0;
+  double peak_active = 0;
+  double migrations = 0;
   double placed = 0;
   double peak = 0;
   double cpu = 0;
@@ -31,10 +98,11 @@ struct Averager {
   double duration = 0;
   double active = 0;
   double alloc_cores = 0;
-  double peak_active = 0;
-
-  void add(const RunResult& r) {
+  std::map<std::string, double> per_cluster;
+  for (const RunResult& r : results) {
     opened += static_cast<double>(r.opened_pms);
+    peak_active += static_cast<double>(r.peak_active_pms);
+    migrations += static_cast<double>(r.migrations);
     placed += static_cast<double>(r.placed_vms);
     peak += static_cast<double>(r.peak_vms);
     cpu += r.avg_unalloc_cpu_share;
@@ -44,28 +112,29 @@ struct Averager {
     duration += r.duration;
     active += r.avg_active_pms;
     alloc_cores += r.avg_alloc_cores;
-    peak_active += static_cast<double>(r.peak_active_pms);
+    for (const auto& [cluster, pms] : r.opened_per_cluster) {
+      per_cluster[cluster] += static_cast<double>(pms);
+    }
   }
-
-  [[nodiscard]] RunResult mean(std::size_t n) const {
-    const double d = static_cast<double>(n);
-    RunResult out;
-    out.opened_pms = static_cast<std::size_t>(opened / d + 0.5);
-    out.placed_vms = static_cast<std::size_t>(placed / d + 0.5);
-    out.peak_vms = static_cast<std::size_t>(peak / d + 0.5);
-    out.avg_unalloc_cpu_share = cpu / d;
-    out.avg_unalloc_mem_share = mem / d;
-    out.peak_unalloc_cpu_share = peak_cpu / d;
-    out.peak_unalloc_mem_share = peak_mem / d;
-    out.duration = duration / d;
-    out.avg_active_pms = active / d;
-    out.avg_alloc_cores = alloc_cores / d;
-    out.peak_active_pms = static_cast<std::size_t>(peak_active / d + 0.5);
-    return out;
+  const double d = static_cast<double>(results.size());
+  RunResult out;
+  out.opened_pms = round_to_count(opened, d);
+  out.peak_active_pms = round_to_count(peak_active, d);
+  out.migrations = round_to_count(migrations, d);
+  out.placed_vms = round_to_count(placed, d);
+  out.peak_vms = round_to_count(peak, d);
+  out.avg_unalloc_cpu_share = cpu / d;
+  out.avg_unalloc_mem_share = mem / d;
+  out.peak_unalloc_cpu_share = peak_cpu / d;
+  out.peak_unalloc_mem_share = peak_mem / d;
+  out.duration = duration / d;
+  out.avg_active_pms = active / d;
+  out.avg_alloc_cores = alloc_cores / d;
+  for (const auto& [cluster, sum] : per_cluster) {
+    out.opened_per_cluster[cluster] = round_to_count(sum, d);
   }
-};
-
-}  // namespace
+  return out;
+}
 
 double PackingComparison::pm_saving_pct() const {
   if (baseline.opened_pms == 0) {
@@ -79,41 +148,32 @@ double PackingComparison::pm_saving_pct() const {
 PackingComparison compare_packing(const workload::Catalog& catalog,
                                   const workload::LevelMix& mix,
                                   const ExperimentConfig& config) {
-  PackingComparison out;
-  out.provider = catalog.provider();
-  out.distribution = mix.name;
-
-  Averager base_avg;
-  Averager slack_avg;
-  const std::size_t reps = config.repetitions == 0 ? 1 : config.repetitions;
-  for (std::size_t rep = 0; rep < reps; ++rep) {
-    workload::GeneratorConfig gen_cfg = config.generator;
-    gen_cfg.seed = config.generator.seed + rep;
-    const workload::Trace trace =
-        workload::Generator(catalog, mix, gen_cfg).generate();
-
-    // Baseline: dedicated First-Fit clusters, one per level present.
-    Datacenter baseline =
-        Datacenter::dedicated(config.host_config, levels_present(mix),
-                              sched::make_first_fit, config.mem_oversub);
-    base_avg.add(replay(baseline, trace));
-
-    // SlackVM: one shared cluster, Algorithm-2 progress scoring.
-    Datacenter slackvm = Datacenter::shared(
-        config.host_config, sched::make_progress_policy, config.mem_oversub);
-    slack_avg.add(replay(slackvm, trace));
-  }
-  out.baseline = base_avg.mean(reps);
-  out.slackvm = slack_avg.mean(reps);
-  return out;
+  const std::size_t reps = effective_repetitions(config);
+  ParallelRunner runner(config.parallelism);
+  const std::vector<CellResult> cells = runner.map<CellResult>(
+      reps, [&](std::size_t rep) { return run_cell(catalog, mix, config, rep); });
+  return reduce_cells(catalog, mix, cells);
 }
 
 std::vector<PackingComparison> run_distribution_sweep(const workload::Catalog& catalog,
                                                       const ExperimentConfig& config) {
+  const std::vector<workload::LevelMix>& mixes = workload::paper_distributions();
+  const std::size_t reps = effective_repetitions(config);
+
+  // Fan the whole (distribution, repetition) grid out at once: task index
+  // t = mix * reps + rep, so each cell's seed and its slot in the reduction
+  // depend only on its grid position, never on scheduling order.
+  ParallelRunner runner(config.parallelism);
+  const std::vector<CellResult> cells =
+      runner.map<CellResult>(mixes.size() * reps, [&](std::size_t t) {
+        return run_cell(catalog, mixes[t / reps], config, t % reps);
+      });
+
   std::vector<PackingComparison> out;
-  out.reserve(workload::paper_distributions().size());
-  for (const workload::LevelMix& mix : workload::paper_distributions()) {
-    out.push_back(compare_packing(catalog, mix, config));
+  out.reserve(mixes.size());
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
+    out.push_back(reduce_cells(catalog, mixes[m],
+                               std::span(cells).subspan(m * reps, reps)));
   }
   return out;
 }
@@ -121,8 +181,8 @@ std::vector<PackingComparison> run_distribution_sweep(const workload::Catalog& c
 std::vector<HeatmapCell> run_savings_heatmap(const workload::Catalog& catalog,
                                              const ExperimentConfig& config) {
   std::vector<HeatmapCell> cells;
-  for (const workload::LevelMix& mix : workload::paper_distributions()) {
-    const PackingComparison cmp = compare_packing(catalog, mix, config);
+  for (const PackingComparison& cmp : run_distribution_sweep(catalog, config)) {
+    const workload::LevelMix& mix = workload::distribution(cmp.distribution[0]);
     HeatmapCell cell;
     cell.pct_1to1 = static_cast<int>(mix.share_1to1 * 100.0 + 0.5);
     cell.pct_2to1 = static_cast<int>(mix.share_2to1 * 100.0 + 0.5);

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,12 @@ struct ExperimentConfig {
   /// Number of independently seeded workloads averaged per cell; seeds are
   /// generator.seed, +1, +2, ...
   std::size_t repetitions = 1;
+  /// Worker threads for the experiment grid (sim/parallel.hpp): 1 = serial,
+  /// 0 = all hardware threads. Each (distribution, repetition) cell is an
+  /// independent replay whose seed depends only on its grid position, and
+  /// results are reduced in grid order, so every value of this knob yields
+  /// bit-identical results — it only changes wall-clock time.
+  std::size_t parallelism = 1;
 };
 
 /// One baseline-vs-SlackVM comparison (a Fig. 3 bar pair / Fig. 4 cell).
@@ -37,6 +44,13 @@ struct PackingComparison {
   /// PMs saved by SlackVM, in percent of the baseline cluster size.
   [[nodiscard]] double pm_saving_pct() const;
 };
+
+/// Field-wise mean of RunResults over repetitions: counts are rounded to
+/// the nearest integer, shares/durations averaged, and per-cluster PM
+/// counts averaged per cluster name. Results must be reduced in repetition
+/// order for bit-stable floating-point sums (the parallel runner guarantees
+/// this). Empty input yields a default RunResult.
+[[nodiscard]] RunResult mean_result(std::span<const RunResult> results);
 
 /// Run one comparison: the same trace replayed against (a) dedicated
 /// First-Fit clusters and (b) a shared progress-score cluster. With

@@ -1,0 +1,179 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+
+namespace slackvm::sim {
+
+std::size_t resolve_parallelism(std::size_t requested) noexcept {
+  if (requested != 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = std::max<std::size_t>(1, threads);
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(batch_mutex_);
+    stop_ = true;
+  }
+  batch_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::run(std::size_t count, const std::function<void(std::size_t)>& task) {
+  if (count == 0) {
+    return;
+  }
+  // Deal indices block-wise: worker w owns [w*chunk, min((w+1)*chunk, n)).
+  // Contiguous blocks keep each worker on neighbouring cells of the
+  // experiment grid; stealing rebalances the tail.
+  const std::size_t workers = workers_.size();
+  const std::size_t chunk = (count + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = std::min(w * chunk, count);
+    const std::size_t hi = std::min(lo + chunk, count);
+    const std::lock_guard<std::mutex> lock(queues_[w]->mutex);
+    for (std::size_t i = lo; i < hi; ++i) {
+      queues_[w]->indices.push_back(i);
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(batch_mutex_);
+    task_ = &task;
+    remaining_ = count;
+    ++batch_epoch_;
+  }
+  batch_cv_.notify_all();
+
+  // The calling thread works too, so run(n) with a 1-thread pool cannot
+  // deadlock and small batches finish without a context switch.
+  std::size_t index = 0;
+  while (try_pop(0, index)) {
+    execute(index);
+  }
+  {
+    std::unique_lock<std::mutex> lock(batch_mutex_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    task_ = nullptr;
+  }
+  std::exception_ptr error;
+  {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    std::swap(error, first_error_);
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::size_t& index) {
+  // Own queue first: LIFO keeps the hot tail of the block local.
+  {
+    const std::lock_guard<std::mutex> lock(queues_[self]->mutex);
+    if (!queues_[self]->indices.empty()) {
+      index = queues_[self]->indices.back();
+      queues_[self]->indices.pop_back();
+      return true;
+    }
+  }
+  // Steal FIFO from the most loaded victim (victims keep their tail).
+  std::size_t victim = queues_.size();
+  std::size_t victim_load = 0;
+  for (std::size_t other = 0; other < queues_.size(); ++other) {
+    if (other == self) {
+      continue;
+    }
+    const std::lock_guard<std::mutex> lock(queues_[other]->mutex);
+    if (queues_[other]->indices.size() > victim_load) {
+      victim_load = queues_[other]->indices.size();
+      victim = other;
+    }
+  }
+  if (victim == queues_.size()) {
+    return false;
+  }
+  const std::lock_guard<std::mutex> lock(queues_[victim]->mutex);
+  if (queues_[victim]->indices.empty()) {
+    return false;  // raced with the owner; caller re-checks remaining_
+  }
+  index = queues_[victim]->indices.front();
+  queues_[victim]->indices.pop_front();
+  return true;
+}
+
+void ThreadPool::execute(std::size_t index) {
+  const std::function<void(std::size_t)>* task = task_;
+  try {
+    (*task)(index);
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!first_error_) {
+      first_error_ = std::current_exception();
+    }
+  }
+  bool last = false;
+  {
+    const std::lock_guard<std::mutex> lock(batch_mutex_);
+    last = --remaining_ == 0;
+  }
+  if (last) {
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(batch_mutex_);
+      batch_cv_.wait(lock,
+                     [this, seen_epoch] { return stop_ || batch_epoch_ != seen_epoch; });
+      if (stop_) {
+        return;
+      }
+      seen_epoch = batch_epoch_;
+    }
+    std::size_t index = 0;
+    while (try_pop(self, index)) {
+      execute(index);
+    }
+    // All queues drained (no tasks are added mid-batch): back to waiting
+    // for the next epoch while in-flight tasks on other workers finish.
+  }
+}
+
+ParallelRunner::ParallelRunner(std::size_t parallelism)
+    : parallelism_(resolve_parallelism(parallelism)) {
+  if (parallelism_ > 1) {
+    // The caller participates in run(), so spawn one fewer worker.
+    pool_ = std::make_unique<ThreadPool>(parallelism_ - 1);
+  }
+}
+
+void ParallelRunner::for_each(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (pool_ == nullptr) {
+    for (std::size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  pool_->run(count, fn);
+}
+
+}  // namespace slackvm::sim

@@ -56,6 +56,8 @@ Scenario parse_scenario(std::istream& input) {
         scenario.config.generator.seed = std::stoull(value);
       } else if (key == "repetitions") {
         scenario.config.repetitions = std::stoull(value);
+      } else if (key == "parallelism") {
+        scenario.config.parallelism = std::stoull(value);
       } else if (key == "mem_oversub") {
         scenario.config.mem_oversub = std::stod(value);
       } else if (key == "horizon_days") {
@@ -94,6 +96,7 @@ void write_scenario(const Scenario& scenario, std::ostream& output) {
   output << "population " << scenario.config.generator.target_population << '\n';
   output << "seed " << scenario.config.generator.seed << '\n';
   output << "repetitions " << scenario.config.repetitions << '\n';
+  output << "parallelism " << scenario.config.parallelism << '\n';
   output << "mem_oversub " << scenario.config.mem_oversub << '\n';
   output << "horizon_days " << scenario.config.generator.horizon / (24 * 3600) << '\n';
   output << "lifetime_days " << scenario.config.generator.mean_lifetime / (24 * 3600)

@@ -13,6 +13,8 @@
 //   population   500
 //   seed         42
 //   repetitions  3
+//   parallelism  1                 # worker threads (0 = all cores); results
+//                                  # are identical at every value
 //   mem_oversub  1.0
 //   horizon_days 7
 //   lifetime_days 2

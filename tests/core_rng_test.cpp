@@ -94,6 +94,35 @@ TEST(SplitMix64, WeightedIndexFollowsWeights) {
   EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
 }
 
+TEST(DeriveSeed, GoldenConstantsPinned) {
+  // Seed-stability regression guard: derive_seed(base, i) is the canonical
+  // per-task stream derivation of the parallel experiment engine. These
+  // values are load-bearing — changing the mapping silently shifts every
+  // benchmark number produced from derived streams, so a refactor that
+  // trips this test must be a deliberate, called-out break.
+  EXPECT_EQ(derive_seed(0, 0), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(derive_seed(0, 1), 0x06c45d188009454fULL);
+  EXPECT_EQ(derive_seed(0, 2), 0xf88bb8a8724c81ecULL);
+  EXPECT_EQ(derive_seed(0, 7), 0x3ee5789041c98ac3ULL);
+  EXPECT_EQ(derive_seed(42, 0), 0x28efe333b266f103ULL);
+  EXPECT_EQ(derive_seed(42, 1), 0x5fd30d2fcbef75e3ULL);
+  EXPECT_EQ(derive_seed(42, 2), 0x6545d3b48b05c974ULL);
+  EXPECT_EQ(derive_seed(42, 7), 0xcc868f8d9bd23f76ULL);
+  EXPECT_EQ(derive_seed(0xdeadbeef, 0), 0xe8cdc1bbdfed5d41ULL);
+  EXPECT_EQ(derive_seed(0xdeadbeef, 1), 0xbec198114b7e9ed9ULL);
+  EXPECT_EQ(derive_seed(0xdeadbeef, 2), 0xa7927fd9ee23e4d8ULL);
+  EXPECT_EQ(derive_seed(0xdeadbeef, 7), 0x6e0d1418aee0ddc1ULL);
+}
+
+TEST(DeriveSeed, IsConstexprAndIndexSensitive) {
+  static_assert(derive_seed(1, 0) != derive_seed(1, 1));
+  static_assert(derive_seed(1, 0) != derive_seed(2, 0));
+  // Streams seeded from adjacent indices diverge immediately.
+  SplitMix64 a(derive_seed(9, 0));
+  SplitMix64 b(derive_seed(9, 1));
+  EXPECT_NE(a(), b());
+}
+
 TEST(DiscreteSampler, ProbabilitiesNormalized) {
   const std::vector<double> weights{2.0, 6.0, 2.0};
   const DiscreteSampler sampler{std::span<const double>(weights)};

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
 namespace slackvm::sim {
 namespace {
 
@@ -98,6 +100,66 @@ TEST(ExperimentTest, RepetitionsAverageDeterministically) {
       workload::azure_catalog(), workload::distribution('F'), cfg);
   EXPECT_EQ(first.baseline.opened_pms, second.baseline.opened_pms);
   EXPECT_EQ(first.slackvm.opened_pms, second.slackvm.opened_pms);
+}
+
+TEST(ExperimentTest, MeanResultAveragesEveryField) {
+  // Locks the repetition-aggregation contract: no RunResult field may be
+  // dropped. migrations and opened_per_cluster were silently discarded by
+  // an earlier version of the averager.
+  RunResult a;
+  a.opened_pms = 80;
+  a.peak_active_pms = 70;
+  a.migrations = 10;
+  a.opened_per_cluster = {{"shared", 80}};
+  a.placed_vms = 500;
+  a.peak_vms = 300;
+  a.avg_unalloc_cpu_share = 0.20;
+  a.avg_unalloc_mem_share = 0.10;
+  a.peak_unalloc_cpu_share = 0.05;
+  a.peak_unalloc_mem_share = 0.02;
+  a.duration = 1000.0;
+  a.avg_active_pms = 60.0;
+  a.avg_alloc_cores = 2000.0;
+
+  RunResult b = a;
+  b.opened_pms = 85;        // mean 82.5 -> rounds to 83
+  b.peak_active_pms = 73;   // mean 71.5 -> rounds to 72
+  b.migrations = 15;        // mean 12.5 -> rounds to 13
+  b.opened_per_cluster = {{"shared", 85}, {"1:1", 4}};
+  b.avg_unalloc_cpu_share = 0.30;
+  b.duration = 2000.0;
+
+  const RunResult m = mean_result(std::array{a, b});
+  EXPECT_EQ(m.opened_pms, 83U);
+  EXPECT_EQ(m.peak_active_pms, 72U);
+  EXPECT_EQ(m.migrations, 13U);
+  ASSERT_EQ(m.opened_per_cluster.size(), 2U);
+  EXPECT_EQ(m.opened_per_cluster.at("shared"), 83U);  // (80 + 85) / 2 = 82.5
+  EXPECT_EQ(m.opened_per_cluster.at("1:1"), 2U);      // (0 + 4) / 2
+  EXPECT_EQ(m.placed_vms, 500U);
+  EXPECT_EQ(m.peak_vms, 300U);
+  EXPECT_DOUBLE_EQ(m.avg_unalloc_cpu_share, 0.25);
+  EXPECT_DOUBLE_EQ(m.avg_unalloc_mem_share, 0.10);
+  EXPECT_DOUBLE_EQ(m.peak_unalloc_cpu_share, 0.05);
+  EXPECT_DOUBLE_EQ(m.peak_unalloc_mem_share, 0.02);
+  EXPECT_DOUBLE_EQ(m.duration, 1500.0);
+  EXPECT_DOUBLE_EQ(m.avg_active_pms, 60.0);
+  EXPECT_DOUBLE_EQ(m.avg_alloc_cores, 2000.0);
+}
+
+TEST(ExperimentTest, MeanResultOfEmptyAndSingle) {
+  const RunResult empty = mean_result({});
+  EXPECT_EQ(empty.opened_pms, 0U);
+  EXPECT_DOUBLE_EQ(empty.duration, 0.0);
+
+  RunResult only;
+  only.opened_pms = 7;
+  only.migrations = 3;
+  only.opened_per_cluster = {{"2:1", 7}};
+  const RunResult m = mean_result(std::array{only});
+  EXPECT_EQ(m.opened_pms, 7U);
+  EXPECT_EQ(m.migrations, 3U);
+  EXPECT_EQ(m.opened_per_cluster.at("2:1"), 7U);
 }
 
 TEST(ExperimentTest, SavingPctFormula) {

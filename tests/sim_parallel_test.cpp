@@ -1,0 +1,194 @@
+// Determinism harness for the parallel experiment engine: the parallel
+// runner must produce bit-identical results to serial execution at every
+// thread count, across providers, distributions, and repetition counts.
+// Also unit-tests the work-stealing ThreadPool itself.
+#include "sim/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace slackvm::sim {
+namespace {
+
+// Thread counts every differential case is checked at; 1 exercises the
+// pool-less fast path, 8 oversubscribes small grids so stealing kicks in.
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+ExperimentConfig small_config(std::size_t repetitions) {
+  ExperimentConfig cfg;
+  cfg.generator.target_population = 60;
+  cfg.generator.horizon = 2.0 * 24 * 3600;
+  cfg.generator.mean_lifetime = 1.0 * 24 * 3600;
+  cfg.generator.seed = 42;
+  cfg.repetitions = repetitions;
+  return cfg;
+}
+
+// Bit-exact equality on every RunResult field (EXPECT_EQ on the doubles is
+// deliberate: the guarantee is identical bits, not approximate agreement).
+void expect_identical(const RunResult& serial, const RunResult& parallel) {
+  EXPECT_EQ(serial.opened_pms, parallel.opened_pms);
+  EXPECT_EQ(serial.peak_active_pms, parallel.peak_active_pms);
+  EXPECT_EQ(serial.migrations, parallel.migrations);
+  EXPECT_EQ(serial.opened_per_cluster, parallel.opened_per_cluster);
+  EXPECT_EQ(serial.placed_vms, parallel.placed_vms);
+  EXPECT_EQ(serial.peak_vms, parallel.peak_vms);
+  EXPECT_EQ(serial.avg_unalloc_cpu_share, parallel.avg_unalloc_cpu_share);
+  EXPECT_EQ(serial.avg_unalloc_mem_share, parallel.avg_unalloc_mem_share);
+  EXPECT_EQ(serial.peak_unalloc_cpu_share, parallel.peak_unalloc_cpu_share);
+  EXPECT_EQ(serial.peak_unalloc_mem_share, parallel.peak_unalloc_mem_share);
+  EXPECT_EQ(serial.duration, parallel.duration);
+  EXPECT_EQ(serial.avg_active_pms, parallel.avg_active_pms);
+  EXPECT_EQ(serial.avg_alloc_cores, parallel.avg_alloc_cores);
+}
+
+void expect_identical(const PackingComparison& serial,
+                      const PackingComparison& parallel) {
+  EXPECT_EQ(serial.provider, parallel.provider);
+  EXPECT_EQ(serial.distribution, parallel.distribution);
+  expect_identical(serial.baseline, parallel.baseline);
+  expect_identical(serial.slackvm, parallel.slackvm);
+}
+
+TEST(ParallelDifferential, ComparePackingMatchesSerialEverywhere) {
+  for (const workload::Catalog* catalog :
+       {&workload::ovhcloud_catalog(), &workload::azure_catalog()}) {
+    for (char dist : {'A', 'F', 'O'}) {
+      for (std::size_t reps : {std::size_t{1}, std::size_t{3}}) {
+        ExperimentConfig cfg = small_config(reps);
+        const PackingComparison serial =
+            compare_packing(*catalog, workload::distribution(dist), cfg);
+        for (std::size_t threads : kThreadCounts) {
+          cfg.parallelism = threads;
+          const PackingComparison parallel =
+              compare_packing(*catalog, workload::distribution(dist), cfg);
+          SCOPED_TRACE(catalog->provider() + " dist " + dist + " reps " +
+                       std::to_string(reps) + " threads " + std::to_string(threads));
+          expect_identical(serial, parallel);
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelDifferential, DistributionSweepMatchesSerialEverywhere) {
+  ExperimentConfig cfg = small_config(2);
+  cfg.generator.target_population = 40;
+  const std::vector<PackingComparison> serial =
+      run_distribution_sweep(workload::azure_catalog(), cfg);
+  ASSERT_EQ(serial.size(), 15U);
+  for (std::size_t threads : kThreadCounts) {
+    cfg.parallelism = threads;
+    const std::vector<PackingComparison> parallel =
+        run_distribution_sweep(workload::azure_catalog(), cfg);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE("distribution " + serial[i].distribution + " threads " +
+                   std::to_string(threads));
+      expect_identical(serial[i], parallel[i]);
+    }
+  }
+}
+
+TEST(ParallelDifferential, SavingsHeatmapMatchesSerial) {
+  ExperimentConfig cfg = small_config(1);
+  cfg.generator.target_population = 40;
+  const std::vector<HeatmapCell> serial =
+      run_savings_heatmap(workload::ovhcloud_catalog(), cfg);
+  cfg.parallelism = 8;
+  const std::vector<HeatmapCell> parallel =
+      run_savings_heatmap(workload::ovhcloud_catalog(), cfg);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].pct_1to1, parallel[i].pct_1to1);
+    EXPECT_EQ(serial[i].pct_2to1, parallel[i].pct_2to1);
+    EXPECT_EQ(serial[i].saving_pct, parallel[i].saving_pct);
+  }
+}
+
+TEST(ParallelDifferential, ParallelismZeroMeansAllCoresAndStaysIdentical) {
+  ExperimentConfig cfg = small_config(2);
+  const PackingComparison serial =
+      compare_packing(workload::ovhcloud_catalog(), workload::distribution('F'), cfg);
+  cfg.parallelism = 0;  // resolve to hardware_concurrency
+  const PackingComparison parallel =
+      compare_packing(workload::ovhcloud_catalog(), workload::distribution('F'), cfg);
+  expect_identical(serial, parallel);
+}
+
+TEST(ThreadPoolTest, ExecutesEveryIndexExactlyOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    for (std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{5},
+                              std::size_t{64}, std::size_t{257}}) {
+      std::vector<std::atomic<int>> hits(count);
+      pool.run(count, [&hits](std::size_t i) { ++hits[i]; });
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  for (int batch = 0; batch < 10; ++batch) {
+    pool.run(32, [&total](std::size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 320U);
+}
+
+TEST(ThreadPoolTest, PropagatesTaskExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run(16,
+                        [](std::size_t i) {
+                          if (i == 7) {
+                            throw std::runtime_error("cell 7 failed");
+                          }
+                        }),
+               std::runtime_error);
+  // The pool survives a throwing batch.
+  std::atomic<std::size_t> total{0};
+  pool.run(8, [&total](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 8U);
+}
+
+TEST(ParallelRunnerTest, MapReturnsResultsInIndexOrder) {
+  for (std::size_t threads : kThreadCounts) {
+    ParallelRunner runner(threads);
+    const std::vector<std::size_t> out = runner.map<std::size_t>(
+        100, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 100U);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], i * i);
+    }
+  }
+}
+
+TEST(ParallelRunnerTest, TaskSeedIsStableAndThreadIndependent) {
+  // The per-task seed is a pure function of (base, index): compute it from
+  // many threads concurrently and compare against the serial value.
+  constexpr std::uint64_t kBase = 12345;
+  std::vector<std::uint64_t> serial(64);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    serial[i] = ParallelRunner::task_seed(kBase, i);
+  }
+  ParallelRunner runner(8);
+  const std::vector<std::uint64_t> parallel = runner.map<std::uint64_t>(
+      serial.size(), [](std::size_t i) { return ParallelRunner::task_seed(kBase, i); });
+  EXPECT_EQ(serial, parallel);
+  // And adjacent indices must not collide.
+  for (std::size_t i = 1; i < serial.size(); ++i) {
+    EXPECT_NE(serial[i], serial[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace slackvm::sim

@@ -48,6 +48,8 @@ struct Args {
   std::string out_path = "trace.csv";
   double mem_oversub = 1.0;
   double rebalance_s = 0.0;
+  std::size_t parallelism = 1;
+  std::size_t repetitions = 1;
 };
 
 int usage() {
@@ -57,7 +59,9 @@ int usage() {
                "options: --provider azure|ovhcloud  --dist A..O  --seed N\n"
                "         --population N  --policy NAME  --mode shared|dedicated\n"
                "         --mem-oversub X  --rebalance SECONDS  --trace FILE\n"
-               "         --file DUMP  --out FILE\n");
+               "         --file DUMP  --out FILE  --reps N\n"
+               "         --parallelism N   (sweep/heatmap worker threads; 0 = all\n"
+               "                            cores; results identical at any value)\n");
   return 2;
 }
 
@@ -97,6 +101,10 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.mem_oversub = std::strtod(value(), nullptr);
     } else if (key == "--rebalance") {
       args.rebalance_s = std::strtod(value(), nullptr);
+    } else if (key == "--parallelism") {
+      args.parallelism = std::strtoull(value(), nullptr, 10);
+    } else if (key == "--reps") {
+      args.repetitions = std::strtoull(value(), nullptr, 10);
     } else {
       throw core::SlackError("unknown option " + key);
     }
@@ -237,6 +245,8 @@ int cmd_sweep(const Args& args) {
   sim::ExperimentConfig cfg;
   cfg.generator = generator_config(args);
   cfg.mem_oversub = args.mem_oversub;
+  cfg.repetitions = args.repetitions;
+  cfg.parallelism = args.parallelism;
   std::printf("dist,share1,share2,share3,baseline_pms,slackvm_pms,saving_pct,"
               "base_cpu_stranded,base_mem_stranded,slack_cpu_stranded,"
               "slack_mem_stranded\n");
@@ -257,6 +267,8 @@ int cmd_heatmap(const Args& args) {
   sim::ExperimentConfig cfg;
   cfg.generator = generator_config(args);
   cfg.mem_oversub = args.mem_oversub;
+  cfg.repetitions = args.repetitions;
+  cfg.parallelism = args.parallelism;
   std::printf("pct_1to1,pct_2to1,pct_3to1,saving_pct\n");
   for (const auto& cell :
        sim::run_savings_heatmap(workload::catalog_by_name(args.provider), cfg)) {
