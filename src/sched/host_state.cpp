@@ -11,17 +11,12 @@ HostState::HostState(HostId id, core::Resources config, double mem_oversub)
 }
 
 core::CoreCount HostState::cores_with(const core::VmSpec& spec) const noexcept {
-  core::CoreCount total = 0;
-  for (std::uint8_t ratio = 1; ratio <= core::OversubLevel::kMaxRatio; ++ratio) {
-    core::VcpuCount vcpus = vcpus_per_level_[ratio];
-    if (ratio == spec.level.ratio()) {
-      vcpus += spec.vcpus;
-    }
-    if (vcpus > 0) {
-      total += core::ceil_div<core::CoreCount>(vcpus, ratio);
-    }
-  }
-  return total;
+  // Only the spec's own vNode changes, so the incremental ceil-rounded
+  // demand is O(1) instead of a sweep over all levels.
+  const std::uint8_t ratio = spec.level.ratio();
+  const core::VcpuCount vcpus = vcpus_per_level_[ratio];
+  return alloc_cores_ - core::ceil_div<core::CoreCount>(vcpus, ratio) +
+         core::ceil_div<core::CoreCount>(vcpus + spec.vcpus, ratio);
 }
 
 bool HostState::can_host(const core::VmSpec& spec) const noexcept {
@@ -38,6 +33,7 @@ void HostState::add(core::VmId id, const core::VmSpec& spec) {
   vcpus_per_level_[spec.level.ratio()] += spec.vcpus;
   committed_mem_ += spec.mem_mib;
   recompute_alloc_cores();
+  ++epoch_;
 }
 
 void HostState::remove(core::VmId id) {
@@ -50,6 +46,7 @@ void HostState::remove(core::VmId id) {
   committed_mem_ -= spec.mem_mib;
   vms_.erase(it);
   recompute_alloc_cores();
+  ++epoch_;
 }
 
 core::VcpuCount HostState::committed_vcpus(core::OversubLevel level) const noexcept {

@@ -33,6 +33,11 @@ class HostState {
   [[nodiscard]] const core::Resources& config() const noexcept { return config_; }
   [[nodiscard]] double mem_oversub() const noexcept { return mem_oversub_; }
 
+  /// Modification epoch: bumped by every add()/remove(). Cached derived
+  /// state (sched::PlacementIndex score/feasibility entries) is valid
+  /// exactly as long as the epoch it was computed at still matches.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
   /// Memory admission bound: config.mem_mib * mem_oversub.
   [[nodiscard]] core::MemMib mem_capacity() const noexcept {
     return static_cast<core::MemMib>(static_cast<double>(config_.mem_mib) *
@@ -91,6 +96,7 @@ class HostState {
   std::array<core::VcpuCount, core::OversubLevel::kMaxRatio + 1> vcpus_per_level_{};
   core::CoreCount alloc_cores_ = 0;
   core::MemMib committed_mem_ = 0;
+  std::uint64_t epoch_ = 0;
   std::unordered_map<core::VmId, core::VmSpec> vms_;
 };
 

@@ -16,15 +16,35 @@ namespace slackvm::sched {
 /// Selects a host for a VM from an ordered candidate list. Candidates that
 /// fail the built-in capacity filter — or the optional extra hard-constraint
 /// filter (paper §II-B) — are skipped by every policy.
+///
+/// select() is the *naive reference path*: a full linear scan over the
+/// candidate list. VCluster's incremental PlacementIndex answers the same
+/// question in O(log N) for policies that advertise an IndexMode; the
+/// differential tests (tests/sched_placement_index_test.cpp) assert both
+/// paths pick the identical host for every placement.
 class PlacementPolicy {
  public:
+  /// How sched::PlacementIndex can serve this policy: kNone — the policy
+  /// needs the full candidate list each time (e.g. RandomPolicy), the index
+  /// is bypassed; kFirstFit — lowest feasible id; kScore — argmax of
+  /// index_scorer() with ties to the lowest id.
+  enum class IndexMode { kNone, kFirstFit, kScore };
+
   virtual ~PlacementPolicy() = default;
 
   /// Returns the chosen host id, or std::nullopt when no candidate fits.
+  /// Tie-breaking contract (guaranteed, relied upon by the index): when
+  /// several feasible hosts are equally preferred, the lowest HostId wins.
   [[nodiscard]] virtual std::optional<HostId> select(std::span<const HostState> hosts,
                                                      const core::VmSpec& spec,
                                                      const Filter* extra = nullptr) const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] virtual IndexMode index_mode() const noexcept { return IndexMode::kNone; }
+
+  /// Scorer the index caches per host in kScore mode; must be pure in
+  /// (host state, spec). nullptr unless index_mode() == kScore.
+  [[nodiscard]] virtual const Scorer* index_scorer() const noexcept { return nullptr; }
 
  protected:
   /// Built-in admission: capacity plus the optional extra filter.
@@ -42,10 +62,16 @@ class FirstFitPolicy final : public PlacementPolicy {
                                              const core::VmSpec& spec,
                                              const Filter* extra = nullptr) const override;
   [[nodiscard]] std::string name() const override { return "first-fit"; }
+  [[nodiscard]] IndexMode index_mode() const noexcept override {
+    return IndexMode::kFirstFit;
+  }
 };
 
 /// Score-based selection: the feasible host with the strictly highest score;
-/// ties break on the lowest host index, matching First-Fit's determinism.
+/// ties break on the lowest host index (the scan only replaces the incumbent
+/// on a *strictly* greater score), matching First-Fit's determinism. The
+/// indexed path orders its heap by (score desc, id asc) to guarantee the
+/// same winner; tests/sched_policy_test.cpp pins the contract.
 class ScorePolicy final : public PlacementPolicy {
  public:
   explicit ScorePolicy(std::unique_ptr<Scorer> scorer);
@@ -54,6 +80,12 @@ class ScorePolicy final : public PlacementPolicy {
                                              const core::VmSpec& spec,
                                              const Filter* extra = nullptr) const override;
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] IndexMode index_mode() const noexcept override {
+    return IndexMode::kScore;
+  }
+  [[nodiscard]] const Scorer* index_scorer() const noexcept override {
+    return scorer_.get();
+  }
 
  private:
   std::unique_ptr<Scorer> scorer_;

@@ -27,8 +27,7 @@ double BestFitScorer::score(const HostState& host, const core::VmSpec& spec) con
 }
 
 double WorstFitScorer::score(const HostState& host, const core::VmSpec& spec) const {
-  const BestFitScorer best;
-  return -best.score(host, spec);
+  return -best_.score(host, spec);
 }
 
 void CompositeScorer::add(std::unique_ptr<Scorer> scorer, double weight) {

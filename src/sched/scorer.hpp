@@ -52,6 +52,9 @@ class WorstFitScorer final : public Scorer {
   [[nodiscard]] double score(const HostState& host,
                              const core::VmSpec& spec) const override;
   [[nodiscard]] std::string name() const override { return "worst-fit"; }
+
+ private:
+  BestFitScorer best_;  ///< negated per call; held, not rebuilt per score
 };
 
 /// Weighted sum of scorers, mirroring how providers compose dozens of rules;

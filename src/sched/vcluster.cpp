@@ -1,5 +1,7 @@
 #include "sched/vcluster.hpp"
 
+#include <algorithm>
+
 #include "core/error.hpp"
 
 namespace slackvm::sched {
@@ -26,9 +28,41 @@ HostId VCluster::place(core::VmId id, const core::VmSpec& spec) {
   return *chosen;
 }
 
+void VCluster::reserve(std::size_t expected_vms) {
+  placements_.reserve(expected_vms);
+  // Hosts are bounded by live VMs but usually far fewer; cap the up-front
+  // vector footprint — growth past the cap stays amortized either way.
+  hosts_.reserve(std::min<std::size_t>(expected_vms, 4096));
+}
+
+PlacementIndex* VCluster::active_index() {
+  if (!index_enabled_ || filter_ != nullptr) {
+    return nullptr;
+  }
+  if (index_ == nullptr) {
+    switch (policy_->index_mode()) {
+      case PlacementPolicy::IndexMode::kNone:
+        return nullptr;
+      case PlacementPolicy::IndexMode::kFirstFit:
+        index_ = std::make_unique<PlacementIndex>(PlacementIndex::Mode::kFirstFit,
+                                                  nullptr);
+        break;
+      case PlacementPolicy::IndexMode::kScore:
+        index_ = std::make_unique<PlacementIndex>(PlacementIndex::Mode::kScore,
+                                                  policy_->index_scorer());
+        break;
+    }
+    // A fresh index seeds each spec class from live host state on first
+    // use, so mid-run (re)builds need no backfill here.
+  }
+  return index_.get();
+}
+
 std::optional<HostId> VCluster::try_place(core::VmId id, const core::VmSpec& spec) {
   SLACKVM_ASSERT(!placements_.contains(id));
-  auto chosen = policy_->select(hosts_, spec, filter_.get());
+  PlacementIndex* index = active_index();
+  auto chosen = index != nullptr ? index->select(hosts_, spec)
+                                 : policy_->select(hosts_, spec, filter_.get());
   if (!chosen) {
     // Open the next PM of the fleet cycle (within the host cap, if any —
     // elastic growth is the paper's protocol). A heterogeneous fleet may
@@ -41,6 +75,7 @@ std::optional<HostId> VCluster::try_place(core::VmId id, const core::VmSpec& spe
       }
       const auto host_id = static_cast<HostId>(hosts_.size());
       hosts_.emplace_back(host_id, fleet_.config_for(host_id), mem_oversub_);
+      touch(host_id);
       if (hosts_.back().can_host(spec)) {
         chosen = host_id;
         break;
@@ -57,6 +92,7 @@ std::optional<HostId> VCluster::try_place(core::VmId id, const core::VmSpec& spe
     }
   }
   hosts_[*chosen].add(id, spec);
+  touch(*chosen);
   placements_.emplace(id, *chosen);
   return *chosen;
 }
@@ -67,6 +103,7 @@ void VCluster::remove(core::VmId id) {
     SLACKVM_THROW("VCluster::remove: unknown VM");
   }
   hosts_[it->second].remove(id);
+  touch(it->second);
   placements_.erase(it);
 }
 
@@ -87,9 +124,14 @@ bool VCluster::migrate(core::VmId vm, HostId to) {
   hosts_[from].remove(vm);
   if (!hosts_[to].can_host(spec)) {
     hosts_[from].add(vm, spec);
+    // State is unchanged but the epoch advanced twice; the index must hear
+    // about every bump or its cached entries for `from` would stay stale.
+    touch(from);
     return false;
   }
   hosts_[to].add(vm, spec);
+  touch(from);
+  touch(to);
   it->second = to;
   return true;
 }

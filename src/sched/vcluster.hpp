@@ -17,6 +17,7 @@
 #include "sched/filter.hpp"
 #include "sched/fleet.hpp"
 #include "sched/host_state.hpp"
+#include "sched/placement_index.hpp"
 #include "sched/policy.hpp"
 
 namespace slackvm::sched {
@@ -31,8 +32,31 @@ class VCluster {
            double mem_oversub = 1.0);
 
   /// Install an additional hard-constraint filter applied to every
-  /// placement (paper §II-B). Pass nullptr to clear.
-  void set_filter(std::unique_ptr<Filter> filter) { filter_ = std::move(filter); }
+  /// placement (paper §II-B). Pass nullptr to clear. The incremental index
+  /// only models the built-in capacity filter, so it is dropped while an
+  /// extra filter is installed (placements fall back to the naive scan)
+  /// and lazily rebuilt once the filter is cleared.
+  void set_filter(std::unique_ptr<Filter> filter) {
+    filter_ = std::move(filter);
+    index_.reset();
+  }
+
+  /// Incremental candidate index (placement_index.hpp), on by default:
+  /// try_place consults it instead of the naive O(hosts) policy scan, with
+  /// provably identical selection (differential-tested). Disabling it is
+  /// the --index=off escape hatch that preserves the exact pre-index code
+  /// path; re-enabling rebuilds the index from live state.
+  void set_index_enabled(bool enabled) {
+    index_enabled_ = enabled;
+    if (!enabled) {
+      index_.reset();
+    }
+  }
+  [[nodiscard]] bool index_enabled() const noexcept { return index_enabled_; }
+
+  /// Pre-size the placement containers for an expected number of VMs (a
+  /// trace-size hint). Purely a capacity hint — never required.
+  void reserve(std::size_t expected_vms);
 
   /// Live-migrate a VM to a specific open host; returns false (no state
   /// change) when the target cannot host it. Throws for unknown VMs/hosts.
@@ -78,6 +102,18 @@ class VCluster {
   [[nodiscard]] core::Resources total_config() const noexcept;
 
  private:
+  /// The index serving the current placement path, or nullptr when the
+  /// naive scan must be used (index disabled, extra filter installed, or
+  /// the policy needs full candidate lists). Created lazily.
+  [[nodiscard]] PlacementIndex* active_index();
+
+  /// Report a host epoch bump to the index (no-op while naive).
+  void touch(HostId host) {
+    if (index_ != nullptr) {
+      index_->touch(host);
+    }
+  }
+
   std::string name_;
   FleetSpec fleet_;
   double mem_oversub_ = 1.0;
@@ -86,6 +122,8 @@ class VCluster {
   std::optional<std::size_t> max_hosts_;
   std::vector<HostState> hosts_;
   std::unordered_map<core::VmId, HostId> placements_;
+  bool index_enabled_ = true;
+  std::unique_ptr<PlacementIndex> index_;
 };
 
 }  // namespace slackvm::sched

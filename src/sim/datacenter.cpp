@@ -80,6 +80,23 @@ void Datacenter::set_max_hosts_per_cluster(std::size_t max_hosts) {
   }
 }
 
+void Datacenter::set_index_enabled(bool enabled) {
+  for (const auto& cluster : clusters_) {
+    cluster->set_index_enabled(enabled);
+  }
+}
+
+void Datacenter::reserve(std::size_t expected_vms) {
+  vm_to_cluster_.reserve(expected_vms);
+  // Dedicated mode splits the trace across level clusters; per-cluster
+  // shares are unknown up front, so hint the even split (under-reserving
+  // just leaves growth amortized, as before).
+  const std::size_t per_cluster = expected_vms / clusters_.size() + 1;
+  for (const auto& cluster : clusters_) {
+    cluster->reserve(per_cluster);
+  }
+}
+
 void Datacenter::remove(core::VmId id) {
   const auto it = vm_to_cluster_.find(id);
   if (it == vm_to_cluster_.end()) {
@@ -120,12 +137,17 @@ std::size_t Datacenter::rebalance(const sched::Rebalancer& rebalancer,
   return applied;
 }
 
-std::map<std::string, std::size_t> Datacenter::opened_per_cluster() const {
-  std::map<std::string, std::size_t> out;
-  for (const auto& cluster : clusters_) {
-    out.emplace(cluster->name(), cluster->opened_hosts());
+const std::map<std::string, std::size_t>& Datacenter::opened_per_cluster() const {
+  if (opened_cache_.size() != clusters_.size()) {
+    opened_cache_.clear();
+    for (const auto& cluster : clusters_) {
+      opened_cache_.emplace(cluster->name(), 0);
+    }
   }
-  return out;
+  for (const auto& cluster : clusters_) {
+    opened_cache_.find(cluster->name())->second = cluster->opened_hosts();
+  }
+  return opened_cache_;
 }
 
 core::Resources Datacenter::total_alloc() const {

@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/oversub.hpp"
@@ -59,6 +60,15 @@ class Datacenter {
   /// the cap applies per level cluster.
   void set_max_hosts_per_cluster(std::size_t max_hosts);
 
+  /// Toggle every cluster's incremental placement index (the --index=on|off
+  /// experiment knob). Selection is identical either way; off preserves the
+  /// exact naive-scan code path.
+  void set_index_enabled(bool enabled);
+
+  /// Pre-size per-cluster containers for an expected number of VM
+  /// deployments (trace-size hint). Purely a performance hint.
+  void reserve(std::size_t expected_vms);
+
   /// Remove a deployed VM.
   void remove(core::VmId id);
 
@@ -76,8 +86,12 @@ class Datacenter {
   std::size_t rebalance(const sched::Rebalancer& rebalancer,
                         std::size_t max_migrations_per_cluster);
 
-  /// Opened PMs per cluster, keyed by cluster name.
-  [[nodiscard]] std::map<std::string, std::size_t> opened_per_cluster() const;
+  /// Opened PMs per cluster, keyed by cluster name. Cluster names are fixed
+  /// at construction, so the returned map is a member cache whose counts are
+  /// refreshed in place — calling this in a per-tick metric loop allocates
+  /// nothing after the first call. The reference stays valid for the
+  /// datacenter's lifetime (contents refresh on each call).
+  [[nodiscard]] const std::map<std::string, std::size_t>& opened_per_cluster() const;
 
   /// Aggregate allocation / capacity over all opened PMs.
   [[nodiscard]] core::Resources total_alloc() const;
@@ -104,7 +118,9 @@ class Datacenter {
   std::vector<std::unique_ptr<sched::VCluster>> clusters_;
   /// level ratio -> index into clusters_ (dedicated mode only).
   std::map<std::uint8_t, std::size_t> level_to_cluster_;
-  std::map<core::VmId, std::size_t> vm_to_cluster_;
+  std::unordered_map<core::VmId, std::size_t> vm_to_cluster_;
+  /// opened_per_cluster() cache: keys seeded once, counts refreshed in place.
+  mutable std::map<std::string, std::size_t> opened_cache_;
 };
 
 }  // namespace slackvm::sim

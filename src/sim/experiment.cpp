@@ -44,11 +44,13 @@ CellResult run_cell(const workload::Catalog& catalog, const workload::LevelMix& 
   // Baseline: dedicated First-Fit clusters, one per level present.
   Datacenter baseline = Datacenter::dedicated(config.host_config, levels_present(mix),
                                               sched::make_first_fit, config.mem_oversub);
+  baseline.set_index_enabled(config.use_index);
   cell.baseline = replay(baseline, trace);
 
   // SlackVM: one shared cluster, Algorithm-2 progress scoring.
   Datacenter slackvm = Datacenter::shared(config.host_config,
                                           sched::make_progress_policy, config.mem_oversub);
+  slackvm.set_index_enabled(config.use_index);
   cell.slackvm = replay(slackvm, trace);
   return cell;
 }

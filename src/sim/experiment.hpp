@@ -32,6 +32,12 @@ struct ExperimentConfig {
   /// results are reduced in grid order, so every value of this knob yields
   /// bit-identical results — it only changes wall-clock time.
   std::size_t parallelism = 1;
+  /// Consult the incremental placement index (sched/placement_index.hpp)
+  /// during replays. Host selection is provably identical either way
+  /// (differential-tested), so like `parallelism` this knob only changes
+  /// wall-clock time; off is the escape hatch that runs the exact naive
+  /// scan (CLI/scenario: --index=on|off).
+  bool use_index = true;
 };
 
 /// One baseline-vs-SlackVM comparison (a Fig. 3 bar pair / Fig. 4 cell).

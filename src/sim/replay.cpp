@@ -11,6 +11,9 @@ RunResult replay(Datacenter& dc, const workload::Trace& trace,
   MetricsCollector metrics;
   RunResult result;
 
+  // Trace-size hint: pre-size placement maps/host vectors before the churn.
+  dc.reserve(trace.size());
+
   auto observe = [&dc, &metrics, &result](core::SimTime t) {
     const std::size_t active = dc.active_pms();
     metrics.observe(t, dc.total_alloc(), dc.total_config(), dc.vm_count(), active);

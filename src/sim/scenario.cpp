@@ -58,6 +58,14 @@ Scenario parse_scenario(std::istream& input) {
         scenario.config.repetitions = std::stoull(value);
       } else if (key == "parallelism") {
         scenario.config.parallelism = std::stoull(value);
+      } else if (key == "index") {
+        if (value == "on" || value == "1") {
+          scenario.config.use_index = true;
+        } else if (value == "off" || value == "0") {
+          scenario.config.use_index = false;
+        } else {
+          fail("index must be on|off");
+        }
       } else if (key == "mem_oversub") {
         scenario.config.mem_oversub = std::stod(value);
       } else if (key == "horizon_days") {
@@ -97,6 +105,7 @@ void write_scenario(const Scenario& scenario, std::ostream& output) {
   output << "seed " << scenario.config.generator.seed << '\n';
   output << "repetitions " << scenario.config.repetitions << '\n';
   output << "parallelism " << scenario.config.parallelism << '\n';
+  output << "index " << (scenario.config.use_index ? "on" : "off") << '\n';
   output << "mem_oversub " << scenario.config.mem_oversub << '\n';
   output << "horizon_days " << scenario.config.generator.horizon / (24 * 3600) << '\n';
   output << "lifetime_days " << scenario.config.generator.mean_lifetime / (24 * 3600)

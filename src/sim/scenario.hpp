@@ -15,6 +15,8 @@
 //   repetitions  3
 //   parallelism  1                 # worker threads (0 = all cores); results
 //                                  # are identical at every value
+//   index        on                # incremental placement index (on|off);
+//                                  # results identical, off = naive scan
 //   mem_oversub  1.0
 //   horizon_days 7
 //   lifetime_days 2

@@ -72,6 +72,42 @@ TEST(ScorePolicyTest, TieBreaksOnLowestIndex) {
   EXPECT_EQ(*chosen, 0U);
 }
 
+// The tie-break is a documented contract (policy.hpp): among the hosts with
+// the maximal score, the LOWEST HostId wins. The placement index reproduces
+// it via its heap ordering, so every scorer must obey it on the naive path.
+TEST(ScorePolicyTest, BestFitTieBreaksOnLowestIndex) {
+  auto hosts = make_hosts(4);
+  // Hosts 1 and 3 equally loaded (identical best-fit score and feasible);
+  // hosts 0 and 2 empty score strictly worse for best-fit.
+  hosts[1].add(VmId{1}, spec(8, gib(32), 1));
+  hosts[3].add(VmId{2}, spec(8, gib(32), 1));
+  const auto policy = make_best_fit();
+  const auto chosen = policy->select(hosts, spec(1, gib(4), 1));
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(*chosen, 1U);  // not 3: lowest id among the tied maximum
+}
+
+TEST(ScorePolicyTest, WorstFitTieBreaksOnLowestIndex) {
+  auto hosts = make_hosts(4);
+  // Empty hosts 0..3 all tie at the maximal worst-fit score.
+  const auto policy = make_worst_fit();
+  const auto chosen = policy->select(hosts, spec(1, gib(4), 1));
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(*chosen, 0U);
+}
+
+TEST(ScorePolicyTest, SlackVmCompositeTieBreaksOnLowestIndex) {
+  auto hosts = make_hosts(3);
+  // Identical load on every host -> identical composite score everywhere.
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    hosts[i].add(VmId{i + 1}, spec(4, gib(16), 2));
+  }
+  const auto policy = make_slackvm_policy();
+  const auto chosen = policy->select(hosts, spec(2, gib(8), 2));
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(*chosen, 0U);
+}
+
 TEST(ScorePolicyTest, SkipsInfeasibleEvenIfBestScoring) {
   auto hosts = make_hosts(2);
   hosts[0].add(VmId{1}, spec(16, gib(8), 1));    // CPU heavy, would score best

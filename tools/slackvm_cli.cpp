@@ -50,6 +50,7 @@ struct Args {
   double rebalance_s = 0.0;
   std::size_t parallelism = 1;
   std::size_t repetitions = 1;
+  bool use_index = true;
 };
 
 int usage() {
@@ -61,7 +62,9 @@ int usage() {
                "         --mem-oversub X  --rebalance SECONDS  --trace FILE\n"
                "         --file DUMP  --out FILE  --reps N\n"
                "         --parallelism N   (sweep/heatmap worker threads; 0 = all\n"
-               "                            cores; results identical at any value)\n");
+               "                            cores; results identical at any value)\n"
+               "         --index on|off    (incremental placement index; results\n"
+               "                            identical, off replays the naive scan)\n");
   return 2;
 }
 
@@ -103,6 +106,15 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.rebalance_s = std::strtod(value(), nullptr);
     } else if (key == "--parallelism") {
       args.parallelism = std::strtoull(value(), nullptr, 10);
+    } else if (key == "--index") {
+      const std::string v = value();
+      if (v == "on") {
+        args.use_index = true;
+      } else if (v == "off") {
+        args.use_index = false;
+      } else {
+        throw core::SlackError("--index must be on|off");
+      }
     } else if (key == "--reps") {
       args.repetitions = std::strtoull(value(), nullptr, 10);
     } else {
@@ -219,6 +231,7 @@ int cmd_replay(const Args& args) {
                                         core::OversubLevel{3}},
                                        policy_factory(args), args.mem_oversub)
           : sim::Datacenter::shared(worker, policy_factory(args), args.mem_oversub);
+  dc.set_index_enabled(args.use_index);
   std::optional<sim::RebalanceOptions> rebalance;
   if (args.rebalance_s > 0) {
     rebalance = sim::RebalanceOptions{args.rebalance_s, 64};
@@ -247,6 +260,7 @@ int cmd_sweep(const Args& args) {
   cfg.mem_oversub = args.mem_oversub;
   cfg.repetitions = args.repetitions;
   cfg.parallelism = args.parallelism;
+  cfg.use_index = args.use_index;
   std::printf("dist,share1,share2,share3,baseline_pms,slackvm_pms,saving_pct,"
               "base_cpu_stranded,base_mem_stranded,slack_cpu_stranded,"
               "slack_mem_stranded\n");
@@ -269,6 +283,7 @@ int cmd_heatmap(const Args& args) {
   cfg.mem_oversub = args.mem_oversub;
   cfg.repetitions = args.repetitions;
   cfg.parallelism = args.parallelism;
+  cfg.use_index = args.use_index;
   std::printf("pct_1to1,pct_2to1,pct_3to1,saving_pct\n");
   for (const auto& cell :
        sim::run_savings_heatmap(workload::catalog_by_name(args.provider), cfg)) {
