@@ -188,6 +188,37 @@ OpsRates measure(const std::string& policy, bool use_index, std::size_t hosts,
   return rates;
 }
 
+/// Evacuation throughput (the fault injector's hot loop, sim/fault.hpp):
+/// fail one host, re-place every victim through the policy path, repair,
+/// round-robin across the original fleet. Returns victims re-placed per
+/// second (failed placements — a full cluster — are not counted).
+double measure_evacuation(const std::string& policy, bool use_index,
+                          std::size_t hosts, std::size_t rounds) {
+  core::SplitMix64 rng(7);
+  sched::VCluster cluster("bench", {32, core::gib(128)}, make_policy(policy));
+  cluster.set_index_enabled(use_index);
+  cluster.reserve(hosts * 12);
+  std::uint64_t id = 1;
+  while (cluster.opened_hosts() < hosts) {
+    cluster.place(core::VmId{id++}, random_spec(rng));
+  }
+
+  std::size_t moved = 0;
+  const auto t0 = Clock::now();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const auto host = static_cast<sched::HostId>(round % hosts);
+    const auto victims = cluster.fail_host(host);
+    for (const auto& [vm, spec] : victims) {
+      if (cluster.try_place(vm, spec).has_value()) {
+        ++moved;
+      }
+    }
+    cluster.repair_host(host);
+  }
+  const auto t1 = Clock::now();
+  return ops_per_sec(moved, t0, t1);
+}
+
 int run_json(std::size_t hosts, std::size_t ops) {
   const char* policies[] = {"first-fit", "progress"};
   std::printf("{\n  \"bench\": \"micro_scheduler\",\n  \"hosts\": %zu,\n", hosts);
@@ -209,6 +240,22 @@ int run_json(std::size_t hosts, std::size_t ops) {
                 "\"place\": %.2f, \"remove\": %.2f, \"migrate\": %.2f}",
                 policy.c_str(), indexed.place / naive.place,
                 indexed.remove / naive.remove, indexed.migrate / naive.migrate);
+  }
+  std::printf("\n  ],\n  \"evacuation\": [\n");
+  const std::size_t rounds = std::max<std::size_t>(1, ops / 200);
+  first = true;
+  for (const std::string policy : policies) {
+    const double naive = measure_evacuation(policy, /*use_index=*/false, hosts, rounds);
+    const double indexed = measure_evacuation(policy, /*use_index=*/true, hosts, rounds);
+    std::printf("%s    {\"policy\": \"%s\", \"mode\": \"naive\", \"rounds\": %zu, "
+                "\"evac_vms_per_sec\": %.0f},\n",
+                first ? "" : ",\n", policy.c_str(), rounds, naive);
+    std::printf("    {\"policy\": \"%s\", \"mode\": \"indexed\", \"rounds\": %zu, "
+                "\"evac_vms_per_sec\": %.0f},\n",
+                policy.c_str(), rounds, indexed);
+    std::printf("    {\"policy\": \"%s\", \"mode\": \"speedup\", \"evac\": %.2f}",
+                policy.c_str(), naive > 0.0 ? indexed / naive : 0.0);
+    first = false;
   }
   std::printf("\n  ]\n}\n");
   return 0;

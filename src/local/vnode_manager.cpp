@@ -18,6 +18,9 @@ VNodeManager::VNodeManager(const topo::CpuTopology& topo, PoolingPolicy pooling,
 }
 
 bool VNodeManager::can_host(const core::VmSpec& spec) const {
+  if (draining_) {
+    return false;
+  }
   if (committed_mem_ + spec.mem_mib > mem_capacity()) {
     return false;
   }
@@ -81,7 +84,7 @@ std::optional<VNodeManager::Target> VNodeManager::pick_target(
 
 std::optional<DeployResult> VNodeManager::deploy(core::VmId id, const core::VmSpec& spec) {
   SLACKVM_ASSERT(!vm_to_vnode_.contains(id));
-  if (committed_mem_ + spec.mem_mib > mem_capacity()) {
+  if (draining_ || committed_mem_ + spec.mem_mib > mem_capacity()) {
     return std::nullopt;
   }
   const auto target = pick_target(spec);

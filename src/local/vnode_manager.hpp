@@ -64,6 +64,13 @@ class VNodeManager {
   /// Deploy a VM; returns std::nullopt if it does not fit.
   std::optional<DeployResult> deploy(core::VmId id, const core::VmSpec& spec);
 
+  /// Drain mode (the local half of the cluster-level host lifecycle,
+  /// sched/host_state.hpp): while set, admission stops — can_host is false
+  /// and deploy refuses — but removals proceed and keep shrinking vNodes,
+  /// so an emptying PM releases its CPUs as the evacuation progresses.
+  void set_draining(bool draining) noexcept { draining_ = draining; }
+  [[nodiscard]] bool draining() const noexcept { return draining_; }
+
   /// Remove a VM; returns the pin updates of the surviving VMs of its vNode.
   /// Throws if the VM is unknown.
   std::vector<PinUpdate> remove(core::VmId id);
@@ -118,6 +125,7 @@ class VNodeManager {
   topo::DistanceMatrix distances_;
   PoolingPolicy pooling_;
   double mem_oversub_ = 1.0;
+  bool draining_ = false;
   std::map<VNodeId, VNode> vnodes_;  // ordered for deterministic iteration
   std::map<core::VmId, VNodeId> vm_to_vnode_;
   topo::CpuSet free_cpus_;

@@ -4,6 +4,18 @@
 
 namespace slackvm::sched {
 
+const char* to_string(HostPhase phase) noexcept {
+  switch (phase) {
+    case HostPhase::kUp:
+      return "up";
+    case HostPhase::kDraining:
+      return "draining";
+    case HostPhase::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
 HostState::HostState(HostId id, core::Resources config, double mem_oversub)
     : id_(id), config_(config), mem_oversub_(mem_oversub) {
   SLACKVM_ASSERT(config.cores > 0 && config.mem_mib > 0);
@@ -19,7 +31,7 @@ core::CoreCount HostState::cores_with(const core::VmSpec& spec) const noexcept {
          core::ceil_div<core::CoreCount>(vcpus + spec.vcpus, ratio);
 }
 
-bool HostState::can_host(const core::VmSpec& spec) const noexcept {
+bool HostState::fits(const core::VmSpec& spec) const noexcept {
   if (committed_mem_ + spec.mem_mib > mem_capacity()) {
     return false;
   }
@@ -28,7 +40,7 @@ bool HostState::can_host(const core::VmSpec& spec) const noexcept {
 
 void HostState::add(core::VmId id, const core::VmSpec& spec) {
   SLACKVM_ASSERT(!vms_.contains(id));
-  SLACKVM_ASSERT(can_host(spec));
+  SLACKVM_ASSERT(fits(spec));
   vms_.emplace(id, spec);
   vcpus_per_level_[spec.level.ratio()] += spec.vcpus;
   committed_mem_ += spec.mem_mib;

@@ -22,6 +22,19 @@ namespace slackvm::sched {
 
 using HostId = std::uint32_t;
 
+/// Availability lifecycle of a PM (sim/fault.hpp drives the transitions):
+///
+///   kUp ──drain──▶ kDraining ──fail──▶ kFailed ──repair──▶ kUp
+///    └────────────────fail─────────────────▲   (◀─repair── kDraining too)
+///
+/// kUp admits placements; kDraining stops admission while existing VMs are
+/// migrated off (or simply depart); kFailed holds no VMs at all — failing a
+/// host evicts everything it ran (VCluster::fail_host). "Repaired" is not a
+/// distinct state: a repaired host is kUp again.
+enum class HostPhase : std::uint8_t { kUp, kDraining, kFailed };
+
+[[nodiscard]] const char* to_string(HostPhase phase) noexcept;
+
 class HostState {
  public:
   /// `mem_oversub` >= 1 enables limited memory oversubscription (paper
@@ -33,10 +46,26 @@ class HostState {
   [[nodiscard]] const core::Resources& config() const noexcept { return config_; }
   [[nodiscard]] double mem_oversub() const noexcept { return mem_oversub_; }
 
-  /// Modification epoch: bumped by every add()/remove(). Cached derived
-  /// state (sched::PlacementIndex score/feasibility entries) is valid
-  /// exactly as long as the epoch it was computed at still matches.
+  /// Modification epoch: bumped by every add()/remove() *and* every phase
+  /// transition. Cached derived state (sched::PlacementIndex
+  /// score/feasibility entries) is valid exactly as long as the epoch it was
+  /// computed at still matches. Phase changes must participate: an empty
+  /// host that fails and repairs without the epoch advancing would leave a
+  /// "valid" index entry pointing at a host the naive scan rejects
+  /// (regression-tested in tests/sim_fault_test.cpp).
   [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  [[nodiscard]] HostPhase phase() const noexcept { return phase_; }
+
+  /// Transition the availability phase (no-op when already there). Bumps the
+  /// epoch so every PlacementIndex entry cached for the old phase is
+  /// invalidated. Transition legality is enforced by VCluster.
+  void set_phase(HostPhase phase) noexcept {
+    if (phase_ != phase) {
+      phase_ = phase;
+      ++epoch_;
+    }
+  }
 
   /// Memory admission bound: config.mem_mib * mem_oversub.
   [[nodiscard]] core::MemMib mem_capacity() const noexcept {
@@ -60,10 +89,19 @@ class HostState {
   /// Physical cores the host would allocate if `spec` were added.
   [[nodiscard]] core::CoreCount cores_with(const core::VmSpec& spec) const noexcept;
 
-  /// Capacity filter: both dimensions fit after adding `spec`.
-  [[nodiscard]] bool can_host(const core::VmSpec& spec) const noexcept;
+  /// Pure capacity check: both dimensions fit after adding `spec`,
+  /// regardless of the availability phase.
+  [[nodiscard]] bool fits(const core::VmSpec& spec) const noexcept;
 
-  /// Commit a VM. Callers must have checked can_host.
+  /// Admission filter: the host is UP and `spec` fits. Draining and failed
+  /// hosts admit nothing, on the naive and the indexed path alike.
+  [[nodiscard]] bool can_host(const core::VmSpec& spec) const noexcept {
+    return phase_ == HostPhase::kUp && fits(spec);
+  }
+
+  /// Commit a VM. Callers must have checked capacity (fits); admission by
+  /// phase is the placement path's responsibility — a draining host must
+  /// still accept the restore of a VM whose evacuation found no target.
   void add(core::VmId id, const core::VmSpec& spec);
 
   /// Release a VM; throws for unknown ids.
@@ -92,6 +130,7 @@ class HostState {
   HostId id_;
   core::Resources config_;
   double mem_oversub_ = 1.0;
+  HostPhase phase_ = HostPhase::kUp;
   // vCPUs committed per level ratio (index = ratio, 0 unused).
   std::array<core::VcpuCount, core::OversubLevel::kMaxRatio + 1> vcpus_per_level_{};
   core::CoreCount alloc_cores_ = 0;

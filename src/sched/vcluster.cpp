@@ -136,6 +136,85 @@ bool VCluster::migrate(core::VmId vm, HostId to) {
   return true;
 }
 
+HostPhase VCluster::host_phase(HostId host) const {
+  if (host >= hosts_.size()) {
+    SLACKVM_THROW("VCluster::host_phase: unknown host");
+  }
+  return hosts_[host].phase();
+}
+
+void VCluster::drain_host(HostId host) {
+  if (host >= hosts_.size()) {
+    SLACKVM_THROW("VCluster::drain_host: unknown host");
+  }
+  if (hosts_[host].phase() == HostPhase::kFailed) {
+    SLACKVM_THROW("VCluster::drain_host: cannot drain a failed host");
+  }
+  hosts_[host].set_phase(HostPhase::kDraining);
+  touch(host);
+}
+
+std::vector<std::pair<core::VmId, core::VmSpec>> VCluster::fail_host(HostId host) {
+  if (host >= hosts_.size()) {
+    SLACKVM_THROW("VCluster::fail_host: unknown host");
+  }
+  HostState& state = hosts_[host];
+  // Ascending VmId order: the evacuation engine re-places victims in this
+  // order, so it must not depend on unordered_map iteration.
+  std::vector<std::pair<core::VmId, core::VmSpec>> victims(state.vms().begin(),
+                                                           state.vms().end());
+  std::sort(victims.begin(), victims.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [vm, spec] : victims) {
+    state.remove(vm);
+    placements_.erase(vm);
+  }
+  state.set_phase(HostPhase::kFailed);
+  // One dirty-log entry covers the whole eviction batch: sync() re-evaluates
+  // the host at its latest epoch, and no select() can run mid-batch.
+  touch(host);
+  return victims;
+}
+
+void VCluster::repair_host(HostId host) {
+  if (host >= hosts_.size()) {
+    SLACKVM_THROW("VCluster::repair_host: unknown host");
+  }
+  hosts_[host].set_phase(HostPhase::kUp);
+  touch(host);
+}
+
+std::size_t VCluster::migrate_off(HostId host) {
+  if (host >= hosts_.size() || hosts_[host].phase() != HostPhase::kDraining) {
+    SLACKVM_THROW("VCluster::migrate_off: host is not draining");
+  }
+  std::vector<core::VmId> vms;
+  vms.reserve(hosts_[host].vm_count());
+  for (const auto& [vm, spec] : hosts_[host].vms()) {
+    vms.push_back(vm);
+  }
+  std::sort(vms.begin(), vms.end());
+  std::size_t moved = 0;
+  for (const core::VmId vm : vms) {
+    const core::VmSpec spec = hosts_[host].spec_of(vm);
+    // Detach, then re-place through the regular policy/index path; the
+    // draining source cannot be re-chosen (can_host is false off-UP).
+    hosts_[host].remove(vm);
+    placements_.erase(vm);
+    touch(host);
+    if (try_place(vm, spec)) {
+      ++moved;
+    } else {
+      // No feasible target: restore in place (capacity trivially holds) and
+      // leave the VM for a later fail_host eviction or natural departure.
+      hosts_[host].add(vm, spec);
+      placements_.emplace(vm, host);
+      touch(host);
+    }
+  }
+  return moved;
+}
+
 HostId VCluster::host_of(core::VmId vm) const {
   const auto it = placements_.find(vm);
   if (it == placements_.end()) {

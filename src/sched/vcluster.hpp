@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sched/filter.hpp"
@@ -81,6 +82,34 @@ class VCluster {
   /// Remove a VM placed earlier; throws for unknown ids. Emptied hosts stay
   /// open (they were provisioned) and are reused by later placements.
   void remove(core::VmId id);
+
+  // --- availability lifecycle (sim/fault.hpp drives these) -----------------
+
+  /// Current phase of an opened host; throws for unknown hosts.
+  [[nodiscard]] HostPhase host_phase(HostId host) const;
+
+  /// UP → DRAINING: stop admitting VMs on `host` while the existing ones are
+  /// migrated off (migrate_off) or depart naturally. No-op when already
+  /// draining; throws for unknown or failed hosts.
+  void drain_host(HostId host);
+
+  /// Any phase → FAILED: evict every VM the host ran and return the victims
+  /// in ascending VmId order (the deterministic evacuation order). The host
+  /// stays in the fleet (opened_hosts is unchanged) but admits nothing until
+  /// repaired. Throws for unknown hosts; no-op victims list when already
+  /// failed.
+  [[nodiscard]] std::vector<std::pair<core::VmId, core::VmSpec>> fail_host(HostId host);
+
+  /// DRAINING|FAILED → UP: the host admits placements again. No-op when
+  /// already up; throws for unknown hosts.
+  void repair_host(HostId host);
+
+  /// Move as many VMs as possible off a draining host through the normal
+  /// policy/index placement path (ascending VmId order). VMs with no
+  /// feasible target are restored in place and returned by a later
+  /// fail_host. Returns the number of VMs moved. Throws unless the host is
+  /// draining.
+  std::size_t migrate_off(HostId host);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const PlacementPolicy& policy() const noexcept { return *policy_; }

@@ -1,0 +1,158 @@
+#include "sim/audit.hpp"
+
+#include <array>
+#include <atomic>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+
+namespace slackvm::sim {
+
+namespace {
+
+std::atomic<bool> g_debug_audit{false};
+
+void audit_host(const sched::HostState& host, const std::string& where,
+                std::vector<std::string>& out) {
+  const auto fail = [&](const std::string& message) {
+    std::ostringstream os;
+    os << where << " host " << host.id() << " (" << to_string(host.phase())
+       << "): " << message;
+    out.push_back(os.str());
+  };
+
+  if (host.phase() == sched::HostPhase::kFailed && !host.empty()) {
+    fail("FAILED host still runs " + std::to_string(host.vm_count()) + " VMs");
+  }
+
+  // Recompute the per-level commitments and the resource totals from the
+  // per-VM map — the one structure the fast accounting is derived from.
+  std::array<core::VcpuCount, core::OversubLevel::kMaxRatio + 1> vcpus{};
+  core::MemMib mem = 0;
+  for (const auto& [vm, spec] : host.vms()) {
+    vcpus[spec.level.ratio()] += spec.vcpus;
+    mem += spec.mem_mib;
+  }
+  core::CoreCount cores = 0;
+  for (std::uint8_t ratio = 1; ratio <= core::OversubLevel::kMaxRatio; ++ratio) {
+    const core::OversubLevel level{ratio};
+    if (host.committed_vcpus(level) != vcpus[ratio]) {
+      fail("level " + core::to_string(level) + " commitment " +
+           std::to_string(host.committed_vcpus(level)) + " != recomputed " +
+           std::to_string(vcpus[ratio]));
+    }
+    if (vcpus[ratio] == 0) {
+      continue;
+    }
+    // Per-level oversubscription bound: an n:1 level may expose at most n
+    // vCPUs per physical core of the PM.
+    if (vcpus[ratio] > static_cast<core::VcpuCount>(ratio) * host.config().cores) {
+      fail("level " + core::to_string(level) + " oversubscription bound broken: " +
+           std::to_string(vcpus[ratio]) + " vCPUs on " +
+           std::to_string(host.config().cores) + " cores");
+    }
+    cores += core::ceil_div<core::CoreCount>(vcpus[ratio], ratio);
+  }
+  if (cores != host.alloc().cores) {
+    fail("core accounting drift: cached " + std::to_string(host.alloc().cores) +
+         " != recomputed " + std::to_string(cores));
+  }
+  if (cores > host.config().cores) {
+    fail("core capacity exceeded: " + std::to_string(cores) + " > " +
+         std::to_string(host.config().cores));
+  }
+  if (mem != host.alloc().mem_mib) {
+    fail("memory accounting drift: cached " + std::to_string(host.alloc().mem_mib) +
+         " != recomputed " + std::to_string(mem));
+  }
+  if (mem > host.mem_capacity()) {
+    fail("memory capacity exceeded: " + std::to_string(mem) + " > " +
+         std::to_string(host.mem_capacity()));
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> audit(std::span<const sched::HostState> hosts) {
+  std::vector<std::string> out;
+  for (const sched::HostState& host : hosts) {
+    audit_host(host, "", out);
+  }
+  return out;
+}
+
+std::vector<std::string> audit(const sched::VCluster& cluster) {
+  std::vector<std::string> out;
+  std::size_t hosted = 0;
+  for (const sched::HostState& host : cluster.hosts()) {
+    audit_host(host, cluster.name(), out);
+    hosted += host.vm_count();
+    for (const auto& [vm, spec] : host.vms()) {
+      try {
+        if (cluster.host_of(vm) != host.id()) {
+          out.push_back(cluster.name() + ": VM " + std::to_string(vm.value) +
+                        " on host " + std::to_string(host.id()) +
+                        " but placements map says host " +
+                        std::to_string(cluster.host_of(vm)));
+        }
+      } catch (const std::exception&) {
+        out.push_back(cluster.name() + ": VM " + std::to_string(vm.value) +
+                      " on host " + std::to_string(host.id()) +
+                      " missing from the placements map");
+      }
+    }
+  }
+  if (hosted != cluster.vm_count()) {
+    out.push_back(cluster.name() + ": hosts run " + std::to_string(hosted) +
+                  " VMs but the placements map holds " +
+                  std::to_string(cluster.vm_count()));
+  }
+  return out;
+}
+
+std::vector<std::string> audit(const Datacenter& dc) {
+  std::vector<std::string> out;
+  std::size_t total = 0;
+  for (const auto& cluster : dc.clusters()) {
+    auto violations = audit(*cluster);
+    out.insert(out.end(), violations.begin(), violations.end());
+    total += cluster->vm_count();
+  }
+  if (total != dc.vm_count()) {
+    out.push_back("datacenter: clusters run " + std::to_string(total) +
+                  " VMs but the routing map holds " + std::to_string(dc.vm_count()));
+  }
+  return out;
+}
+
+void set_debug_audit(bool enabled) noexcept {
+  g_debug_audit.store(enabled, std::memory_order_relaxed);
+}
+
+bool debug_audit_enabled() noexcept {
+  return g_debug_audit.load(std::memory_order_relaxed);
+}
+
+void debug_audit_check(const Datacenter& dc) {
+  if (!debug_audit_enabled()) {
+    return;
+  }
+  const std::vector<std::string> violations = audit(dc);
+  if (violations.empty()) {
+    return;
+  }
+  std::string message = "sim::audit failed:";
+  for (const std::string& v : violations) {
+    message += "\n  " + v;
+  }
+  SLACKVM_THROW(message);
+}
+
+ScopedDebugAudit::ScopedDebugAudit() noexcept : previous_(debug_audit_enabled()) {
+  set_debug_audit(true);
+}
+
+ScopedDebugAudit::~ScopedDebugAudit() { set_debug_audit(previous_); }
+
+}  // namespace slackvm::sim

@@ -1,0 +1,67 @@
+// Invariant audit of simulated cluster state (the fault-injection test
+// harness's ground truth).
+//
+// audit() recomputes every derived quantity of a Datacenter / VCluster /
+// host set from first principles — the per-VM spec maps — and reports any
+// disagreement with the cached accounting as a human-readable violation:
+//
+//  * no VM runs on a FAILED host;
+//  * per-level oversubscription bounds hold (committed vCPUs at level n
+//    never exceed n x physical cores, and the ceil-rounded vNode cores sum
+//    to the cached allocation, within the PM's core budget);
+//  * memory is conserved and within the (possibly oversubscribed) bound;
+//  * VM membership is conserved across host maps, cluster placements, and
+//    the datacenter's VM-to-cluster routing.
+//
+// An empty result means the state is coherent. The audit is O(VMs) and
+// cheap enough to run after every event in tests: replay() does exactly
+// that when the process-wide debug-audit flag is set (ScopedDebugAudit),
+// which lets the pre-fault sweep tests assert the same invariants on the
+// old code paths for free.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sched/host_state.hpp"
+#include "sched/vcluster.hpp"
+#include "sim/datacenter.hpp"
+
+namespace slackvm::sim {
+
+/// Host-level invariants only (phase/emptiness, per-level bounds,
+/// allocation and memory conservation against the per-host VM map).
+[[nodiscard]] std::vector<std::string> audit(std::span<const sched::HostState> hosts);
+
+/// Host invariants plus cluster-level membership conservation (every hosted
+/// VM maps back to its host, counts agree).
+[[nodiscard]] std::vector<std::string> audit(const sched::VCluster& cluster);
+
+/// Cluster invariants across every cluster plus datacenter-level VM-count
+/// conservation.
+[[nodiscard]] std::vector<std::string> audit(const Datacenter& dc);
+
+/// Process-wide debug-audit flag: while set, replay() runs audit() after
+/// every simulation event and throws core::SlackError on the first
+/// violation. Off by default (the audit is for tests, not production runs).
+void set_debug_audit(bool enabled) noexcept;
+[[nodiscard]] bool debug_audit_enabled() noexcept;
+
+/// Throws core::SlackError listing all violations when the debug-audit flag
+/// is set and `dc` fails the audit; no-op otherwise.
+void debug_audit_check(const Datacenter& dc);
+
+/// RAII enabling of the debug-audit flag for one test scope.
+class ScopedDebugAudit {
+ public:
+  ScopedDebugAudit() noexcept;
+  ~ScopedDebugAudit();
+  ScopedDebugAudit(const ScopedDebugAudit&) = delete;
+  ScopedDebugAudit& operator=(const ScopedDebugAudit&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace slackvm::sim

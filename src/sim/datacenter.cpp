@@ -106,6 +106,15 @@ void Datacenter::remove(core::VmId id) {
   vm_to_cluster_.erase(it);
 }
 
+std::vector<std::pair<core::VmId, core::VmSpec>> Datacenter::fail_host(
+    std::size_t cluster_index, sched::HostId host) {
+  auto victims = clusters_.at(cluster_index)->fail_host(host);
+  for (const auto& [vm, spec] : victims) {
+    vm_to_cluster_.erase(vm);
+  }
+  return victims;
+}
+
 std::size_t Datacenter::opened_pms() const {
   std::size_t total = 0;
   for (const auto& cluster : clusters_) {

@@ -72,6 +72,15 @@ class Datacenter {
   /// Remove a deployed VM.
   void remove(core::VmId id);
 
+  /// Fail one host of one cluster (sim/fault.hpp): evicts every VM it ran —
+  /// returned in ascending VmId order, already detached from the datacenter
+  /// — and marks the host FAILED until VCluster::repair_host. Draining,
+  /// repairing and drain-time migration keep VMs inside their cluster, so
+  /// the fault injector drives those directly through cluster(); only
+  /// failure changes VM membership and needs this datacenter-level hook.
+  [[nodiscard]] std::vector<std::pair<core::VmId, core::VmSpec>> fail_host(
+      std::size_t cluster_index, sched::HostId host);
+
   [[nodiscard]] bool is_shared() const noexcept { return shared_; }
 
   /// Total PMs ever opened across clusters (the headline metric).

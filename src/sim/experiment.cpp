@@ -40,18 +40,23 @@ CellResult run_cell(const workload::Catalog& catalog, const workload::LevelMix& 
   gen_cfg.seed = config.generator.seed + rep;
   const workload::Trace trace = workload::Generator(catalog, mix, gen_cfg).generate();
 
+  // Both organisations replay the same fault timetable (seed resolved from
+  // the cell's workload seed), so the comparison stays apples-to-apples.
+  const FaultConfig faults = resolve_fault_seed(config.faults, gen_cfg.seed);
+  const FaultConfig* fault_ptr = faults.enabled() ? &faults : nullptr;
+
   CellResult cell;
   // Baseline: dedicated First-Fit clusters, one per level present.
   Datacenter baseline = Datacenter::dedicated(config.host_config, levels_present(mix),
                                               sched::make_first_fit, config.mem_oversub);
   baseline.set_index_enabled(config.use_index);
-  cell.baseline = replay(baseline, trace);
+  cell.baseline = replay(baseline, trace, std::nullopt, nullptr, fault_ptr);
 
   // SlackVM: one shared cluster, Algorithm-2 progress scoring.
   Datacenter slackvm = Datacenter::shared(config.host_config,
                                           sched::make_progress_policy, config.mem_oversub);
   slackvm.set_index_enabled(config.use_index);
-  cell.slackvm = replay(slackvm, trace);
+  cell.slackvm = replay(slackvm, trace, std::nullopt, nullptr, fault_ptr);
   return cell;
 }
 
@@ -100,6 +105,17 @@ RunResult mean_result(std::span<const RunResult> results) {
   double duration = 0;
   double active = 0;
   double alloc_cores = 0;
+  double host_failures = 0;
+  double host_repairs = 0;
+  double drained = 0;
+  double evacuated = 0;
+  double replaced = 0;
+  double evac_migrated = 0;
+  double retries = 0;
+  double evac_departed = 0;
+  double degraded = 0;
+  double deferred = 0;
+  double dropped = 0;
   std::map<std::string, double> per_cluster;
   for (const RunResult& r : results) {
     opened += static_cast<double>(r.opened_pms);
@@ -114,6 +130,17 @@ RunResult mean_result(std::span<const RunResult> results) {
     duration += r.duration;
     active += r.avg_active_pms;
     alloc_cores += r.avg_alloc_cores;
+    host_failures += static_cast<double>(r.host_failures);
+    host_repairs += static_cast<double>(r.host_repairs);
+    drained += static_cast<double>(r.drained_hosts);
+    evacuated += static_cast<double>(r.evacuated_vms);
+    replaced += static_cast<double>(r.evac_replaced);
+    evac_migrated += static_cast<double>(r.evac_migrated);
+    retries += static_cast<double>(r.evac_retries);
+    evac_departed += static_cast<double>(r.evac_departed);
+    degraded += static_cast<double>(r.degraded_vms);
+    deferred += static_cast<double>(r.deferred_arrivals);
+    dropped += static_cast<double>(r.arrivals_dropped);
     for (const auto& [cluster, pms] : r.opened_per_cluster) {
       per_cluster[cluster] += static_cast<double>(pms);
     }
@@ -132,6 +159,17 @@ RunResult mean_result(std::span<const RunResult> results) {
   out.duration = duration / d;
   out.avg_active_pms = active / d;
   out.avg_alloc_cores = alloc_cores / d;
+  out.host_failures = round_to_count(host_failures, d);
+  out.host_repairs = round_to_count(host_repairs, d);
+  out.drained_hosts = round_to_count(drained, d);
+  out.evacuated_vms = round_to_count(evacuated, d);
+  out.evac_replaced = round_to_count(replaced, d);
+  out.evac_migrated = round_to_count(evac_migrated, d);
+  out.evac_retries = round_to_count(retries, d);
+  out.evac_departed = round_to_count(evac_departed, d);
+  out.degraded_vms = round_to_count(degraded, d);
+  out.deferred_arrivals = round_to_count(deferred, d);
+  out.arrivals_dropped = round_to_count(dropped, d);
   for (const auto& [cluster, sum] : per_cluster) {
     out.opened_per_cluster[cluster] = round_to_count(sum, d);
   }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/datacenter.hpp"
+#include "sim/fault.hpp"
 #include "sim/metrics.hpp"
 #include "workload/catalog.hpp"
 #include "workload/generator.hpp"
@@ -38,6 +39,11 @@ struct ExperimentConfig {
   /// wall-clock time; off is the escape hatch that runs the exact naive
   /// scan (CLI/scenario: --index=on|off).
   bool use_index = true;
+  /// Fault injection (sim/fault.hpp); disabled by default. A zero fault
+  /// seed derives per repetition from the cell's workload seed, so each
+  /// repetition sees an independent (but reproducible) fault timetable; an
+  /// explicit seed pins one timetable across the grid.
+  FaultConfig faults{};
 };
 
 /// One baseline-vs-SlackVM comparison (a Fig. 3 bar pair / Fig. 4 cell).

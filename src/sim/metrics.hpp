@@ -33,6 +33,21 @@ struct RunResult {
   core::SimTime duration = 0.0;      ///< observed span of the run
   double avg_active_pms = 0.0;       ///< time-weighted non-empty PMs
   double avg_alloc_cores = 0.0;      ///< time-weighted allocated cores
+
+  // --- fault injection (sim/fault.hpp); all zero with faults disabled ----
+  // Once the queue drains, every evicted VM is accounted exactly once:
+  // evacuated_vms == evac_replaced + evac_departed + degraded_vms.
+  std::size_t host_failures = 0;     ///< failures applied to a live host
+  std::size_t host_repairs = 0;      ///< hosts brought back to UP
+  std::size_t drained_hosts = 0;     ///< UP -> DRAINING transitions applied
+  std::size_t evacuated_vms = 0;     ///< VMs evicted by host failures
+  std::size_t evac_replaced = 0;     ///< victims re-placed (now or on retry)
+  std::size_t evac_migrated = 0;     ///< VMs moved off draining hosts pre-failure
+  std::size_t evac_retries = 0;      ///< backoff retry attempts for victims
+  std::size_t evac_departed = 0;     ///< victims departing while still waiting
+  std::size_t degraded_vms = 0;      ///< victims parked in the degraded queue
+  std::size_t deferred_arrivals = 0; ///< arrivals deferred for lack of capacity
+  std::size_t arrivals_dropped = 0;  ///< deferred arrivals never placed
 };
 
 /// Streaming collector driven by the replay loop.

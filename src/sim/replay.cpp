@@ -1,12 +1,15 @@
 #include "sim/replay.hpp"
 
 #include <algorithm>
+#include <optional>
+
+#include "sim/audit.hpp"
 
 namespace slackvm::sim {
 
 RunResult replay(Datacenter& dc, const workload::Trace& trace,
                  const std::optional<RebalanceOptions>& rebalance,
-                 UsageMonitor* usage_monitor) {
+                 UsageMonitor* usage_monitor, const FaultConfig* faults) {
   EventQueue queue;
   MetricsCollector metrics;
   RunResult result;
@@ -14,22 +17,46 @@ RunResult replay(Datacenter& dc, const workload::Trace& trace,
   // Trace-size hint: pre-size placement maps/host vectors before the churn.
   dc.reserve(trace.size());
 
-  auto observe = [&dc, &metrics, &result](core::SimTime t) {
+  // Fault events (repairs, backoff retries) may legitimately fire past the
+  // trace horizon; the run ends at the later of the two.
+  core::SimTime end_time = trace.empty() ? 0.0 : trace.horizon();
+
+  auto observe = [&dc, &metrics, &result, &end_time](core::SimTime t) {
+    end_time = std::max(end_time, t);
     const std::size_t active = dc.active_pms();
     metrics.observe(t, dc.total_alloc(), dc.total_config(), dc.vm_count(), active);
     result.peak_active_pms = std::max(result.peak_active_pms, active);
+    // No-op unless the debug-audit flag is set (tests): every event is then
+    // followed by a full invariant audit, throwing on the first violation.
+    debug_audit_check(dc);
   };
+
+  std::optional<FaultInjector> injector;
+  if (faults != nullptr && faults->enabled()) {
+    injector.emplace(dc, queue, *faults, result, observe);
+  }
 
   for (const core::VmInstance& vm : trace.vms()) {
     // Both events are scheduled up-front; at equal timestamps the queue
     // falls back to insertion order, so the replay is fully deterministic.
-    queue.schedule(vm.arrival, [&dc, &result, &vm, &observe](core::SimTime t) {
-      dc.deploy(vm.id, vm.spec);
-      ++result.placed_vms;
+    queue.schedule(vm.arrival, [&dc, &result, &vm, &observe, &injector](core::SimTime t) {
+      if (injector.has_value()) {
+        // Under fault injection capacity can be transiently exhausted;
+        // arrivals defer into the retry/degraded machinery instead of
+        // aborting the run.
+        injector->deploy_or_defer(vm.id, vm.spec, t);
+      } else {
+        dc.deploy(vm.id, vm.spec);
+        ++result.placed_vms;
+      }
       observe(t);
     });
-    queue.schedule(vm.departure, [&dc, &observe, id = vm.id](core::SimTime t) {
-      dc.remove(id);
+    queue.schedule(vm.departure, [&dc, &observe, &injector, id = vm.id](core::SimTime t) {
+      // A VM still waiting for a retry (or parked degraded) is not in the
+      // datacenter; the injector absorbs its departure.
+      if (!injector.has_value() || !injector->absorb_departure(id)) {
+        dc.remove(id);
+      }
       observe(t);
     });
   }
@@ -54,11 +81,16 @@ RunResult replay(Datacenter& dc, const workload::Trace& trace,
       });
     }
   }
+  // Armed last so that a fault colliding with a workload event fires after
+  // it (insertion-order ties) — the same order on every run.
+  if (injector.has_value()) {
+    injector->arm(trace.empty() ? 0.0 : trace.horizon());
+  }
   queue.run();
 
   result.opened_pms = dc.opened_pms();
   result.opened_per_cluster = dc.opened_per_cluster();
-  metrics.finish(trace.empty() ? 0.0 : trace.horizon(), result);
+  metrics.finish(end_time, result);
   return result;
 }
 

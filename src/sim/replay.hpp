@@ -7,6 +7,7 @@
 #include "sched/rebalancer.hpp"
 #include "sim/datacenter.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault.hpp"
 #include "sim/metrics.hpp"
 #include "sim/usage_monitor.hpp"
 #include "workload/trace.hpp"
@@ -23,10 +24,16 @@ struct RebalanceOptions {
 /// Replay `trace` against `dc` (which must be fresh). Deterministic. With
 /// `rebalance` set, a consolidation pass runs every interval; with
 /// `usage_monitor` set, effective-usage samples are taken at the monitor's
-/// interval throughout the run.
+/// interval throughout the run. With `faults` set (and enabled), a
+/// FaultInjector drives host failures/drains/repairs and the evacuation
+/// engine through the same event queue; pass the config through
+/// resolve_fault_seed first when its seed should follow the workload seed.
+/// While the debug-audit flag is set (sim/audit.hpp), every event is
+/// followed by a full invariant audit that throws on the first violation.
 [[nodiscard]] RunResult replay(Datacenter& dc, const workload::Trace& trace,
                                const std::optional<RebalanceOptions>& rebalance =
                                    std::nullopt,
-                               UsageMonitor* usage_monitor = nullptr);
+                               UsageMonitor* usage_monitor = nullptr,
+                               const FaultConfig* faults = nullptr);
 
 }  // namespace slackvm::sim

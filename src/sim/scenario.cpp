@@ -74,6 +74,50 @@ Scenario parse_scenario(std::istream& input) {
         scenario.config.generator.mean_lifetime = std::stod(value) * 24 * 3600;
       } else if (key == "diurnal") {
         scenario.config.generator.diurnal_amplitude = std::stod(value);
+      } else if (key == "faults") {
+        scenario.config.faults.count = std::stoull(value);
+      } else if (key == "fault_seed") {
+        scenario.config.faults.seed = std::stoull(value);
+      } else if (key == "repair_delay_s") {
+        scenario.config.faults.repair_delay = std::stod(value);
+      } else if (key == "drain_lead_s") {
+        scenario.config.faults.drain_lead = std::stod(value);
+      } else if (key == "evac_retries") {
+        scenario.config.faults.max_retries = std::stoull(value);
+      } else if (key == "evac_backoff_s") {
+        scenario.config.faults.backoff_base = std::stod(value);
+      } else if (key == "fail" || key == "drain" || key == "repair") {
+        FaultDirective directive;
+        directive.kind = key == "fail"    ? FaultDirective::Kind::kFail
+                         : key == "drain" ? FaultDirective::Kind::kDrain
+                                          : FaultDirective::Kind::kRepair;
+        bool have_host = false;
+        bool have_at = false;
+        // `value` holds the first field; the rest stream in.
+        std::string token = value;
+        do {
+          const auto eq = token.find('=');
+          if (eq == std::string::npos) {
+            fail("directive fields are key=value, got '" + token + "'");
+          }
+          const std::string field = token.substr(0, eq);
+          const std::string field_value = token.substr(eq + 1);
+          if (field == "host") {
+            directive.host = static_cast<sched::HostId>(std::stoul(field_value));
+            have_host = true;
+          } else if (field == "at") {
+            directive.at = std::stod(field_value);
+            have_at = true;
+          } else if (field == "cluster") {
+            directive.cluster = std::stoull(field_value);
+          } else {
+            fail("unknown directive field '" + field + "'");
+          }
+        } while (in >> token);
+        if (!have_host || !have_at) {
+          fail("'" + key + "' needs host= and at=");
+        }
+        scenario.config.faults.directives.push_back(directive);
       } else if (key == "host_cores") {
         scenario.config.host_config.cores =
             static_cast<core::CoreCount>(std::stoul(value));
@@ -114,6 +158,20 @@ void write_scenario(const Scenario& scenario, std::ostream& output) {
   output << "host_cores " << scenario.config.host_config.cores << '\n';
   output << "host_mem_gib " << scenario.config.host_config.mem_mib / core::kMibPerGib
          << '\n';
+  const FaultConfig& faults = scenario.config.faults;
+  output << "faults " << faults.count << '\n';
+  output << "fault_seed " << faults.seed << '\n';
+  output << "repair_delay_s " << faults.repair_delay << '\n';
+  output << "drain_lead_s " << faults.drain_lead << '\n';
+  output << "evac_retries " << faults.max_retries << '\n';
+  output << "evac_backoff_s " << faults.backoff_base << '\n';
+  for (const FaultDirective& directive : faults.directives) {
+    const char* kind = directive.kind == FaultDirective::Kind::kFail    ? "fail"
+                       : directive.kind == FaultDirective::Kind::kDrain ? "drain"
+                                                                        : "repair";
+    output << kind << " host=" << directive.host << " at=" << directive.at
+           << " cluster=" << directive.cluster << '\n';
+  }
 }
 
 }  // namespace slackvm::sim

@@ -21,6 +21,18 @@
 //   horizon_days 7
 //   lifetime_days 2
 //   diurnal      0.0
+//
+// Fault injection (sim/fault.hpp) — all optional, default off:
+//
+//   faults        100               # seed-derived host failures over the run
+//   fault_seed    0                 # 0 = derive from the workload seed
+//   repair_delay_s 14400            # FAILED -> UP delay for seeded failures
+//   drain_lead_s  0                 # grace drain before each seeded failure
+//   evac_retries  5                 # evacuation retry budget per victim
+//   evac_backoff_s 60               # base of the exponential retry backoff
+//   fail   host=3 at=86400          # explicit events (cluster=N optional);
+//   repair host=3 at=90000          # explicit failures never auto-repair
+//   drain  host=7 at=43200
 #pragma once
 
 #include <iosfwd>

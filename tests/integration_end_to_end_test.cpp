@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "local/vnode_manager.hpp"
+#include "sim/audit.hpp"
 #include "sim/experiment.hpp"
 #include "sim/replay.hpp"
 #include "topology/builders.hpp"
@@ -26,6 +27,9 @@ workload::GeneratorConfig gen_config(std::uint64_t seed) {
 }
 
 TEST(EndToEnd, GeneratedTraceSurvivesCsvAndReplaysIdentically) {
+  // Debug audit on: both replays re-validate every datacenter invariant
+  // after every event (sim/audit.hpp) and throw on the first violation.
+  sim::ScopedDebugAudit audit_every_event;
   const workload::Trace original =
       workload::Generator(workload::ovhcloud_catalog(), workload::distribution('F'),
                           gen_config(21))

@@ -63,6 +63,29 @@ TEST_F(FlatManager, MemoryBoundRejects) {
   manager_.check_invariants();
 }
 
+TEST_F(FlatManager, DrainingStopsAdmissionButRemovalsProceed) {
+  // The local half of the host lifecycle (sched/host_state.hpp): while
+  // draining, no new VM is admitted, but removals keep shrinking vNodes so
+  // the emptying PM releases CPUs as its evacuation progresses.
+  ASSERT_TRUE(manager_.deploy(VmId{1}, spec(2, core::gib(4), 1)));
+  ASSERT_TRUE(manager_.deploy(VmId{2}, spec(2, core::gib(4), 1)));
+  manager_.set_draining(true);
+  EXPECT_TRUE(manager_.draining());
+  EXPECT_FALSE(manager_.can_host(spec(1, core::gib(1), 1)));
+  EXPECT_FALSE(manager_.deploy(VmId{3}, spec(1, core::gib(1), 1)).has_value());
+
+  manager_.remove(VmId{1});
+  EXPECT_EQ(manager_.vm_count(), 1U);
+  EXPECT_EQ(manager_.alloc().cores, 2U);  // vNode shrank despite the drain
+  manager_.check_invariants();
+
+  // Un-draining (the repair) restores admission.
+  manager_.set_draining(false);
+  EXPECT_TRUE(manager_.can_host(spec(1, core::gib(1), 1)));
+  ASSERT_TRUE(manager_.deploy(VmId{3}, spec(1, core::gib(1), 1)).has_value());
+  manager_.check_invariants();
+}
+
 TEST_F(FlatManager, CpuBoundRejects) {
   ASSERT_TRUE(manager_.deploy(VmId{1}, spec(8, core::gib(8), 1)));
   EXPECT_FALSE(manager_.deploy(VmId{2}, spec(1, core::gib(1), 2)).has_value());

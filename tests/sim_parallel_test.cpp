@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sim/audit.hpp"
 #include "sim/experiment.hpp"
 
 namespace slackvm::sim {
@@ -57,6 +58,9 @@ void expect_identical(const PackingComparison& serial,
 }
 
 TEST(ParallelDifferential, ComparePackingMatchesSerialEverywhere) {
+  // Debug audit on: every replay re-validates the datacenter invariants
+  // after every event (sim/audit.hpp) and throws on the first violation.
+  ScopedDebugAudit audit_every_event;
   for (const workload::Catalog* catalog :
        {&workload::ovhcloud_catalog(), &workload::azure_catalog()}) {
     for (char dist : {'A', 'F', 'O'}) {
@@ -78,6 +82,7 @@ TEST(ParallelDifferential, ComparePackingMatchesSerialEverywhere) {
 }
 
 TEST(ParallelDifferential, DistributionSweepMatchesSerialEverywhere) {
+  ScopedDebugAudit audit_every_event;
   ExperimentConfig cfg = small_config(2);
   cfg.generator.target_population = 40;
   const std::vector<PackingComparison> serial =

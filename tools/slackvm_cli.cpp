@@ -51,6 +51,7 @@ struct Args {
   std::size_t parallelism = 1;
   std::size_t repetitions = 1;
   bool use_index = true;
+  sim::FaultConfig faults;
 };
 
 int usage() {
@@ -64,7 +65,10 @@ int usage() {
                "         --parallelism N   (sweep/heatmap worker threads; 0 = all\n"
                "                            cores; results identical at any value)\n"
                "         --index on|off    (incremental placement index; results\n"
-               "                            identical, off replays the naive scan)\n");
+               "                            identical, off replays the naive scan)\n"
+               "         --faults N        (seed-derived host failures over the run)\n"
+               "         --fault-seed N    (0 = derive from --seed)\n"
+               "         --repair-s X  --drain-lead-s X   (fault timing knobs)\n");
   return 2;
 }
 
@@ -117,6 +121,14 @@ std::optional<Args> parse_args(int argc, char** argv) {
       }
     } else if (key == "--reps") {
       args.repetitions = std::strtoull(value(), nullptr, 10);
+    } else if (key == "--faults") {
+      args.faults.count = std::strtoull(value(), nullptr, 10);
+    } else if (key == "--fault-seed") {
+      args.faults.seed = std::strtoull(value(), nullptr, 10);
+    } else if (key == "--repair-s") {
+      args.faults.repair_delay = std::strtod(value(), nullptr);
+    } else if (key == "--drain-lead-s") {
+      args.faults.drain_lead = std::strtod(value(), nullptr);
     } else {
       throw core::SlackError("unknown option " + key);
     }
@@ -236,7 +248,9 @@ int cmd_replay(const Args& args) {
   if (args.rebalance_s > 0) {
     rebalance = sim::RebalanceOptions{args.rebalance_s, 64};
   }
-  const sim::RunResult result = sim::replay(dc, trace, rebalance);
+  const sim::FaultConfig faults = sim::resolve_fault_seed(args.faults, args.seed);
+  const sim::RunResult result =
+      sim::replay(dc, trace, rebalance, nullptr, faults.enabled() ? &faults : nullptr);
   std::printf("mode %s, policy %s, mem oversub %.2fx\n", args.mode.c_str(),
               args.policy.c_str(), args.mem_oversub);
   std::printf("placed VMs     : %zu (peak %zu concurrent)\n", result.placed_vms,
@@ -247,6 +261,18 @@ int cmd_replay(const Args& args) {
               result.avg_unalloc_cpu_share * 100, result.avg_unalloc_mem_share * 100);
   if (result.migrations > 0) {
     std::printf("migrations     : %zu\n", result.migrations);
+  }
+  if (faults.enabled()) {
+    std::printf("faults         : %zu failures, %zu repairs, %zu drains\n",
+                result.host_failures, result.host_repairs, result.drained_hosts);
+    std::printf("evacuation     : %zu evicted -> %zu re-placed, %zu departed, "
+                "%zu degraded (%zu retries, %zu pre-drained)\n",
+                result.evacuated_vms, result.evac_replaced, result.evac_departed,
+                result.degraded_vms, result.evac_retries, result.evac_migrated);
+    if (result.deferred_arrivals > 0) {
+      std::printf("arrivals       : %zu deferred, %zu dropped\n",
+                  result.deferred_arrivals, result.arrivals_dropped);
+    }
   }
   const sim::EnergyReport energy = sim::estimate_energy(result, worker.cores);
   std::printf("energy         : %.0f kWh, %.0f kgCO2e (provisioned fleet)\n",
@@ -261,6 +287,7 @@ int cmd_sweep(const Args& args) {
   cfg.repetitions = args.repetitions;
   cfg.parallelism = args.parallelism;
   cfg.use_index = args.use_index;
+  cfg.faults = args.faults;  // per-cell seed resolution happens in run_cell
   std::printf("dist,share1,share2,share3,baseline_pms,slackvm_pms,saving_pct,"
               "base_cpu_stranded,base_mem_stranded,slack_cpu_stranded,"
               "slack_mem_stranded\n");
@@ -284,6 +311,7 @@ int cmd_heatmap(const Args& args) {
   cfg.repetitions = args.repetitions;
   cfg.parallelism = args.parallelism;
   cfg.use_index = args.use_index;
+  cfg.faults = args.faults;
   std::printf("pct_1to1,pct_2to1,pct_3to1,saving_pct\n");
   for (const auto& cell :
        sim::run_savings_heatmap(workload::catalog_by_name(args.provider), cfg)) {
