@@ -1,13 +1,60 @@
 // Engineering micro-benchmarks (google-benchmark): Algorithm 1 distance
-// computation, distance-matrix construction, and local-scheduler vNode
-// resize costs on the paper's dual-EPYC testbed topology.
+// computation, distance-matrix construction/interning, and local-scheduler
+// vNode resize costs on the paper's dual-EPYC testbed topology.
+//
+// Two entry points:
+//   micro_topology [google-benchmark flags]      # the BM_* suites below
+//   micro_topology --json [--ops N]              # machine-readable naive-vs-
+//                                                # fast local-engine churn
+//                                                # (BENCH_micro_topology.json)
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "core/rng.hpp"
 #include "local/placement.hpp"
 #include "local/vnode_manager.hpp"
 #include "topology/builders.hpp"
 #include "topology/distance.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation probe: counts every operator-new so the --json mode can
+// demonstrate that the fast selection path allocates a constant amount per
+// call (the returned CpuSet) — i.e. zero allocations in the grow/release
+// inner loops — while the naive reference allocates per inner iteration.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+// GCC's mismatched-new-delete heuristic cannot see that this operator new
+// pairs with the matching free-based operator delete below.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* ptr = std::malloc(size)) {
+    return ptr;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+
+#pragma GCC diagnostic pop
 
 namespace {
 
@@ -33,10 +80,24 @@ void BM_DistanceMatrixBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_DistanceMatrixBuild);
 
-void BM_VNodeDeployRemove(benchmark::State& state) {
-  // One deploy + one remove at steady state on a loaded dual-EPYC PM.
+void BM_DistanceMatrixShared(benchmark::State& state) {
+  // Interned lookup: what every VNodeManager construction pays after the
+  // first build of a hardware model.
   const topo::CpuTopology epyc = topo::make_dual_epyc_7662();
-  local::VNodeManager manager(epyc);
+  (void)topo::DistanceMatrixCache::shared(epyc);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::DistanceMatrixCache::shared(epyc));
+  }
+}
+BENCHMARK(BM_DistanceMatrixShared);
+
+void BM_VNodeDeployRemove(benchmark::State& state) {
+  // One deploy + one remove at steady state on a loaded dual-EPYC PM;
+  // range(0) picks the placement engine (0 = naive reference, 1 = fast).
+  const topo::CpuTopology epyc = topo::make_dual_epyc_7662();
+  const auto engine = state.range(0) != 0 ? local::PlacementEngine::kFast
+                                          : local::PlacementEngine::kNaive;
+  local::VNodeManager manager(epyc, local::PoolingPolicy::kNone, 1.0, engine);
   core::SplitMix64 rng(2);
   std::uint64_t id = 1;
   core::VmSpec spec;
@@ -56,23 +117,182 @@ void BM_VNodeDeployRemove(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_VNodeDeployRemove);
+BENCHMARK(BM_VNodeDeployRemove)->Arg(0)->Arg(1)->ArgNames({"fast"});
 
 void BM_SeedSelection(benchmark::State& state) {
   const topo::CpuTopology epyc = topo::make_dual_epyc_7662();
-  const topo::DistanceMatrix dm(epyc);
+  const auto dm = topo::DistanceMatrixCache::shared(epyc);
   topo::CpuSet occupied(epyc.cpu_count());
   for (topo::CpuId cpu = 0; cpu < 64; ++cpu) {
     occupied.set(cpu);
   }
   topo::CpuSet free_cpus = epyc.all_cpus();
   free_cpus -= occupied;
+  local::PlacementScratch scratch;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(local::choose_seed_cpus(dm, free_cpus, occupied, 8));
+    benchmark::DoNotOptimize(
+        local::choose_seed_cpus(*dm, free_cpus, occupied, 8, scratch));
   }
 }
 BENCHMARK(BM_SeedSelection);
 
+// ---------------------------------------------------------------------------
+// --json mode: naive-vs-fast deploy+remove churn through the full local
+// scheduler, per builder topology, plus the allocation probe and the
+// matrix-interning stats (BENCH_micro_topology.json).
+
+using Clock = std::chrono::steady_clock;
+
+core::VmSpec churn_spec(core::SplitMix64& rng) {
+  core::VmSpec spec;
+  spec.vcpus = static_cast<core::VcpuCount>(1 + rng.below(8));
+  spec.mem_mib = core::gib(static_cast<std::int64_t>(1 + rng.below(4)));
+  spec.level = core::OversubLevel{static_cast<std::uint8_t>(1 + rng.below(3))};
+  return spec;
+}
+
+struct ChurnResult {
+  std::size_t pairs = 0;          ///< timed deploy+remove pairs
+  double pairs_per_sec = 0.0;
+};
+
+/// Steady-state churn: preload a PM to ~60% of its threads, then time
+/// `pairs` remove+deploy pairs. Both engines see the identical op sequence
+/// (same seed), so the comparison is apples-to-apples — and the engines are
+/// differential-tested to produce bit-identical states anyway.
+ChurnResult measure_churn(const topo::CpuTopology& machine,
+                          local::PlacementEngine engine, std::size_t pairs) {
+  local::VNodeManager manager(machine, local::PoolingPolicy::kUpgrade, 1.0, engine);
+  core::SplitMix64 rng(42);
+  std::vector<core::VmId> alive;
+  std::uint64_t id = 1;
+  const auto target =
+      static_cast<core::CoreCount>(machine.cpu_count() * 6 / 10);
+  while (manager.alloc().cores < target) {
+    const core::VmId vm{id++};
+    if (!manager.deploy(vm, churn_spec(rng))) {
+      break;
+    }
+    alive.push_back(vm);
+  }
+
+  ChurnResult result;
+  result.pairs = pairs;
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < pairs; ++i) {
+    if (alive.empty()) {
+      const core::VmId vm{id++};
+      if (manager.deploy(vm, churn_spec(rng))) {
+        alive.push_back(vm);
+      }
+      continue;
+    }
+    const std::size_t victim = rng.below(alive.size());
+    manager.remove(alive[victim]);
+    const core::VmId vm{id++};
+    if (manager.deploy(vm, churn_spec(rng))) {
+      alive[victim] = vm;
+    } else {
+      alive[victim] = alive.back();
+      alive.pop_back();
+    }
+  }
+  const auto t1 = Clock::now();
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.pairs_per_sec =
+      seconds > 0.0 ? static_cast<double>(pairs) / seconds : 0.0;
+  return result;
+}
+
+/// Heap allocations per selection call. The fast path must stay flat in
+/// `count` (only the returned CpuSet allocates); the naive reference grows
+/// with steps × pool size (one as_vector per inner scan).
+double allocs_per_call(const topo::CpuTopology& machine, bool fast,
+                       std::size_t count, std::size_t calls) {
+  const auto dm = topo::DistanceMatrixCache::shared(machine);
+  topo::CpuSet current(machine.cpu_count());
+  for (topo::CpuId cpu = 0; cpu < 4; ++cpu) {
+    current.set(cpu);
+  }
+  topo::CpuSet free_cpus = machine.all_cpus();
+  free_cpus -= current;
+  local::PlacementScratch scratch;
+  // Warm-up so scratch buffers reach steady-state capacity.
+  (void)local::choose_extension_cpus(*dm, free_cpus, current, count, scratch);
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < calls; ++i) {
+    if (fast) {
+      benchmark::DoNotOptimize(
+          local::choose_extension_cpus(*dm, free_cpus, current, count, scratch));
+    } else {
+      benchmark::DoNotOptimize(
+          local::naive::choose_extension_cpus(*dm, free_cpus, current, count));
+    }
+  }
+  const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  return static_cast<double>(after - before) / static_cast<double>(calls);
+}
+
+int run_json(std::size_t ops) {
+  struct NamedTopo {
+    const char* name;
+    topo::CpuTopology machine;
+  };
+  NamedTopo topologies[] = {
+      {"dual_epyc_7662", topo::make_dual_epyc_7662()},
+      {"dual_xeon_6230", topo::make_dual_xeon_6230()},
+  };
+
+  std::printf("{\n  \"bench\": \"micro_topology\",\n  \"results\": [\n");
+  bool first = true;
+  for (const NamedTopo& t : topologies) {
+    const ChurnResult naive =
+        measure_churn(t.machine, local::PlacementEngine::kNaive, ops);
+    const ChurnResult fast =
+        measure_churn(t.machine, local::PlacementEngine::kFast, ops);
+    std::printf("%s    {\"topology\": \"%s\", \"mode\": \"naive\", \"pairs\": %zu, "
+                "\"deploy_remove_pairs_per_sec\": %.0f},\n",
+                first ? "" : ",\n", t.name, naive.pairs, naive.pairs_per_sec);
+    std::printf("    {\"topology\": \"%s\", \"mode\": \"fast\", \"pairs\": %zu, "
+                "\"deploy_remove_pairs_per_sec\": %.0f},\n",
+                t.name, fast.pairs, fast.pairs_per_sec);
+    std::printf("    {\"topology\": \"%s\", \"mode\": \"speedup\", "
+                "\"deploy_remove\": %.2f}",
+                t.name,
+                naive.pairs_per_sec > 0.0 ? fast.pairs_per_sec / naive.pairs_per_sec
+                                          : 0.0);
+    first = false;
+  }
+
+  // Allocation discipline of the grow loop: flat for the fast path,
+  // step-dependent for the naive reference.
+  const topo::CpuTopology epyc = topo::make_dual_epyc_7662();
+  const std::size_t probe_calls = 200;
+  std::printf("\n  ],\n  \"grow_heap_allocs_per_call\": [\n");
+  first = true;
+  for (const std::size_t count : {4UL, 16UL}) {
+    const double naive_allocs = allocs_per_call(epyc, /*fast=*/false, count, probe_calls);
+    const double fast_allocs = allocs_per_call(epyc, /*fast=*/true, count, probe_calls);
+    std::printf("%s    {\"grow_cpus\": %zu, \"naive\": %.1f, \"fast\": %.1f}",
+                first ? "" : ",\n", count, naive_allocs, fast_allocs);
+    first = false;
+  }
+
+  std::printf("\n  ],\n  \"matrix_cache\": {\"matrices_interned\": %zu}\n}\n",
+              topo::DistanceMatrixCache::interned_count());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (slackvm::bench::arg_flag(argc, argv, "--json")) {
+    const auto ops = static_cast<std::size_t>(
+        slackvm::bench::arg_u64(argc, argv, "--ops", 20000));
+    return run_json(ops);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -31,8 +31,9 @@ void explore(const topo::CpuTopology& machine) {
   }
   std::printf("(distance changes only shown)\n");
 
-  // Show seed/extension decisions.
-  const topo::DistanceMatrix dm(machine);
+  // Show seed/extension decisions (the interned per-model matrix — the same
+  // instance every VNodeManager on this topology shares).
+  const topo::DistanceMatrix& dm = *topo::DistanceMatrixCache::shared(machine);
   topo::CpuSet occupied(machine.cpu_count());
   const std::size_t first_node = std::min<std::size_t>(machine.cpu_count() / 4, 16);
   const auto seed_a = local::choose_seed_cpus(dm, machine.all_cpus(), occupied, first_node);

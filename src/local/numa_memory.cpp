@@ -27,7 +27,7 @@ std::vector<std::uint32_t> NumaMemoryMap::nodes_by_preference(
     const topo::CpuSet& vnode_cpus) const {
   // Local nodes: those hosting any of the vNode's CPUs.
   std::set<std::uint32_t> local;
-  for (topo::CpuId cpu : vnode_cpus.as_vector()) {
+  for (topo::CpuId cpu : vnode_cpus) {
     local.insert(topo_->cpu(cpu).numa);
   }
   std::vector<std::uint32_t> order(local.begin(), local.end());
@@ -130,7 +130,7 @@ double NumaMemoryMap::locality(core::VmId vm, const topo::CpuSet& cpus) const {
     return 1.0;
   }
   std::set<std::uint32_t> local;
-  for (topo::CpuId cpu : cpus.as_vector()) {
+  for (topo::CpuId cpu : cpus) {
     local.insert(topo_->cpu(cpu).numa);
   }
   core::MemMib local_mem = 0;

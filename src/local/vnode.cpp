@@ -24,15 +24,6 @@ core::OversubLevel VNode::strictest_hosted_level() const {
   return strictest;
 }
 
-std::vector<core::VmId> VNode::vm_ids() const {
-  std::vector<core::VmId> out;
-  out.reserve(vms_.size());
-  for (const auto& [id, spec] : vms_) {
-    out.push_back(id);
-  }
-  return out;
-}
-
 const core::VmSpec& VNode::spec_of(core::VmId vm) const {
   const auto it = vms_.find(vm);
   SLACKVM_ASSERT(it != vms_.end());
@@ -45,6 +36,7 @@ void VNode::add_vm(core::VmId id, const core::VmSpec& spec) {
   // the node's stricter guarantee, §V-B); never a stricter one.
   SLACKVM_ASSERT(!spec.level.stricter_than(level_));
   vms_.emplace(id, spec);
+  sorted_ids_.insert(std::ranges::lower_bound(sorted_ids_, id), id);
   committed_vcpus_ += spec.vcpus;
   committed_mem_ += spec.mem_mib;
 }
@@ -55,6 +47,9 @@ void VNode::remove_vm(core::VmId id) {
   committed_vcpus_ -= it->second.vcpus;
   committed_mem_ -= it->second.mem_mib;
   vms_.erase(it);
+  const auto pos = std::ranges::lower_bound(sorted_ids_, id);
+  SLACKVM_ASSERT(pos != sorted_ids_.end() && *pos == id);
+  sorted_ids_.erase(pos);
 }
 
 void VNode::assign_cpus(topo::CpuSet cpus) {

@@ -71,8 +71,11 @@ class VNode {
   /// pooled, see VNodeManager). Returns level() when empty.
   [[nodiscard]] core::OversubLevel strictest_hosted_level() const;
 
-  /// Hosted VM ids (unspecified order).
-  [[nodiscard]] std::vector<core::VmId> vm_ids() const;
+  /// Hosted VM ids, ascending. Maintained sorted on add/remove so hot-path
+  /// consumers (repins_for re-pins after every resize) never re-sort.
+  [[nodiscard]] const std::vector<core::VmId>& vm_ids() const noexcept {
+    return sorted_ids_;
+  }
 
   [[nodiscard]] const core::VmSpec& spec_of(core::VmId vm) const;
 
@@ -87,6 +90,7 @@ class VNode {
   core::OversubLevel effective_level_;  ///< current sizing ratio, <= contract
   topo::CpuSet cpus_;
   std::unordered_map<core::VmId, core::VmSpec> vms_;
+  std::vector<core::VmId> sorted_ids_;  ///< keys of vms_, ascending
   core::VcpuCount committed_vcpus_ = 0;
   core::MemMib committed_mem_ = 0;
 };

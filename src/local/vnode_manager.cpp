@@ -3,17 +3,18 @@
 #include <algorithm>
 
 #include "core/error.hpp"
-#include "local/placement.hpp"
 
 namespace slackvm::local {
 
 VNodeManager::VNodeManager(const topo::CpuTopology& topo, PoolingPolicy pooling,
-                           double mem_oversub)
+                           double mem_oversub, PlacementEngine engine)
     : topo_(topo),
-      distances_(topo),
+      distances_(topo::DistanceMatrixCache::shared(topo)),
       pooling_(pooling),
       mem_oversub_(mem_oversub),
-      free_cpus_(topo.all_cpus()) {
+      engine_(engine),
+      free_cpus_(topo.all_cpus()),
+      occupied_cpus_(topo.cpu_count()) {
   SLACKVM_ASSERT(mem_oversub >= 1.0);
 }
 
@@ -24,7 +25,20 @@ bool VNodeManager::can_host(const core::VmSpec& spec) const {
   if (committed_mem_ + spec.mem_mib > mem_capacity()) {
     return false;
   }
-  return pick_target(spec).has_value();
+  return target_for(spec).has_value();
+}
+
+std::optional<VNodeManager::Target> VNodeManager::target_for(
+    const core::VmSpec& spec) const {
+  if (cache_valid_ && cache_epoch_ == state_epoch_ && cached_spec_ == spec) {
+    return cached_target_;
+  }
+  ++pick_target_calls_;
+  cached_target_ = pick_target(spec);
+  cached_spec_ = spec;
+  cache_epoch_ = state_epoch_;
+  cache_valid_ = true;
+  return cached_target_;
 }
 
 bool VNodeManager::node_can_take(const VNode& node, const core::VmSpec& spec,
@@ -48,38 +62,42 @@ bool VNodeManager::node_can_take(const VNode& node, const core::VmSpec& spec,
 std::optional<VNodeManager::Target> VNodeManager::pick_target(
     const core::VmSpec& spec) const {
   SLACKVM_ASSERT(spec.vcpus > 0);
-  // 1. Grow the vNode of the VM's own level.
-  for (const auto& [id, node] : vnodes_) {
-    if (node.level() == spec.level) {
-      if (node_can_take(node, spec, /*as_pool=*/false)) {
-        return Target{id, false};
-      }
-      break;  // at most one node per level
-    }
+  // 1. Grow the vNode of the VM's own level (at most one node per level,
+  // found through the maintained level map).
+  const auto own = level_to_vnode_.find(spec.level);
+  if (own != level_to_vnode_.end() &&
+      node_can_take(vnodes_.at(own->second), spec, /*as_pool=*/false)) {
+    return Target{own->second, false};
   }
   // 2. Create a fresh vNode for this level if none exists yet.
-  if (find_level(spec.level) == nullptr &&
+  if (own == level_to_vnode_.end() &&
       spec.level.cores_for(spec.vcpus) <= free_cpus_.count()) {
     return Target{next_id_, false};
   }
   // 3. Pooling upgrade (§V-B): prefer the laxest stricter node so the VM's
   // effective upgrade — and the core over-allocation it causes — is minimal.
+  // Walking the level map downwards from the VM's level visits stricter
+  // nodes laxest-first, so the first feasible one wins.
   if (pooling_ == PoolingPolicy::kUpgrade) {
-    std::optional<Target> best;
-    core::OversubLevel best_level{1};
-    for (const auto& [id, node] : vnodes_) {
-      if (node_can_take(node, spec, /*as_pool=*/true)) {
-        if (!best || best_level.stricter_than(node.level())) {
-          best = Target{id, true};
-          best_level = node.level();
-        }
+    for (auto it = level_to_vnode_.lower_bound(spec.level);
+         it != level_to_vnode_.begin();) {
+      --it;
+      if (node_can_take(vnodes_.at(it->second), spec, /*as_pool=*/true)) {
+        return Target{it->second, true};
       }
-    }
-    if (best) {
-      return best;
     }
   }
   return std::nullopt;
+}
+
+void VNodeManager::claim_cpus(const topo::CpuSet& cpus) {
+  free_cpus_ -= cpus;
+  occupied_cpus_ |= cpus;
+}
+
+void VNodeManager::release_cpus(const topo::CpuSet& cpus) {
+  free_cpus_ |= cpus;
+  occupied_cpus_ -= cpus;
 }
 
 std::optional<DeployResult> VNodeManager::deploy(core::VmId id, const core::VmSpec& spec) {
@@ -87,21 +105,26 @@ std::optional<DeployResult> VNodeManager::deploy(core::VmId id, const core::VmSp
   if (draining_ || committed_mem_ + spec.mem_mib > mem_capacity()) {
     return std::nullopt;
   }
-  const auto target = pick_target(spec);
+  const auto target = target_for(spec);
   if (!target) {
     return std::nullopt;
   }
+  ++state_epoch_;
 
   auto it = vnodes_.find(target->vnode);
   if (it == vnodes_.end()) {
     // Create a new vNode seeded as far as possible from existing ones.
     const core::CoreCount needed = spec.level.cores_for(spec.vcpus);
-    auto seed = choose_seed_cpus(distances_, free_cpus_, occupied_cpus(), needed);
+    const auto seed =
+        engine_ == PlacementEngine::kFast
+            ? choose_seed_cpus(*distances_, free_cpus_, occupied_cpus_, needed, scratch_)
+            : naive::choose_seed_cpus(*distances_, free_cpus_, occupied_cpus_, needed);
     SLACKVM_ASSERT(seed.has_value());
     VNode node(next_id_, spec.level, topo_.cpu_count());
     node.assign_cpus(*seed);
-    free_cpus_ -= *seed;
+    claim_cpus(*seed);
     it = vnodes_.emplace(next_id_, std::move(node)).first;
+    level_to_vnode_.emplace(spec.level, next_id_);
     ++next_id_;
   }
 
@@ -125,13 +148,16 @@ std::vector<PinUpdate> VNodeManager::remove(core::VmId id) {
   auto node_it = vnodes_.find(it->second);
   SLACKVM_ASSERT(node_it != vnodes_.end());
   VNode& node = node_it->second;
+  ++state_epoch_;
 
   committed_mem_ -= node.spec_of(id).mem_mib;
   node.remove_vm(id);
   vm_to_vnode_.erase(it);
 
   if (node.empty()) {
-    free_cpus_ |= node.cpus();
+    release_cpus(node.cpus());
+    level_to_vnode_.erase(node.level());
+    frontiers_.erase(node_it->first);
     vnodes_.erase(node_it);
     return {};
   }
@@ -153,6 +179,7 @@ std::optional<std::vector<PinUpdate>> VNodeManager::retune(VNodeId vnode,
   if (needed > have && needed - have > free_cpus_.count()) {
     return std::nullopt;  // cannot tighten: not enough free CPUs
   }
+  ++state_epoch_;
   node.set_effective_level(effective);
   return resize_node(node);
 }
@@ -160,15 +187,28 @@ std::optional<std::vector<PinUpdate>> VNodeManager::retune(VNodeId vnode,
 std::vector<PinUpdate> VNodeManager::resize_node(VNode& node) {
   const core::CoreCount needed = node.required_cores();
   const core::CoreCount have = node.core_count();
+  // The persistent frontier of this vNode (fast engine only): built lazily
+  // on the node's first resize, then carried across every grow/release so
+  // steady-state resizes cost O(steps·n) with no rebuild.
+  DistanceFrontier* frontier =
+      engine_ == PlacementEngine::kFast ? &frontiers_[node.id()] : nullptr;
   if (needed > have) {
-    auto extension =
-        choose_extension_cpus(distances_, free_cpus_, node.cpus(), needed - have);
+    const auto extension =
+        engine_ == PlacementEngine::kFast
+            ? choose_extension_cpus(*distances_, free_cpus_, node.cpus(),
+                                    needed - have, scratch_, frontier)
+            : naive::choose_extension_cpus(*distances_, free_cpus_, node.cpus(),
+                                           needed - have);
     SLACKVM_ASSERT(extension.has_value());  // pick_target guaranteed room
-    free_cpus_ -= *extension;
+    claim_cpus(*extension);
     node.assign_cpus(node.cpus() | *extension);
   } else if (needed < have) {
-    const topo::CpuSet released = choose_release_cpus(distances_, node.cpus(), have - needed);
-    free_cpus_ |= released;
+    const topo::CpuSet released =
+        engine_ == PlacementEngine::kFast
+            ? choose_release_cpus(*distances_, node.cpus(), have - needed, scratch_,
+                                  frontier)
+            : naive::choose_release_cpus(*distances_, node.cpus(), have - needed);
+    release_cpus(released);
     node.assign_cpus(node.cpus() - released);
   }
   return repins_for(node);
@@ -177,22 +217,14 @@ std::vector<PinUpdate> VNodeManager::resize_node(VNode& node) {
 std::vector<PinUpdate> VNodeManager::repins_for(const VNode& node) const {
   // Every VM of a resized vNode is (re)pinned to the node's full CPU range —
   // the in-node choice of a specific thread is left to the OS scheduler.
+  // vm_ids() is maintained sorted, so the update order is deterministic
+  // without a per-resize sort.
   std::vector<PinUpdate> repins;
-  auto ids = node.vm_ids();
-  std::ranges::sort(ids);
-  repins.reserve(ids.size());
-  for (core::VmId vm : ids) {
+  repins.reserve(node.vm_ids().size());
+  for (core::VmId vm : node.vm_ids()) {
     repins.push_back(PinUpdate{vm, node.cpus()});
   }
   return repins;
-}
-
-topo::CpuSet VNodeManager::occupied_cpus() const {
-  topo::CpuSet occupied(topo_.cpu_count());
-  for (const auto& [id, node] : vnodes_) {
-    occupied |= node.cpus();
-  }
-  return occupied;
 }
 
 core::Resources VNodeManager::alloc() const {
@@ -204,12 +236,8 @@ core::Resources VNodeManager::alloc() const {
 }
 
 const VNode* VNodeManager::find_level(core::OversubLevel level) const {
-  for (const auto& [id, node] : vnodes_) {
-    if (node.level() == level) {
-      return &node;
-    }
-  }
-  return nullptr;
+  const auto it = level_to_vnode_.find(level);
+  return it == level_to_vnode_.end() ? nullptr : &vnodes_.at(it->second);
 }
 
 const topo::CpuSet& VNodeManager::pin_of(core::VmId vm) const {
@@ -232,11 +260,46 @@ void VNodeManager::check_invariants() const {
     seen |= node.cpus();
     mem += node.committed_mem();
     vms += node.vm_count();
+    SLACKVM_ASSERT(level_to_vnode_.contains(node.level()));
+    SLACKVM_ASSERT(level_to_vnode_.at(node.level()) == id);
+    SLACKVM_ASSERT(std::ranges::is_sorted(node.vm_ids()));
     for (core::VmId vm : node.vm_ids()) {
       SLACKVM_ASSERT(vm_to_vnode_.at(vm) == id);
     }
+    // A valid persistent frontier must match a from-scratch recomputation —
+    // the work-avoidance cache may never drift from the node's CPU set.
+    const auto frontier_it = frontiers_.find(id);
+    if (frontier_it != frontiers_.end()) {
+      const DistanceFrontier& frontier = frontier_it->second;
+      if (frontier.min_valid) {
+        SLACKVM_ASSERT(frontier.min_dist.size() == topo_.cpu_count());
+        SLACKVM_ASSERT(frontier.min_count.size() == topo_.cpu_count());
+        for (std::size_t cpu = 0; cpu < topo_.cpu_count(); ++cpu) {
+          const auto min =
+              distances_->min_distance_to(static_cast<topo::CpuId>(cpu), node.cpus());
+          SLACKVM_ASSERT(frontier.min_dist[cpu] == min);
+          std::uint32_t witnesses = 0;
+          node.cpus().for_each_cpu([&](topo::CpuId member) {
+            if ((*distances_)(static_cast<topo::CpuId>(cpu), member) == min) {
+              ++witnesses;
+            }
+          });
+          SLACKVM_ASSERT(frontier.min_count[cpu] == witnesses);
+        }
+      }
+      if (frontier.total_valid) {
+        SLACKVM_ASSERT(frontier.total_dist.size() == topo_.cpu_count());
+        for (std::size_t cpu = 0; cpu < topo_.cpu_count(); ++cpu) {
+          SLACKVM_ASSERT(frontier.total_dist[cpu] ==
+                         distances_->total_distance_to(static_cast<topo::CpuId>(cpu),
+                                                       node.cpus()));
+        }
+      }
+    }
   }
   SLACKVM_ASSERT(seen == topo_.all_cpus());
+  SLACKVM_ASSERT(occupied_cpus_ == topo_.all_cpus() - free_cpus_);
+  SLACKVM_ASSERT(level_to_vnode_.size() == vnodes_.size());
   SLACKVM_ASSERT(mem == committed_mem_);
   SLACKVM_ASSERT(mem <= mem_capacity());
   SLACKVM_ASSERT(vms == vm_to_vnode_.size());

@@ -11,14 +11,24 @@
 //  * optionally pool oversubscribed levels (§V-B): a VM of level n may join
 //    a stricter vNode m:1 (m < n) — an "upgrade" — when its own level's
 //    vNode cannot grow, as long as the stricter ratio still holds.
+//
+// Hot-path bookkeeping is incremental: the Algorithm-1 distance matrix is
+// interned per hardware model (topo::DistanceMatrixCache) instead of rebuilt
+// per manager, occupied CPUs and the level→vNode map are maintained across
+// operations rather than recomputed, and CPU selection runs the frontier
+// fast path in local/placement.hpp with a reused scratch. The naive
+// selection functions remain available as a differential reference
+// (PlacementEngine::kNaive) and must produce bit-identical pin decisions.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/resources.hpp"
 #include "core/vm.hpp"
+#include "local/placement.hpp"
 #include "local/vnode.hpp"
 #include "topology/cpu_topology.hpp"
 #include "topology/distance.hpp"
@@ -29,6 +39,12 @@ namespace slackvm::local {
 enum class PoolingPolicy : std::uint8_t {
   kNone,     ///< strict: one level per vNode, fail if it cannot grow
   kUpgrade,  ///< §V-B: place into a stricter existing vNode when feasible
+};
+
+/// Which CPU-selection implementation the manager drives (local/placement.hpp).
+enum class PlacementEngine : std::uint8_t {
+  kFast,   ///< incremental distance frontiers (default)
+  kNaive,  ///< per-step rescans — the differential reference
 };
 
 /// New pinning for one VM (all CPUs of its — possibly resized — vNode).
@@ -50,7 +66,8 @@ class VNodeManager {
   /// (limited DRAM oversubscription, paper footnote 2 / §VIII).
   explicit VNodeManager(const topo::CpuTopology& topo,
                         PoolingPolicy pooling = PoolingPolicy::kNone,
-                        double mem_oversub = 1.0);
+                        double mem_oversub = 1.0,
+                        PlacementEngine engine = PlacementEngine::kFast);
 
   /// Memory admission bound of this PM.
   [[nodiscard]] core::MemMib mem_capacity() const noexcept {
@@ -58,7 +75,10 @@ class VNodeManager {
                                      mem_oversub_);
   }
 
-  /// Non-mutating feasibility check mirroring deploy()'s logic.
+  /// Non-mutating feasibility check mirroring deploy()'s logic. The computed
+  /// target is cached against the manager's state epoch, so an immediately
+  /// following deploy() of the same spec reuses it instead of re-running the
+  /// placement engine.
   [[nodiscard]] bool can_host(const core::VmSpec& spec) const;
 
   /// Deploy a VM; returns std::nullopt if it does not fit.
@@ -87,9 +107,21 @@ class VNodeManager {
   [[nodiscard]] const topo::CpuTopology& topology() const noexcept { return topo_; }
   [[nodiscard]] const std::map<VNodeId, VNode>& vnodes() const noexcept { return vnodes_; }
   [[nodiscard]] const topo::CpuSet& free_cpus() const noexcept { return free_cpus_; }
+  /// CPUs owned by any vNode — the complement of free_cpus(), maintained
+  /// incrementally (seed selection reads it on every new-vNode deploy).
+  [[nodiscard]] const topo::CpuSet& occupied_cpus() const noexcept {
+    return occupied_cpus_;
+  }
   [[nodiscard]] core::MemMib committed_mem() const noexcept { return committed_mem_; }
   [[nodiscard]] std::size_t vm_count() const noexcept { return vm_to_vnode_.size(); }
   [[nodiscard]] bool hosts(core::VmId vm) const { return vm_to_vnode_.contains(vm); }
+  [[nodiscard]] PlacementEngine engine() const noexcept { return engine_; }
+
+  /// Times the placement engine (pick_target) actually ran — cache hits from
+  /// a can_host()/deploy() pair count once. Test/diagnostic instrumentation.
+  [[nodiscard]] std::size_t pick_target_calls() const noexcept {
+    return pick_target_calls_;
+  }
 
   /// PM allocation in Algorithm-2 currency: physical threads owned by vNodes
   /// and committed memory.
@@ -98,7 +130,8 @@ class VNodeManager {
   /// PM hardware configuration.
   [[nodiscard]] core::Resources config() const noexcept { return topo_.config(); }
 
-  /// Existing vNode at exactly this level, if any.
+  /// Existing vNode at exactly this (contract) level, if any. O(log levels)
+  /// via the maintained level map.
   [[nodiscard]] const VNode* find_level(core::OversubLevel level) const;
 
   /// CPUs of the vNode hosting `vm`; throws for unknown VMs.
@@ -115,22 +148,41 @@ class VNodeManager {
   };
 
   [[nodiscard]] std::optional<Target> pick_target(const core::VmSpec& spec) const;
+  /// pick_target behind the state-epoch memo shared by can_host and deploy.
+  [[nodiscard]] std::optional<Target> target_for(const core::VmSpec& spec) const;
   [[nodiscard]] bool node_can_take(const VNode& node, const core::VmSpec& spec,
                                    bool as_pool) const;
-  [[nodiscard]] topo::CpuSet occupied_cpus() const;
+  void claim_cpus(const topo::CpuSet& cpus);
+  void release_cpus(const topo::CpuSet& cpus);
   std::vector<PinUpdate> resize_node(VNode& node);
   std::vector<PinUpdate> repins_for(const VNode& node) const;
 
   const topo::CpuTopology& topo_;
-  topo::DistanceMatrix distances_;
+  std::shared_ptr<const topo::DistanceMatrix> distances_;
   PoolingPolicy pooling_;
   double mem_oversub_ = 1.0;
+  PlacementEngine engine_ = PlacementEngine::kFast;
   bool draining_ = false;
   std::map<VNodeId, VNode> vnodes_;  // ordered for deterministic iteration
   std::map<core::VmId, VNodeId> vm_to_vnode_;
+  std::map<core::OversubLevel, VNodeId> level_to_vnode_;  // contract level → node
   topo::CpuSet free_cpus_;
+  topo::CpuSet occupied_cpus_;
   core::MemMib committed_mem_ = 0;
   VNodeId next_id_ = 0;
+  PlacementScratch scratch_;
+  // Persistent per-vNode distance frontiers (fast engine only): the sum
+  // frontier survives every resize, the min frontier every grow — see
+  // placement.hpp. Audited against recomputation by check_invariants.
+  std::map<VNodeId, DistanceFrontier> frontiers_;
+
+  // Target memo: valid while nothing mutated since it was computed.
+  std::uint64_t state_epoch_ = 0;
+  mutable bool cache_valid_ = false;
+  mutable std::uint64_t cache_epoch_ = 0;
+  mutable core::VmSpec cached_spec_{};
+  mutable std::optional<Target> cached_target_;
+  mutable std::size_t pick_target_calls_ = 0;
 };
 
 }  // namespace slackvm::local

@@ -72,7 +72,7 @@ double hetero_fraction(const topo::CpuTopology& topo, const topo::CpuSet& cpus) 
   }
 
   std::set<std::uint32_t> spanned;
-  for (topo::CpuId cpu : cpus.as_vector()) {
+  for (topo::CpuId cpu : cpus) {
     spanned.insert(topo.cpu(cpu).l3);
   }
   const std::size_t needed = core::ceil_div(cpus.count(), max_zone);

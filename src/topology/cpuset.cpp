@@ -6,10 +6,6 @@
 
 namespace slackvm::topo {
 
-namespace {
-constexpr std::size_t kWordBits = 64;
-}
-
 CpuSet::CpuSet(std::size_t universe)
     : universe_(universe), bits_((universe + kWordBits - 1) / kWordBits, 0) {}
 
@@ -21,6 +17,12 @@ void CpuSet::set(CpuId cpu) {
 void CpuSet::reset(CpuId cpu) {
   SLACKVM_ASSERT(cpu < universe_);
   bits_[cpu / kWordBits] &= ~(std::uint64_t{1} << (cpu % kWordBits));
+}
+
+void CpuSet::clear() noexcept {
+  for (std::uint64_t& word : bits_) {
+    word = 0;
+  }
 }
 
 bool CpuSet::test(CpuId cpu) const {
@@ -91,8 +93,16 @@ CpuSet& CpuSet::operator-=(const CpuSet& other) {
 
 CpuSet CpuSet::full(std::size_t universe) {
   CpuSet s(universe);
-  for (std::size_t cpu = 0; cpu < universe; ++cpu) {
-    s.set(static_cast<CpuId>(cpu));
+  if (universe == 0) {
+    return s;
+  }
+  for (std::uint64_t& word : s.bits_) {
+    word = ~std::uint64_t{0};
+  }
+  // Mask the tail of the last word so membership never exceeds the universe.
+  const std::size_t tail = universe % kWordBits;
+  if (tail != 0) {
+    s.bits_.back() = (std::uint64_t{1} << tail) - 1;
   }
   return s;
 }

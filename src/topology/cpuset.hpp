@@ -4,8 +4,10 @@
 // own CpuSets, VMs are pinned to the CpuSet of their vNode.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <iosfwd>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,10 @@ using CpuId = std::uint16_t;
 
 /// Fixed-universe dynamic bitset. All binary operations require operands of
 /// the same universe size.
+///
+/// Hot paths iterate members without materializing them: range-for over the
+/// set (word-wise ctz iterator) and `for_each_cpu` are allocation-free;
+/// `as_vector()` remains for call sites that genuinely need a list.
 class CpuSet {
  public:
   CpuSet() = default;
@@ -30,6 +36,8 @@ class CpuSet {
 
   void set(CpuId cpu);
   void reset(CpuId cpu);
+  /// Remove every member; keeps the universe (allocation-free).
+  void clear() noexcept;
   [[nodiscard]] bool test(CpuId cpu) const;
 
   [[nodiscard]] std::size_t count() const noexcept;
@@ -60,7 +68,91 @@ class CpuSet {
   /// Render as a compressed range list, e.g. "0-3,8,12-15".
   [[nodiscard]] std::string to_string() const;
 
+  /// Forward iterator over member CPU ids in ascending order. Walks one
+  /// word at a time with countr_zero; never touches the heap.
+  class Iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = CpuId;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const CpuId*;
+    using reference = CpuId;
+
+    Iterator() = default;
+
+    [[nodiscard]] CpuId operator*() const noexcept {
+      return static_cast<CpuId>(word_index_ * kWordBits +
+                                static_cast<std::size_t>(std::countr_zero(word_)));
+    }
+
+    Iterator& operator++() noexcept {
+      word_ &= word_ - 1;  // clear the bit just visited
+      skip_empty_words();
+      return *this;
+    }
+
+    Iterator operator++(int) noexcept {
+      Iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+
+    friend bool operator==(const Iterator& a, const Iterator& b) noexcept {
+      return a.word_index_ == b.word_index_ && a.word_ == b.word_;
+    }
+
+   private:
+    friend class CpuSet;
+
+    Iterator(const std::uint64_t* words, std::size_t word_count) noexcept
+        : words_(words), word_count_(word_count),
+          word_(word_count > 0 ? words[0] : 0) {
+      skip_empty_words();
+    }
+
+    void skip_empty_words() noexcept {
+      while (word_ == 0 && word_index_ + 1 < word_count_) {
+        ++word_index_;
+        word_ = words_[word_index_];
+      }
+      if (word_ == 0) {
+        // Exhausted: normalize to the end() state.
+        word_index_ = word_count_;
+      }
+    }
+
+    const std::uint64_t* words_ = nullptr;
+    std::size_t word_count_ = 0;
+    std::size_t word_index_ = 0;
+    std::uint64_t word_ = 0;
+  };
+
+  [[nodiscard]] Iterator begin() const noexcept {
+    return Iterator{bits_.data(), bits_.size()};
+  }
+  [[nodiscard]] Iterator end() const noexcept {
+    Iterator it;
+    it.word_count_ = bits_.size();
+    it.word_index_ = bits_.size();
+    return it;
+  }
+
+  /// Allocation-free ascending visit: `fn(CpuId)` for every member.
+  template <typename Fn>
+  void for_each_cpu(Fn&& fn) const {
+    for (std::size_t w = 0; w < bits_.size(); ++w) {
+      std::uint64_t word = bits_[w];
+      while (word != 0) {
+        const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+        fn(static_cast<CpuId>(w * kWordBits + bit));
+        word &= word - 1;
+      }
+    }
+  }
+
  private:
+  static constexpr std::size_t kWordBits = 64;
+
   [[nodiscard]] std::size_t words() const noexcept { return bits_.size(); }
   void check_same_universe(const CpuSet& other) const;
 

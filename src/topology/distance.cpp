@@ -1,5 +1,10 @@
 #include "topology/distance.hpp"
 
+#include <algorithm>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
 namespace slackvm::topo {
 
 std::uint32_t core_distance(const CpuTopology& topo, CpuId a, CpuId b) {
@@ -28,19 +33,85 @@ DistanceMatrix::DistanceMatrix(const CpuTopology& topo) : n_(topo.cpu_count()) {
 }
 
 std::uint32_t DistanceMatrix::min_distance_to(CpuId cpu, const CpuSet& set) const {
+  const std::span<const std::uint32_t> r = row(cpu);
   std::uint32_t best = kUnreachable;
-  for (CpuId member : set.as_vector()) {
-    best = std::min(best, (*this)(cpu, member));
-  }
+  set.for_each_cpu([&](CpuId member) { best = std::min(best, r[member]); });
   return best;
 }
 
 std::uint64_t DistanceMatrix::total_distance_to(CpuId cpu, const CpuSet& set) const {
+  const std::span<const std::uint32_t> r = row(cpu);
   std::uint64_t total = 0;
-  for (CpuId member : set.as_vector()) {
-    total += (*this)(cpu, member);
-  }
+  set.for_each_cpu([&](CpuId member) { total += r[member]; });
   return total;
+}
+
+namespace {
+
+void append_u32(std::string& key, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    key.push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+/// Serialization of exactly the fields the matrix is a function of: the
+/// cache/NUMA zone structure. Name and memory size are deliberately left out
+/// so structurally identical machines (a homogeneous fleet) share one entry.
+std::string structural_key(const CpuTopology& topo) {
+  std::string key;
+  key.reserve(topo.cpu_count() * 24 + topo.numa_count() * topo.numa_count() * 4 + 8);
+  append_u32(key, static_cast<std::uint32_t>(topo.cpu_count()));
+  for (std::size_t i = 0; i < topo.cpu_count(); ++i) {
+    const CpuInfo& cpu = topo.cpu(static_cast<CpuId>(i));
+    append_u32(key, cpu.physical_core);
+    append_u32(key, cpu.l1);
+    append_u32(key, cpu.l2);
+    append_u32(key, cpu.l3);
+    append_u32(key, cpu.numa);
+    append_u32(key, cpu.socket);
+  }
+  append_u32(key, static_cast<std::uint32_t>(topo.numa_count()));
+  for (std::uint32_t a = 0; a < topo.numa_count(); ++a) {
+    for (std::uint32_t b = 0; b < topo.numa_count(); ++b) {
+      append_u32(key, topo.numa_distance(a, b));
+    }
+  }
+  return key;
+}
+
+std::mutex& cache_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::unordered_map<std::string, std::shared_ptr<const DistanceMatrix>>& cache_map() {
+  static auto* map =
+      new std::unordered_map<std::string, std::shared_ptr<const DistanceMatrix>>();
+  return *map;
+}
+
+}  // namespace
+
+std::shared_ptr<const DistanceMatrix> DistanceMatrixCache::shared(
+    const CpuTopology& topo) {
+  const std::string key = structural_key(topo);
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex());
+    const auto it = cache_map().find(key);
+    if (it != cache_map().end()) {
+      return it->second;
+    }
+  }
+  // Build outside the lock: construction is the expensive part, and two
+  // threads racing on a new topology at worst build it twice.
+  auto matrix = std::make_shared<const DistanceMatrix>(topo);
+  const std::lock_guard<std::mutex> lock(cache_mutex());
+  return cache_map().emplace(key, std::move(matrix)).first->second;
+}
+
+std::size_t DistanceMatrixCache::interned_count() {
+  const std::lock_guard<std::mutex> lock(cache_mutex());
+  return cache_map().size();
 }
 
 }  // namespace slackvm::topo

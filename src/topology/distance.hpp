@@ -14,6 +14,8 @@
 //   other socket           -> 40 + 32 (remote NUMA) = 72
 #pragma once
 
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "topology/cpu_topology.hpp"
@@ -36,6 +38,14 @@ class DistanceMatrix {
 
   [[nodiscard]] std::size_t size() const noexcept { return n_; }
 
+  /// Contiguous row of distances from `cpu` to every CPU of the machine —
+  /// the access pattern of the incremental placement frontiers
+  /// (local/placement.cpp), which relax against one row per step.
+  [[nodiscard]] std::span<const std::uint32_t> row(CpuId cpu) const {
+    SLACKVM_ASSERT(cpu < n_);
+    return {d_.data() + static_cast<std::size_t>(cpu) * n_, n_};
+  }
+
   /// Smallest distance from `cpu` to any member of `set`; returns
   /// `kUnreachable` for an empty set.
   [[nodiscard]] std::uint32_t min_distance_to(CpuId cpu, const CpuSet& set) const;
@@ -49,6 +59,22 @@ class DistanceMatrix {
  private:
   std::size_t n_;
   std::vector<std::uint32_t> d_;
+};
+
+/// Process-wide interning cache for distance matrices, keyed by structural
+/// topology identity. A fleet of identical PMs shares one hardware model, so
+/// every VNodeManager building its own O(n²) matrix (256 KiB on the dual-EPYC
+/// testbed) is pure waste: `shared()` builds the matrix once per distinct
+/// topology and hands out refcounted references. Thread-safe; entries live
+/// for the process lifetime (hardware model counts are tiny).
+class DistanceMatrixCache {
+ public:
+  /// The interned matrix for `topo`, building it on first use.
+  [[nodiscard]] static std::shared_ptr<const DistanceMatrix> shared(
+      const CpuTopology& topo);
+
+  /// Number of distinct topologies interned so far (tests/diagnostics).
+  [[nodiscard]] static std::size_t interned_count();
 };
 
 }  // namespace slackvm::topo

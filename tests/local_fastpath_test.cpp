@@ -1,0 +1,209 @@
+// Differential proof that the incremental local pinning engine
+// (local/placement.hpp fast path + the VNodeManager bookkeeping built on
+// it) is bit-identical to the naive reference: same vNode CPU sets, same
+// pin updates, same pooling choices, over randomized deploy/remove/retune
+// churn on several builder topologies. Mirrors the naive-vs-indexed churn
+// treatment of sched::PlacementIndex (tests/sched_placement_index_test.cpp).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "local/placement.hpp"
+#include "local/vnode_manager.hpp"
+#include "topology/builders.hpp"
+#include "topology/distance.hpp"
+
+namespace slackvm::local {
+namespace {
+
+using core::OversubLevel;
+using core::VmId;
+using core::VmSpec;
+
+std::vector<std::pair<std::string, topo::CpuTopology>> builder_topologies() {
+  topo::GenericSpec nps;
+  nps.sockets = 2;
+  nps.cores_per_socket = 16;
+  nps.smt = 2;
+  nps.cores_per_l3 = 4;
+  nps.numa_per_socket = 2;
+  nps.name = "generic_nps2";
+  std::vector<std::pair<std::string, topo::CpuTopology>> topologies;
+  topologies.emplace_back("dual_epyc_7662", topo::make_dual_epyc_7662());
+  topologies.emplace_back("dual_xeon_6230", topo::make_dual_xeon_6230());
+  topologies.emplace_back("generic_nps2", topo::make_generic(nps));
+  topologies.emplace_back("flat_32", topo::make_flat(32, core::gib(128)));
+  return topologies;
+}
+
+// ---------------------------------------------------------------------------
+// Function-level differential: random pools/sets, every selection primitive.
+
+TEST(FastpathFunctions, MatchNaiveOnRandomSets) {
+  for (const auto& [name, machine] : builder_topologies()) {
+    const auto dm = topo::DistanceMatrixCache::shared(machine);
+    const auto n = machine.cpu_count();
+    core::SplitMix64 rng(1234);
+    PlacementScratch scratch;
+    for (int round = 0; round < 300; ++round) {
+      topo::CpuSet current(n);
+      topo::CpuSet free_cpus(n);
+      for (std::size_t cpu = 0; cpu < n; ++cpu) {
+        const double u = rng.uniform();
+        if (u < 0.25) {
+          current.set(static_cast<topo::CpuId>(cpu));
+        } else if (u < 0.65) {
+          free_cpus.set(static_cast<topo::CpuId>(cpu));
+        }
+      }
+      const std::size_t count = 1 + rng.below(8);
+
+      const auto fast_ext =
+          choose_extension_cpus(*dm, free_cpus, current, count, scratch);
+      const auto naive_ext = naive::choose_extension_cpus(*dm, free_cpus, current, count);
+      ASSERT_EQ(fast_ext.has_value(), naive_ext.has_value()) << name;
+      if (fast_ext) {
+        ASSERT_EQ(*fast_ext, *naive_ext) << name << " extension round " << round;
+      }
+
+      const auto fast_seed =
+          choose_seed_cpus(*dm, free_cpus, current, count, scratch);
+      const auto naive_seed = naive::choose_seed_cpus(*dm, free_cpus, current, count);
+      ASSERT_EQ(fast_seed.has_value(), naive_seed.has_value()) << name;
+      if (fast_seed) {
+        ASSERT_EQ(*fast_seed, *naive_seed) << name << " seed round " << round;
+      }
+
+      if (!current.empty()) {
+        const std::size_t release = 1 + rng.below(current.count());
+        const auto fast_rel = choose_release_cpus(*dm, current, release, scratch);
+        const auto naive_rel = naive::choose_release_cpus(*dm, current, release);
+        ASSERT_EQ(fast_rel, naive_rel) << name << " release round " << round;
+      }
+    }
+  }
+}
+
+TEST(FastpathFunctions, SeedWithEmptyOccupiedMatchesNaive) {
+  for (const auto& [name, machine] : builder_topologies()) {
+    const auto dm = topo::DistanceMatrixCache::shared(machine);
+    const topo::CpuSet none(machine.cpu_count());
+    PlacementScratch scratch;
+    const auto fast = choose_seed_cpus(*dm, machine.all_cpus(), none, 4, scratch);
+    const auto ref = naive::choose_seed_cpus(*dm, machine.all_cpus(), none, 4);
+    ASSERT_TRUE(fast.has_value() && ref.has_value()) << name;
+    EXPECT_EQ(*fast, *ref) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Manager-level differential churn: two managers, one per engine, driven by
+// the identical randomized event stream; compared decision-by-decision and
+// state-by-state.
+
+void expect_identical_state(const VNodeManager& fast, const VNodeManager& ref,
+                            const std::string& context) {
+  ASSERT_EQ(fast.free_cpus(), ref.free_cpus()) << context;
+  ASSERT_EQ(fast.occupied_cpus(), ref.occupied_cpus()) << context;
+  ASSERT_EQ(fast.committed_mem(), ref.committed_mem()) << context;
+  ASSERT_EQ(fast.vnodes().size(), ref.vnodes().size()) << context;
+  auto it_fast = fast.vnodes().begin();
+  auto it_ref = ref.vnodes().begin();
+  for (; it_fast != fast.vnodes().end(); ++it_fast, ++it_ref) {
+    ASSERT_EQ(it_fast->first, it_ref->first) << context;
+    const VNode& a = it_fast->second;
+    const VNode& b = it_ref->second;
+    ASSERT_EQ(a.level(), b.level()) << context;
+    ASSERT_EQ(a.effective_level(), b.effective_level()) << context;
+    ASSERT_EQ(a.cpus(), b.cpus()) << context << " vnode " << a.id();
+    ASSERT_EQ(a.vm_ids(), b.vm_ids()) << context << " vnode " << a.id();
+  }
+}
+
+void expect_identical_repins(const std::vector<PinUpdate>& fast,
+                             const std::vector<PinUpdate>& ref,
+                             const std::string& context) {
+  ASSERT_EQ(fast.size(), ref.size()) << context;
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    ASSERT_EQ(fast[i].vm, ref[i].vm) << context;
+    ASSERT_EQ(fast[i].cpus, ref[i].cpus) << context;
+  }
+}
+
+class FastpathChurn
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool>> {};
+
+TEST_P(FastpathChurn, BitIdenticalAcrossEngines) {
+  const auto [seed, pooling] = GetParam();
+  for (const auto& [name, machine] : builder_topologies()) {
+    const PoolingPolicy policy =
+        pooling ? PoolingPolicy::kUpgrade : PoolingPolicy::kNone;
+    VNodeManager fast(machine, policy, 1.0, PlacementEngine::kFast);
+    VNodeManager ref(machine, policy, 1.0, PlacementEngine::kNaive);
+    core::SplitMix64 rng(seed);
+    std::vector<VmId> alive;
+    std::uint64_t next_id = 1;
+    for (int event = 0; event < 3500; ++event) {
+      const std::string context =
+          name + " seed=" + std::to_string(seed) + " event=" + std::to_string(event);
+      const double u = alive.empty() ? 0.0 : rng.uniform();
+      if (u < 0.55) {
+        VmSpec s;
+        s.vcpus = static_cast<core::VcpuCount>(1 + rng.below(8));
+        s.mem_mib = core::gib(static_cast<std::int64_t>(1 + rng.below(8)));
+        s.level = OversubLevel{static_cast<std::uint8_t>(1 + rng.below(3))};
+        const VmId id{next_id++};
+        const bool predicted_fast = fast.can_host(s);
+        const bool predicted_ref = ref.can_host(s);
+        ASSERT_EQ(predicted_fast, predicted_ref) << context;
+        const auto result_fast = fast.deploy(id, s);
+        const auto result_ref = ref.deploy(id, s);
+        ASSERT_EQ(result_fast.has_value(), result_ref.has_value()) << context;
+        ASSERT_EQ(result_fast.has_value(), predicted_fast) << context;
+        if (result_fast) {
+          ASSERT_EQ(result_fast->vnode, result_ref->vnode) << context;
+          ASSERT_EQ(result_fast->pooled, result_ref->pooled) << context;
+          expect_identical_repins(result_fast->repins, result_ref->repins, context);
+          alive.push_back(id);
+        }
+      } else if (u < 0.9) {
+        const std::size_t pick = rng.below(alive.size());
+        const auto repins_fast = fast.remove(alive[pick]);
+        const auto repins_ref = ref.remove(alive[pick]);
+        expect_identical_repins(repins_fast, repins_ref, context);
+        alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else if (!fast.vnodes().empty()) {
+        // Retune a random vNode to a random effective level within contract.
+        const std::size_t pick = rng.below(fast.vnodes().size());
+        auto it = fast.vnodes().begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(pick));
+        const VNodeId node = it->first;
+        const auto contract = it->second.level();
+        const OversubLevel effective{
+            static_cast<std::uint8_t>(1 + rng.below(contract.ratio()))};
+        const auto retune_fast = fast.retune(node, effective);
+        const auto retune_ref = ref.retune(node, effective);
+        ASSERT_EQ(retune_fast.has_value(), retune_ref.has_value()) << context;
+        if (retune_fast) {
+          expect_identical_repins(*retune_fast, *retune_ref, context);
+        }
+      }
+      if (event % 100 == 0) {
+        fast.check_invariants();
+        ref.check_invariants();
+        expect_identical_state(fast, ref, context);
+      }
+    }
+    expect_identical_state(fast, ref, name + " final");
+    fast.check_invariants();
+    ref.check_invariants();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastpathChurn,
+                         ::testing::Combine(::testing::Values(1, 7, 42),
+                                            ::testing::Bool()));
+
+}  // namespace
+}  // namespace slackvm::local

@@ -241,5 +241,46 @@ TEST_P(ChurnProperty, InvariantsHoldUnderChurn) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ChurnProperty,
                          ::testing::Values(1, 2, 3, 4, 5, 10, 77, 123));
 
+// ---------------------------------------------------------------------------
+// Target memoization: a can_host/deploy pair must run the placement engine
+// exactly once — deploy reuses the target can_host computed for the same
+// spec at the same state epoch, and any mutation invalidates the memo.
+
+TEST_F(FlatManager, CanHostDeployPairRunsEngineOnce) {
+  const VmSpec s = spec(2, core::gib(2), 1);
+  EXPECT_EQ(manager_.pick_target_calls(), 0U);
+  EXPECT_TRUE(manager_.can_host(s));
+  EXPECT_EQ(manager_.pick_target_calls(), 1U);
+  // Repeated can_host of the same spec at the same state hits the memo.
+  EXPECT_TRUE(manager_.can_host(s));
+  EXPECT_EQ(manager_.pick_target_calls(), 1U);
+  // Deploy reuses the memoized target instead of re-running the engine.
+  ASSERT_TRUE(manager_.deploy(VmId{1}, s));
+  EXPECT_EQ(manager_.pick_target_calls(), 1U);
+  manager_.check_invariants();
+}
+
+TEST_F(FlatManager, TargetMemoInvalidatesOnStateOrSpecChange) {
+  const VmSpec s = spec(1, core::gib(1), 2);
+  ASSERT_TRUE(manager_.deploy(VmId{1}, s));
+  EXPECT_EQ(manager_.pick_target_calls(), 1U);
+  // The deploy mutated state, so the same spec must be recomputed.
+  EXPECT_TRUE(manager_.can_host(s));
+  EXPECT_EQ(manager_.pick_target_calls(), 2U);
+  // A different spec at the same state is a memo miss too.
+  EXPECT_TRUE(manager_.can_host(spec(2, core::gib(1), 2)));
+  EXPECT_EQ(manager_.pick_target_calls(), 3U);
+  // Removal is a mutation as well.
+  manager_.remove(VmId{1});
+  EXPECT_TRUE(manager_.can_host(s));
+  EXPECT_EQ(manager_.pick_target_calls(), 4U);
+  manager_.check_invariants();
+}
+
+TEST_F(FlatManager, StandaloneDeployRunsEngineOnce) {
+  ASSERT_TRUE(manager_.deploy(VmId{1}, spec(2, core::gib(2), 1)));
+  EXPECT_EQ(manager_.pick_target_calls(), 1U);
+}
+
 }  // namespace
 }  // namespace slackvm::local

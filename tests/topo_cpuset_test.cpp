@@ -135,5 +135,88 @@ TEST(CpuSetTest, EqualityIsStructural) {
   EXPECT_NE(a, b);
 }
 
+// ---------------------------------------------------------------------------
+// Word-wise iteration (begin()/end() and for_each_cpu): the allocation-free
+// replacement for as_vector() on the local-scheduler hot paths.
+
+std::vector<CpuId> collect_iterator(const CpuSet& s) {
+  std::vector<CpuId> out;
+  for (CpuId cpu : s) {
+    out.push_back(cpu);
+  }
+  return out;
+}
+
+std::vector<CpuId> collect_for_each(const CpuSet& s) {
+  std::vector<CpuId> out;
+  s.for_each_cpu([&](CpuId cpu) { out.push_back(cpu); });
+  return out;
+}
+
+TEST(CpuSetIteration, EmptySetYieldsNothing) {
+  const CpuSet s(200);
+  EXPECT_EQ(s.begin(), s.end());
+  EXPECT_TRUE(collect_iterator(s).empty());
+  EXPECT_TRUE(collect_for_each(s).empty());
+}
+
+TEST(CpuSetIteration, SingleBit) {
+  for (const CpuId bit : {CpuId{0}, CpuId{7}, CpuId{64}, CpuId{129}}) {
+    CpuSet s(130);
+    s.set(bit);
+    EXPECT_EQ(collect_iterator(s), std::vector<CpuId>{bit});
+    EXPECT_EQ(collect_for_each(s), std::vector<CpuId>{bit});
+  }
+}
+
+TEST(CpuSetIteration, WordBoundaries) {
+  // Bits straddling the 64-bit word seam must not be skipped or duplicated.
+  CpuSet s(192);
+  s.set(63);
+  s.set(64);
+  s.set(65);
+  s.set(127);
+  s.set(128);
+  const std::vector<CpuId> expected{63, 64, 65, 127, 128};
+  EXPECT_EQ(collect_iterator(s), expected);
+  EXPECT_EQ(collect_for_each(s), expected);
+}
+
+TEST(CpuSetIteration, FullUniverseIncludingPartialTailWord) {
+  for (const std::size_t universe : {64UL, 65UL, 100UL, 256UL}) {
+    const CpuSet s = CpuSet::full(universe);
+    const auto via_iter = collect_iterator(s);
+    ASSERT_EQ(via_iter.size(), universe);
+    for (std::size_t i = 0; i < universe; ++i) {
+      EXPECT_EQ(via_iter[i], static_cast<CpuId>(i));
+    }
+    EXPECT_EQ(collect_for_each(s), via_iter);
+  }
+}
+
+TEST(CpuSetIteration, MatchesAsVectorUnderRandomMembership) {
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  for (const std::size_t universe : {1UL, 63UL, 64UL, 65UL, 257UL}) {
+    CpuSet s(universe);
+    for (std::size_t cpu = 0; cpu < universe; ++cpu) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      if ((state >> 33) % 2 == 0) {
+        s.set(static_cast<CpuId>(cpu));
+      }
+    }
+    EXPECT_EQ(collect_iterator(s), s.as_vector()) << "universe " << universe;
+    EXPECT_EQ(collect_for_each(s), s.as_vector()) << "universe " << universe;
+  }
+}
+
+TEST(CpuSetIteration, ClearEmptiesInPlace) {
+  CpuSet s = CpuSet::full(100);
+  ASSERT_EQ(s.count(), 100U);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.universe(), 100U);
+  EXPECT_EQ(s.begin(), s.end());
+}
+
 }  // namespace
 }  // namespace slackvm::topo

@@ -137,5 +137,66 @@ TEST(DistanceMatrixTest, TotalDistanceSums) {
   EXPECT_EQ(dm.total_distance_to(0, set), 60U);
 }
 
+TEST(DistanceMatrixTest, RowSpanMatchesElementAccess) {
+  const CpuTopology epyc = make_dual_epyc_7662();
+  const DistanceMatrix dm(epyc);
+  for (const CpuId from : {CpuId{0}, CpuId{17}, CpuId{255}}) {
+    const auto row = dm.row(from);
+    ASSERT_EQ(row.size(), dm.size());
+    for (std::size_t to = 0; to < dm.size(); ++to) {
+      EXPECT_EQ(row[to], dm(from, static_cast<CpuId>(to)));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DistanceMatrixCache: one immutable interned matrix per hardware model.
+
+TEST(DistanceMatrixCacheTest, SameTopologySharesOneMatrix) {
+  const CpuTopology epyc = make_dual_epyc_7662();
+  const auto a = DistanceMatrixCache::shared(epyc);
+  const auto b = DistanceMatrixCache::shared(epyc);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a.get(), b.get());
+  // Two independent builds of the same hardware model also share.
+  const auto c = DistanceMatrixCache::shared(make_dual_epyc_7662());
+  EXPECT_EQ(a.get(), c.get());
+}
+
+TEST(DistanceMatrixCacheTest, KeyIsStructuralNotNominal) {
+  // Name and memory size do not change Algorithm-1 distances, so two
+  // machines differing only in those fields intern to the same matrix.
+  GenericSpec spec;
+  spec.sockets = 2;
+  spec.cores_per_socket = 4;
+  spec.smt = 2;
+  spec.name = "model_a";
+  spec.total_mem = core::gib(64);
+  const auto a = DistanceMatrixCache::shared(make_generic(spec));
+  spec.name = "model_b";
+  spec.total_mem = core::gib(512);
+  const auto b = DistanceMatrixCache::shared(make_generic(spec));
+  EXPECT_EQ(a.get(), b.get());
+  // A genuinely different cache layout gets its own matrix.
+  spec.cores_per_l3 = 2;
+  const auto c = DistanceMatrixCache::shared(make_generic(spec));
+  EXPECT_NE(a.get(), c.get());
+}
+
+TEST(DistanceMatrixCacheTest, InternedMatrixMatchesDirectBuild) {
+  const CpuTopology xeon = make_dual_xeon_6230();
+  const auto before = DistanceMatrixCache::interned_count();
+  const auto shared = DistanceMatrixCache::shared(xeon);
+  EXPECT_GE(DistanceMatrixCache::interned_count(), before);
+  const DistanceMatrix direct(xeon);
+  ASSERT_EQ(shared->size(), direct.size());
+  for (std::size_t a = 0; a < direct.size(); a += 7) {
+    for (std::size_t b = 0; b < direct.size(); b += 5) {
+      EXPECT_EQ((*shared)(static_cast<CpuId>(a), static_cast<CpuId>(b)),
+                direct(static_cast<CpuId>(a), static_cast<CpuId>(b)));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace slackvm::topo
