@@ -21,10 +21,11 @@ PlacementIndex::PlacementIndex(Mode mode, const Scorer* scorer)
 void PlacementIndex::touch(HostId host) { dirty_log_.push_back(host); }
 
 std::optional<HostId> PlacementIndex::select(std::span<const HostState> hosts,
-                                             const core::VmSpec& spec) {
-  compact_log(hosts);
-  PerClass& pc = class_for(hosts, spec);
-  sync(pc, hosts);
+                                             const core::VmSpec& spec,
+                                             const HostArena* arena) {
+  compact_log(hosts, arena);
+  PerClass& pc = class_for(hosts, spec, arena);
+  sync(pc, hosts, arena);
 
   if (mode_ == Mode::kFirstFit) {
     if (pc.feasible.empty()) {
@@ -50,8 +51,18 @@ std::optional<HostId> PlacementIndex::select(std::span<const HostState> hosts,
   return std::nullopt;
 }
 
+void PlacementIndex::sync_all(std::span<const HostState> hosts,
+                              const HostArena* arena) {
+  for (PerClass& pc : classes_) {
+    sync(pc, hosts, arena);
+    pc.cursor = 0;
+  }
+  dirty_log_.clear();
+}
+
 PlacementIndex::PerClass& PlacementIndex::class_for(std::span<const HostState> hosts,
-                                                    const core::VmSpec& spec) {
+                                                    const core::VmSpec& spec,
+                                                    const HostArena* arena) {
   const Key key{spec.vcpus, spec.mem_mib, spec.level.ratio()};
   const auto [it, inserted] =
       ids_.try_emplace(key, static_cast<SpecClassId>(classes_.size()));
@@ -63,20 +74,21 @@ PlacementIndex::PerClass& PlacementIndex::class_for(std::span<const HostState> h
     pc.spec = spec;
     pc.cursor = dirty_log_.size();
     for (const HostState& host : hosts) {
-      update_host(pc, host);
+      update_host(pc, host, arena);
     }
   }
   return classes_[it->second];
 }
 
-void PlacementIndex::sync(PerClass& pc, std::span<const HostState> hosts) {
+void PlacementIndex::sync(PerClass& pc, std::span<const HostState> hosts,
+                          const HostArena* arena) {
   while (pc.cursor < dirty_log_.size()) {
     const HostId host = dirty_log_[pc.cursor++];
     // Ids at or past the live range belong to rolled-back host openings
     // (VCluster::try_place); if the id is ever reopened a fresh log entry
     // re-evaluates it from its live state.
     if (host < hosts.size()) {
-      update_host(pc, hosts[host]);
+      update_host(pc, hosts[host], arena);
     }
   }
   if (mode_ == Mode::kScore) {
@@ -84,8 +96,12 @@ void PlacementIndex::sync(PerClass& pc, std::span<const HostState> hosts) {
   }
 }
 
-void PlacementIndex::update_host(PerClass& pc, const HostState& host) {
-  const bool feasible = host.can_host(pc.spec);
+void PlacementIndex::update_host(PerClass& pc, const HostState& host,
+                                 const HostArena* arena) {
+  // The arena mirrors the host exactly, so both branches answer the same;
+  // the columnar one streams linearly during class seeding and batch syncs.
+  const bool feasible =
+      arena != nullptr ? arena->can_host(host.id(), pc.spec) : host.can_host(pc.spec);
   if (mode_ == Mode::kFirstFit) {
     if (feasible) {
       pc.feasible.insert(host.id());
@@ -110,17 +126,14 @@ void PlacementIndex::update_host(PerClass& pc, const HostState& host) {
   std::push_heap(pc.heap.begin(), pc.heap.end(), entry_less);
 }
 
-void PlacementIndex::compact_log(std::span<const HostState> hosts) {
+void PlacementIndex::compact_log(std::span<const HostState> hosts,
+                                 const HostArena* arena) {
   // Mutations append forever; once the log dwarfs the fleet, bring every
   // class up to date and drop it. Amortized O(classes) per mutation.
   if (dirty_log_.size() < 1024 || dirty_log_.size() < 8 * hosts.size()) {
     return;
   }
-  for (PerClass& pc : classes_) {
-    sync(pc, hosts);
-    pc.cursor = 0;
-  }
-  dirty_log_.clear();
+  sync_all(hosts, arena);
 }
 
 void PlacementIndex::compact_heap(PerClass& pc, std::span<const HostState> hosts) {

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/vm.hpp"
+#include "sched/host_arena.hpp"
 #include "sched/host_state.hpp"
 #include "sched/scorer.hpp"
 
@@ -61,9 +62,19 @@ class PlacementIndex {
 
   /// The host the matching naive policy scan would pick for `spec`, or
   /// nullopt when no open host admits it. `hosts` must be the cluster's
-  /// live host vector (ids == indices). Amortized O(dirty + log N).
+  /// live host vector (ids == indices). Amortized O(dirty + log N). When
+  /// `arena` (the cluster's SoA mirror of the same hosts) is passed,
+  /// feasibility checks stream over its columns instead of the host
+  /// objects; the mirror is exact, so the selection is identical.
   [[nodiscard]] std::optional<HostId> select(std::span<const HostState> hosts,
-                                             const core::VmSpec& spec);
+                                             const core::VmSpec& spec,
+                                             const HostArena* arena = nullptr);
+
+  /// Replay the whole dirty log into every spec class and drop it — the
+  /// compact_log body without its amortization threshold. VCluster batches
+  /// this at shard barriers so per-event mutations stay O(1) appends while
+  /// the log never outlives a barrier window.
+  void sync_all(std::span<const HostState> hosts, const HostArena* arena = nullptr);
 
   [[nodiscard]] Mode mode() const noexcept { return mode_; }
   [[nodiscard]] std::size_t spec_class_count() const noexcept { return ids_.size(); }
@@ -104,10 +115,10 @@ class PlacementIndex {
   }
 
   [[nodiscard]] PerClass& class_for(std::span<const HostState> hosts,
-                                    const core::VmSpec& spec);
-  void sync(PerClass& pc, std::span<const HostState> hosts);
-  void update_host(PerClass& pc, const HostState& host);
-  void compact_log(std::span<const HostState> hosts);
+                                    const core::VmSpec& spec, const HostArena* arena);
+  void sync(PerClass& pc, std::span<const HostState> hosts, const HostArena* arena);
+  void update_host(PerClass& pc, const HostState& host, const HostArena* arena);
+  void compact_log(std::span<const HostState> hosts, const HostArena* arena);
   void compact_heap(PerClass& pc, std::span<const HostState> hosts);
 
   Mode mode_;

@@ -33,6 +33,13 @@ void VCluster::reserve(std::size_t expected_vms) {
   // Hosts are bounded by live VMs but usually far fewer; cap the up-front
   // vector footprint — growth past the cap stays amortized either way.
   hosts_.reserve(std::min<std::size_t>(expected_vms, 4096));
+  arena_.reserve(std::min<std::size_t>(expected_vms, 4096));
+}
+
+void VCluster::flush_index() {
+  if (index_ != nullptr) {
+    index_->sync_all(hosts_, &arena_);
+  }
 }
 
 PlacementIndex* VCluster::active_index() {
@@ -61,7 +68,7 @@ PlacementIndex* VCluster::active_index() {
 std::optional<HostId> VCluster::try_place(core::VmId id, const core::VmSpec& spec) {
   SLACKVM_ASSERT(!placements_.contains(id));
   PlacementIndex* index = active_index();
-  auto chosen = index != nullptr ? index->select(hosts_, spec)
+  auto chosen = index != nullptr ? index->select(hosts_, spec, &arena_)
                                  : policy_->select(hosts_, spec, filter_.get());
   if (!chosen) {
     // Open the next PM of the fleet cycle (within the host cap, if any —
@@ -75,6 +82,7 @@ std::optional<HostId> VCluster::try_place(core::VmId id, const core::VmSpec& spe
       }
       const auto host_id = static_cast<HostId>(hosts_.size());
       hosts_.emplace_back(host_id, fleet_.config_for(host_id), mem_oversub_);
+      arena_.push_host(hosts_.back());
       touch(host_id);
       if (hosts_.back().can_host(spec)) {
         chosen = host_id;
@@ -87,12 +95,13 @@ std::optional<HostId> VCluster::try_place(core::VmId id, const core::VmSpec& spe
       while (hosts_.size() > opened_before) {
         SLACKVM_ASSERT(hosts_.back().empty());
         hosts_.pop_back();
+        arena_.pop_host();
       }
       return std::nullopt;
     }
   }
   hosts_[*chosen].add(id, spec);
-  touch(*chosen);
+  note(*chosen);
   placements_.emplace(id, *chosen);
   return *chosen;
 }
@@ -103,7 +112,7 @@ void VCluster::remove(core::VmId id) {
     SLACKVM_THROW("VCluster::remove: unknown VM");
   }
   hosts_[it->second].remove(id);
-  touch(it->second);
+  note(it->second);
   placements_.erase(it);
 }
 
@@ -126,12 +135,12 @@ bool VCluster::migrate(core::VmId vm, HostId to) {
     hosts_[from].add(vm, spec);
     // State is unchanged but the epoch advanced twice; the index must hear
     // about every bump or its cached entries for `from` would stay stale.
-    touch(from);
+    note(from);
     return false;
   }
   hosts_[to].add(vm, spec);
-  touch(from);
-  touch(to);
+  note(from);
+  note(to);
   it->second = to;
   return true;
 }
@@ -151,7 +160,7 @@ void VCluster::drain_host(HostId host) {
     SLACKVM_THROW("VCluster::drain_host: cannot drain a failed host");
   }
   hosts_[host].set_phase(HostPhase::kDraining);
-  touch(host);
+  note(host);
 }
 
 std::vector<std::pair<core::VmId, core::VmSpec>> VCluster::fail_host(HostId host) {
@@ -172,7 +181,7 @@ std::vector<std::pair<core::VmId, core::VmSpec>> VCluster::fail_host(HostId host
   state.set_phase(HostPhase::kFailed);
   // One dirty-log entry covers the whole eviction batch: sync() re-evaluates
   // the host at its latest epoch, and no select() can run mid-batch.
-  touch(host);
+  note(host);
   return victims;
 }
 
@@ -181,7 +190,7 @@ void VCluster::repair_host(HostId host) {
     SLACKVM_THROW("VCluster::repair_host: unknown host");
   }
   hosts_[host].set_phase(HostPhase::kUp);
-  touch(host);
+  note(host);
 }
 
 std::size_t VCluster::migrate_off(HostId host) {
@@ -201,7 +210,7 @@ std::size_t VCluster::migrate_off(HostId host) {
     // draining source cannot be re-chosen (can_host is false off-UP).
     hosts_[host].remove(vm);
     placements_.erase(vm);
-    touch(host);
+    note(host);
     if (try_place(vm, spec)) {
       ++moved;
     } else {
@@ -209,7 +218,7 @@ std::size_t VCluster::migrate_off(HostId host) {
       // leave the VM for a later fail_host eviction or natural departure.
       hosts_[host].add(vm, spec);
       placements_.emplace(vm, host);
-      touch(host);
+      note(host);
     }
   }
   return moved;
@@ -223,20 +232,5 @@ HostId VCluster::host_of(core::VmId vm) const {
   return it->second;
 }
 
-core::Resources VCluster::total_alloc() const noexcept {
-  core::Resources total;
-  for (const HostState& host : hosts_) {
-    total += host.alloc();
-  }
-  return total;
-}
-
-core::Resources VCluster::total_config() const noexcept {
-  core::Resources total;
-  for (const HostState& host : hosts_) {
-    total += host.config();
-  }
-  return total;
-}
 
 }  // namespace slackvm::sched

@@ -17,6 +17,7 @@
 
 #include "sched/filter.hpp"
 #include "sched/fleet.hpp"
+#include "sched/host_arena.hpp"
 #include "sched/host_state.hpp"
 #include "sched/placement_index.hpp"
 #include "sched/policy.hpp"
@@ -121,14 +122,36 @@ class VCluster {
 
   [[nodiscard]] std::size_t vm_count() const noexcept { return placements_.size(); }
 
+  /// True when `vm` is currently placed here.
+  [[nodiscard]] bool contains(core::VmId vm) const noexcept {
+    return placements_.contains(vm);
+  }
+
   /// Host currently running `vm`; throws for unknown ids.
   [[nodiscard]] HostId host_of(core::VmId vm) const;
 
-  /// Aggregate allocation over all opened hosts.
-  [[nodiscard]] core::Resources total_alloc() const noexcept;
+  /// Aggregate allocation over all opened hosts — O(1): a running total of
+  /// the struct-of-arrays mirror (host_arena.hpp).
+  [[nodiscard]] const core::Resources& total_alloc() const noexcept {
+    return arena_.total_alloc();
+  }
 
-  /// Aggregate capacity over all opened hosts.
-  [[nodiscard]] core::Resources total_config() const noexcept;
+  /// Aggregate capacity over all opened hosts — O(1) (see total_alloc).
+  [[nodiscard]] const core::Resources& total_config() const noexcept {
+    return arena_.total_config();
+  }
+
+  /// Hosts currently running at least one VM — O(1) (see total_alloc).
+  [[nodiscard]] std::size_t nonempty_hosts() const noexcept {
+    return arena_.nonempty_hosts();
+  }
+
+  /// The struct-of-arrays mirror of the fleet (audits cross-check it).
+  [[nodiscard]] const HostArena& arena() const noexcept { return arena_; }
+
+  /// Replay the placement index's whole dirty log now (batched at shard
+  /// barriers so per-event touches stay O(1) appends). No-op while naive.
+  void flush_index();
 
  private:
   /// The index serving the current placement path, or nullptr when the
@@ -143,6 +166,13 @@ class VCluster {
     }
   }
 
+  /// Every mutation of hosts_[host] funnels through here: re-mirror the row
+  /// into the arena, then report the epoch bump to the index.
+  void note(HostId host) {
+    arena_.refresh(hosts_[host]);
+    touch(host);
+  }
+
   std::string name_;
   FleetSpec fleet_;
   double mem_oversub_ = 1.0;
@@ -150,6 +180,7 @@ class VCluster {
   std::unique_ptr<Filter> filter_;
   std::optional<std::size_t> max_hosts_;
   std::vector<HostState> hosts_;
+  HostArena arena_;  ///< SoA mirror of hosts_, maintained by note()
   std::unordered_map<core::VmId, HostId> placements_;
   bool index_enabled_ = true;
   std::unique_ptr<PlacementIndex> index_;

@@ -108,6 +108,12 @@ std::vector<std::string> audit(const sched::VCluster& cluster) {
                   " VMs but the placements map holds " +
                   std::to_string(cluster.vm_count()));
   }
+  // The SoA mirror must agree with the authoritative rows field-for-field;
+  // every O(1) aggregate the simulator reads comes from it.
+  std::vector<std::string> arena = cluster.arena().check(cluster.hosts());
+  for (std::string& violation : arena) {
+    out.push_back(cluster.name() + ": " + violation);
+  }
   return out;
 }
 
@@ -121,7 +127,8 @@ std::vector<std::string> audit(const Datacenter& dc) {
   }
   if (total != dc.vm_count()) {
     out.push_back("datacenter: clusters run " + std::to_string(total) +
-                  " VMs but the routing map holds " + std::to_string(dc.vm_count()));
+                  " VMs but the datacenter aggregate says " +
+                  std::to_string(dc.vm_count()));
   }
   return out;
 }
@@ -134,19 +141,36 @@ bool debug_audit_enabled() noexcept {
   return g_debug_audit.load(std::memory_order_relaxed);
 }
 
-void debug_audit_check(const Datacenter& dc) {
-  if (!debug_audit_enabled()) {
-    return;
-  }
-  const std::vector<std::string> violations = audit(dc);
-  if (violations.empty()) {
-    return;
-  }
+namespace {
+
+[[noreturn]] void throw_violations(const std::vector<std::string>& violations) {
   std::string message = "sim::audit failed:";
   for (const std::string& v : violations) {
     message += "\n  " + v;
   }
   SLACKVM_THROW(message);
+}
+
+}  // namespace
+
+void debug_audit_check(const Datacenter& dc) {
+  if (!debug_audit_enabled()) {
+    return;
+  }
+  const std::vector<std::string> violations = audit(dc);
+  if (!violations.empty()) {
+    throw_violations(violations);
+  }
+}
+
+void debug_audit_check(const sched::VCluster& cluster) {
+  if (!debug_audit_enabled()) {
+    return;
+  }
+  const std::vector<std::string> violations = audit(cluster);
+  if (!violations.empty()) {
+    throw_violations(violations);
+  }
 }
 
 ScopedDebugAudit::ScopedDebugAudit() noexcept : previous_(debug_audit_enabled()) {

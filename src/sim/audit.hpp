@@ -11,7 +11,9 @@
 //    to the cached allocation, within the PM's core budget);
 //  * memory is conserved and within the (possibly oversubscribed) bound;
 //  * VM membership is conserved across host maps, cluster placements, and
-//    the datacenter's VM-to-cluster routing.
+//    the per-cluster counts the datacenter aggregates;
+//  * the cluster's struct-of-arrays mirror (sched/host_arena.hpp) agrees
+//    field-for-field with the authoritative host rows.
 //
 // An empty result means the state is coherent. The audit is O(VMs) and
 // cheap enough to run after every event in tests: replay() does exactly
@@ -51,6 +53,11 @@ void set_debug_audit(bool enabled) noexcept;
 /// Throws core::SlackError listing all violations when the debug-audit flag
 /// is set and `dc` fails the audit; no-op otherwise.
 void debug_audit_check(const Datacenter& dc);
+
+/// Single-cluster variant: the sharded engine audits only the clusters a
+/// shard owns after its events (other shards' clusters are concurrently
+/// mutating); the full datacenter audit runs at barriers.
+void debug_audit_check(const sched::VCluster& cluster);
 
 /// RAII enabling of the debug-audit flag for one test scope.
 class ScopedDebugAudit {

@@ -43,15 +43,43 @@ Datacenter Datacenter::shared_fleet(const sched::FleetSpec& fleet,
   return dc;
 }
 
-sched::VCluster& Datacenter::cluster_for(core::OversubLevel level) {
+Datacenter Datacenter::shared_sharded(core::Resources host_config,
+                                      const PolicyFactory& factory, std::size_t shards,
+                                      double mem_oversub) {
+  return shared_sharded_fleet(sched::FleetSpec::uniform(host_config), factory, shards,
+                              mem_oversub);
+}
+
+Datacenter Datacenter::shared_sharded_fleet(const sched::FleetSpec& fleet,
+                                            const PolicyFactory& factory,
+                                            std::size_t shards, double mem_oversub) {
+  SLACKVM_ASSERT(shards >= 1);
+  if (shards == 1) {
+    return shared_fleet(fleet, factory, mem_oversub);
+  }
+  Datacenter dc;
+  dc.shared_ = true;
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    dc.clusters_.push_back(std::make_unique<sched::VCluster>(
+        "slackvm-shard-" + std::to_string(shard), fleet, factory(), mem_oversub));
+  }
+  return dc;
+}
+
+std::size_t Datacenter::route(core::VmId id, const core::VmSpec& spec) const {
   if (shared_) {
-    return *clusters_.front();
+    // Single shared cluster routes everything to 0; the cell-partitioned
+    // variant spreads VMs by id — a pure function, never by load, so shards
+    // can route concurrently without coordination.
+    return clusters_.size() == 1 ? 0
+                                 : static_cast<std::size_t>(id.value % clusters_.size());
   }
-  const auto it = level_to_cluster_.find(level.ratio());
+  const auto it = level_to_cluster_.find(spec.level.ratio());
   if (it == level_to_cluster_.end()) {
-    SLACKVM_THROW("Datacenter: no dedicated cluster for level " + core::to_string(level));
+    SLACKVM_THROW("Datacenter: no dedicated cluster for level " +
+                  core::to_string(spec.level));
   }
-  return *clusters_[it->second];
+  return it->second;
 }
 
 sched::HostId Datacenter::deploy(core::VmId id, const core::VmSpec& spec) {
@@ -64,14 +92,9 @@ sched::HostId Datacenter::deploy(core::VmId id, const core::VmSpec& spec) {
 
 std::optional<sched::HostId> Datacenter::try_deploy(core::VmId id,
                                                     const core::VmSpec& spec) {
-  sched::VCluster& cluster = cluster_for(spec.level);
-  const auto host = cluster.try_place(id, spec);
-  if (!host) {
-    return std::nullopt;
-  }
-  const std::size_t index = shared_ ? 0 : level_to_cluster_.at(spec.level.ratio());
-  vm_to_cluster_.emplace(id, index);
-  return host;
+  // Routing is pure and the mutation touches only the routed cluster, so
+  // concurrent shards may deploy into disjoint clusters without races.
+  return clusters_[route(id, spec)]->try_place(id, spec);
 }
 
 void Datacenter::set_max_hosts_per_cluster(std::size_t max_hosts) {
@@ -87,7 +110,6 @@ void Datacenter::set_index_enabled(bool enabled) {
 }
 
 void Datacenter::reserve(std::size_t expected_vms) {
-  vm_to_cluster_.reserve(expected_vms);
   // Dedicated mode splits the trace across level clusters; per-cluster
   // shares are unknown up front, so hint the even split (under-reserving
   // just leaves growth amortized, as before).
@@ -98,21 +120,18 @@ void Datacenter::reserve(std::size_t expected_vms) {
 }
 
 void Datacenter::remove(core::VmId id) {
-  const auto it = vm_to_cluster_.find(id);
-  if (it == vm_to_cluster_.end()) {
-    SLACKVM_THROW("Datacenter::remove: unknown VM");
+  for (const auto& cluster : clusters_) {
+    if (cluster->contains(id)) {
+      cluster->remove(id);
+      return;
+    }
   }
-  clusters_[it->second]->remove(id);
-  vm_to_cluster_.erase(it);
+  SLACKVM_THROW("Datacenter::remove: unknown VM");
 }
 
 std::vector<std::pair<core::VmId, core::VmSpec>> Datacenter::fail_host(
     std::size_t cluster_index, sched::HostId host) {
-  auto victims = clusters_.at(cluster_index)->fail_host(host);
-  for (const auto& [vm, spec] : victims) {
-    vm_to_cluster_.erase(vm);
-  }
-  return victims;
+  return clusters_.at(cluster_index)->fail_host(host);
 }
 
 std::size_t Datacenter::opened_pms() const {
@@ -124,13 +143,11 @@ std::size_t Datacenter::opened_pms() const {
 }
 
 std::size_t Datacenter::active_pms() const {
+  // O(clusters): each cluster's arena keeps a running non-empty count, so
+  // the per-event metrics observation no longer walks the whole fleet.
   std::size_t active = 0;
   for (const auto& cluster : clusters_) {
-    for (const sched::HostState& host : cluster->hosts()) {
-      if (!host.empty()) {
-        ++active;
-      }
-    }
+    active += cluster->nonempty_hosts();
   }
   return active;
 }
@@ -175,6 +192,12 @@ core::Resources Datacenter::total_config() const {
   return total;
 }
 
-std::size_t Datacenter::vm_count() const { return vm_to_cluster_.size(); }
+std::size_t Datacenter::vm_count() const {
+  std::size_t total = 0;
+  for (const auto& cluster : clusters_) {
+    total += cluster->vm_count();
+  }
+  return total;
+}
 
 }  // namespace slackvm::sim

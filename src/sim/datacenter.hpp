@@ -13,7 +13,6 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/oversub.hpp"
@@ -38,6 +37,18 @@ class Datacenter {
   static Datacenter shared(core::Resources host_config, const PolicyFactory& factory,
                            double mem_oversub = 1.0);
 
+  /// Cell-partitioned SlackVM: `shards` independent shared clusters, VMs
+  /// routed by id (VmId % shards). This is the shared-fleet organisation the
+  /// sharded simulator (sim/shard.hpp) runs concurrently — each cell is an
+  /// isolated placement domain, mirroring production cell/zone partitioning.
+  /// With shards == 1 it is exactly shared(). Note that for shards > 1 the
+  /// packing itself differs from the single shared cluster (cells cannot
+  /// borrow capacity from each other); the determinism guarantee is that a
+  /// given shard count packs bit-identically at every thread count.
+  static Datacenter shared_sharded(core::Resources host_config,
+                                   const PolicyFactory& factory, std::size_t shards,
+                                   double mem_oversub = 1.0);
+
   /// Heterogeneous-fleet variants (paper §VI: Algorithm 2 computes the
   /// target ratio per PM, accommodating mixed hardware generations).
   static Datacenter dedicated_fleet(const sched::FleetSpec& fleet,
@@ -47,6 +58,16 @@ class Datacenter {
   static Datacenter shared_fleet(const sched::FleetSpec& fleet,
                                  const PolicyFactory& factory,
                                  double mem_oversub = 1.0);
+  static Datacenter shared_sharded_fleet(const sched::FleetSpec& fleet,
+                                         const PolicyFactory& factory,
+                                         std::size_t shards, double mem_oversub = 1.0);
+
+  /// Cluster index a deployment of (id, spec) routes to: the level's
+  /// dedicated cluster, cluster 0 (single shared), or VmId % clusters
+  /// (shared_sharded). Pure in (id, spec) and the fixed cluster layout, so
+  /// concurrent shards may call it freely; throws for a level no dedicated
+  /// cluster serves.
+  [[nodiscard]] std::size_t route(core::VmId id, const core::VmSpec& spec) const;
 
   /// Deploy a VM (routes to the level's cluster in dedicated mode).
   /// Throws when the spec cannot fit on an empty PM.
@@ -69,7 +90,9 @@ class Datacenter {
   /// deployments (trace-size hint). Purely a performance hint.
   void reserve(std::size_t expected_vms);
 
-  /// Remove a deployed VM.
+  /// Remove a deployed VM; throws for unknown ids. Resolved by probing the
+  /// clusters (there are at most a handful) — the serial convenience path;
+  /// the sharded engine removes through route() + cluster() instead.
   void remove(core::VmId id);
 
   /// Fail one host of one cluster (sim/fault.hpp): evicts every VM it ran —
@@ -121,13 +144,10 @@ class Datacenter {
  private:
   Datacenter() = default;
 
-  [[nodiscard]] sched::VCluster& cluster_for(core::OversubLevel level);
-
   bool shared_ = false;
   std::vector<std::unique_ptr<sched::VCluster>> clusters_;
   /// level ratio -> index into clusters_ (dedicated mode only).
   std::map<std::uint8_t, std::size_t> level_to_cluster_;
-  std::unordered_map<core::VmId, std::size_t> vm_to_cluster_;
   /// opened_per_cluster() cache: keys seeded once, counts refreshed in place.
   mutable std::map<std::string, std::size_t> opened_cache_;
 };

@@ -1,6 +1,14 @@
 // Discrete-event simulation core: a time-ordered event queue with a
 // monotonic clock. Ties are broken by insertion order, which makes every
 // simulation fully deterministic.
+//
+// That tie-break is queue-local: it totally orders events *within* one
+// queue, but says nothing about events in different queues. The sharded
+// engine (sim/shard.hpp) runs one EventQueue per shard, so cross-shard
+// ordering needs its own rule — samples are merged by ascending time, ties
+// across queues to the lowest shard index, within a queue in fire order
+// (shard_merge_order). Regression-tested in tests/sim_event_queue_test.cpp
+// and tests/sim_shard_test.cpp.
 #pragma once
 
 #include <cstdint>

@@ -6,6 +6,7 @@
 #include "sched/policy.hpp"
 #include "sim/parallel.hpp"
 #include "sim/replay.hpp"
+#include "sim/shard.hpp"
 
 namespace slackvm::sim {
 
@@ -46,17 +47,38 @@ CellResult run_cell(const workload::Catalog& catalog, const workload::LevelMix& 
   const FaultConfig* fault_ptr = faults.enabled() ? &faults : nullptr;
 
   CellResult cell;
-  // Baseline: dedicated First-Fit clusters, one per level present.
+  if (config.shards <= 1) {
+    // Baseline: dedicated First-Fit clusters, one per level present.
+    Datacenter baseline = Datacenter::dedicated(config.host_config, levels_present(mix),
+                                                sched::make_first_fit, config.mem_oversub);
+    baseline.set_index_enabled(config.use_index);
+    cell.baseline = replay(baseline, trace, std::nullopt, nullptr, fault_ptr);
+
+    // SlackVM: one shared cluster, Algorithm-2 progress scoring.
+    Datacenter slackvm = Datacenter::shared(config.host_config,
+                                            sched::make_progress_policy, config.mem_oversub);
+    slackvm.set_index_enabled(config.use_index);
+    cell.slackvm = replay(slackvm, trace, std::nullopt, nullptr, fault_ptr);
+    return cell;
+  }
+
+  // Sharded engine. Threads stay at 1 here: the experiment grid is already
+  // fanned out across cells by ParallelRunner, so nesting pools would
+  // oversubscribe; the sharded run is bit-identical at any thread count.
+  ShardOptions shard_options;
+  shard_options.shards = config.shards;
+  shard_options.threads = 1;
+  shard_options.faults = fault_ptr;
   Datacenter baseline = Datacenter::dedicated(config.host_config, levels_present(mix),
                                               sched::make_first_fit, config.mem_oversub);
   baseline.set_index_enabled(config.use_index);
-  cell.baseline = replay(baseline, trace, std::nullopt, nullptr, fault_ptr);
+  cell.baseline = replay_sharded(baseline, trace, shard_options);
 
-  // SlackVM: one shared cluster, Algorithm-2 progress scoring.
-  Datacenter slackvm = Datacenter::shared(config.host_config,
-                                          sched::make_progress_policy, config.mem_oversub);
+  Datacenter slackvm =
+      Datacenter::shared_sharded(config.host_config, sched::make_progress_policy,
+                                 config.shards, config.mem_oversub);
   slackvm.set_index_enabled(config.use_index);
-  cell.slackvm = replay(slackvm, trace, std::nullopt, nullptr, fault_ptr);
+  cell.slackvm = replay_sharded(slackvm, trace, shard_options);
   return cell;
 }
 

@@ -15,13 +15,16 @@ FaultConfig resolve_fault_seed(FaultConfig config, std::uint64_t workload_seed) 
 }
 
 FaultInjector::FaultInjector(Datacenter& dc, EventQueue& queue, const FaultConfig& config,
-                             RunResult& result, std::function<void(core::SimTime)> observe)
+                             RunResult& result, std::function<void(core::SimTime)> observe,
+                             ShardScope scope)
     : dc_(dc),
       queue_(queue),
       config_(config),
+      scope_(scope),
       result_(result),
       observe_(std::move(observe)) {
   SLACKVM_ASSERT(observe_ != nullptr);
+  SLACKVM_ASSERT(scope_.of >= 1 && scope_.shard < scope_.of);
 }
 
 void FaultInjector::arm(core::SimTime horizon) {
@@ -43,13 +46,26 @@ void FaultInjector::schedule_seeded(std::size_t k, core::SimTime horizon) {
   const core::SimTime fail_at = rng.uniform(0.0, std::max(horizon, 0.0));
   const std::uint64_t cluster_slot = rng();
   const std::uint64_t host_slot = rng();
+  // The target cluster is fixed at schedule time (the cluster count never
+  // changes during a run), so a sharded injector can drop the events it
+  // does not own here and the per-shard timetables partition the serial one.
+  const auto cluster = static_cast<std::size_t>(cluster_slot % dc_.clusters().size());
+  if (!scope_.owns(cluster)) {
+    return;
+  }
   const core::SimTime begin_at = std::max(0.0, fail_at - config_.drain_lead);
-  queue_.schedule(begin_at, [this, cluster_slot, host_slot, fail_at](core::SimTime now) {
-    fire_seeded_begin(cluster_slot, host_slot, fail_at, now);
+  queue_.schedule(begin_at, [this, cluster, host_slot, fail_at](core::SimTime now) {
+    fire_seeded_begin(cluster, host_slot, fail_at, now);
   });
 }
 
 void FaultInjector::schedule_directive(const FaultDirective& directive) {
+  // Out-of-range directives stay with shard 0 so the range error below is
+  // still raised exactly once.
+  const bool in_range = directive.cluster < dc_.clusters().size();
+  if (in_range ? !scope_.owns(directive.cluster) : scope_.shard != 0) {
+    return;
+  }
   queue_.schedule(directive.at, [this, d = directive](core::SimTime now) {
     if (d.cluster >= dc_.clusters().size()) {
       SLACKVM_THROW("FaultInjector: directive cluster " + std::to_string(d.cluster) +
@@ -74,12 +90,12 @@ void FaultInjector::schedule_directive(const FaultDirective& directive) {
   });
 }
 
-void FaultInjector::fire_seeded_begin(std::uint64_t cluster_slot, std::uint64_t host_slot,
+void FaultInjector::fire_seeded_begin(std::size_t cluster, std::uint64_t host_slot,
                                       core::SimTime fail_at, core::SimTime now) {
-  // Resolve the target against the live fleet at fire time. Placement
-  // selection is bit-identical across index on/off and parallelism
-  // settings, so the fleet — and therefore this resolution — is too.
-  const auto cluster = static_cast<std::size_t>(cluster_slot % dc_.clusters().size());
+  // Resolve the host against the cluster's live fleet at fire time.
+  // Placement selection is bit-identical across index on/off and
+  // parallelism settings, so the fleet — and therefore this resolution —
+  // is too.
   sched::VCluster& cl = dc_.cluster(cluster);
   if (cl.opened_hosts() == 0) {
     return;  // nothing opened yet; the fault fizzles

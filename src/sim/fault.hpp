@@ -92,6 +92,21 @@ inline constexpr std::uint64_t kFaultSeedStream = 0xFA173EED;
 [[nodiscard]] FaultConfig resolve_fault_seed(FaultConfig config,
                                              std::uint64_t workload_seed) noexcept;
 
+/// Which slice of the datacenter a FaultInjector drives: clusters whose
+/// index is `shard` modulo `of`. The default ({0, 1}) is the whole
+/// datacenter — the serial replay. The sharded engine (sim/shard.hpp) gives
+/// each shard its own injector scoped to its clusters; every injector arms
+/// the full seeded timetable and keeps exactly the events it owns, so the
+/// union across shards is the serial timetable, split without overlap.
+struct ShardScope {
+  std::size_t shard = 0;
+  std::size_t of = 1;
+
+  [[nodiscard]] bool owns(std::size_t cluster) const noexcept {
+    return cluster % of == shard;
+  }
+};
+
 /// Drives one replay's fault timetable and evacuation queue. Owned by
 /// replay(); all mutation happens inside queue events, so the injector is
 /// exactly as deterministic as the queue.
@@ -100,8 +115,11 @@ class FaultInjector {
   /// `observe` is replay()'s metrics observation callback, invoked after
   /// every state-changing fault event. All references must outlive the
   /// injector (replay scope).
+  /// `scope` restricts the injector to the clusters it owns (sharded runs);
+  /// the default is the whole datacenter.
   FaultInjector(Datacenter& dc, EventQueue& queue, const FaultConfig& config,
-                RunResult& result, std::function<void(core::SimTime)> observe);
+                RunResult& result, std::function<void(core::SimTime)> observe,
+                ShardScope scope = {});
 
   /// Schedule the whole timetable (seeded + directives) onto the queue.
   /// Call once, after the trace events are scheduled, so equal-time faults
@@ -135,9 +153,9 @@ class FaultInjector {
   void schedule_seeded(std::size_t k, core::SimTime horizon);
   void schedule_directive(const FaultDirective& directive);
 
-  /// Resolve a seeded (cluster, host) slot against the live fleet; the
-  /// fault fizzles when the cluster has no UP host to hit.
-  void fire_seeded_begin(std::uint64_t cluster_slot, std::uint64_t host_slot,
+  /// Resolve a seeded host slot against the cluster's live fleet; the fault
+  /// fizzles when the cluster has no UP host to hit.
+  void fire_seeded_begin(std::size_t cluster, std::uint64_t host_slot,
                          core::SimTime fail_at, core::SimTime now);
   void fire_drain(std::size_t cluster, sched::HostId host, core::SimTime now);
   void fire_fail(std::size_t cluster, sched::HostId host, bool auto_repair,
@@ -153,6 +171,7 @@ class FaultInjector {
   Datacenter& dc_;
   EventQueue& queue_;
   FaultConfig config_;
+  ShardScope scope_;
   RunResult& result_;
   std::function<void(core::SimTime)> observe_;
   std::unordered_map<core::VmId, Pending> pending_;

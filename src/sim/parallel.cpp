@@ -39,6 +39,14 @@ void ThreadPool::run(std::size_t count, const std::function<void(std::size_t)>& 
   if (count == 0) {
     return;
   }
+  // Publish the task before any index becomes poppable: a worker still
+  // draining the tail of the previous batch can pop a fresh index the moment
+  // it lands in a queue, without ever passing through the epoch wait.
+  {
+    const std::lock_guard<std::mutex> lock(batch_mutex_);
+    task_ = &task;
+    remaining_ = count;
+  }
   // Deal indices block-wise: worker w owns [w*chunk, min((w+1)*chunk, n)).
   // Contiguous blocks keep each worker on neighbouring cells of the
   // experiment grid; stealing rebalances the tail.
@@ -54,8 +62,6 @@ void ThreadPool::run(std::size_t count, const std::function<void(std::size_t)>& 
   }
   {
     const std::lock_guard<std::mutex> lock(batch_mutex_);
-    task_ = &task;
-    remaining_ = count;
     ++batch_epoch_;
   }
   batch_cv_.notify_all();
@@ -117,7 +123,14 @@ bool ThreadPool::try_pop(std::size_t self, std::size_t& index) {
 }
 
 void ThreadPool::execute(std::size_t index) {
-  const std::function<void(std::size_t)>* task = task_;
+  // Holding an index guarantees task_ is this batch's task (run() sets it
+  // before pushing, and cannot clear it until remaining_ — which includes
+  // this index — hits zero), but the read still needs the mutex.
+  const std::function<void(std::size_t)>* task = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(batch_mutex_);
+    task = task_;
+  }
   try {
     (*task)(index);
   } catch (...) {

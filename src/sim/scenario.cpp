@@ -58,6 +58,11 @@ Scenario parse_scenario(std::istream& input) {
         scenario.config.repetitions = std::stoull(value);
       } else if (key == "parallelism") {
         scenario.config.parallelism = std::stoull(value);
+      } else if (key == "shards") {
+        scenario.config.shards = std::stoull(value);
+        if (scenario.config.shards == 0) {
+          fail("shards must be >= 1");
+        }
       } else if (key == "index") {
         if (value == "on" || value == "1") {
           scenario.config.use_index = true;
@@ -149,6 +154,7 @@ void write_scenario(const Scenario& scenario, std::ostream& output) {
   output << "seed " << scenario.config.generator.seed << '\n';
   output << "repetitions " << scenario.config.repetitions << '\n';
   output << "parallelism " << scenario.config.parallelism << '\n';
+  output << "shards " << scenario.config.shards << '\n';
   output << "index " << (scenario.config.use_index ? "on" : "off") << '\n';
   output << "mem_oversub " << scenario.config.mem_oversub << '\n';
   output << "horizon_days " << scenario.config.generator.horizon / (24 * 3600) << '\n';

@@ -15,6 +15,10 @@
 //   repetitions  3
 //   parallelism  1                 # worker threads (0 = all cores); results
 //                                  # are identical at every value
+//   shards       1                 # sharded datacenter engine (sim/shard.hpp):
+//                                  # 1 = serial reference; > 1 = cell-partitioned
+//                                  # sharded replay (bit-identical across
+//                                  # parallelism/index for a given value)
 //   index        on                # incremental placement index (on|off);
 //                                  # results identical, off = naive scan
 //   mem_oversub  1.0

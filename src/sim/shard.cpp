@@ -1,0 +1,271 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/error.hpp"
+#include "sched/rebalancer.hpp"
+#include "sim/audit.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/fault.hpp"
+#include "sim/parallel.hpp"
+
+namespace slackvm::sim {
+
+namespace {
+
+/// Everything one shard owns. Heap-allocated so the queue's event closures
+/// can capture stable references.
+struct ShardState {
+  std::vector<std::size_t> clusters;  ///< owned cluster indices, ascending
+  EventQueue queue;
+  RunResult partial;              ///< integer counters only (summed at the end)
+  std::vector<ShardSample> log;   ///< observations, drained at each barrier
+  std::function<void(core::SimTime)> observe;
+  std::optional<FaultInjector> injector;
+  const sched::Rebalancer rebalancer{};
+};
+
+/// Streams merged samples into the single MetricsCollector. The global
+/// aggregates are maintained as exact integer sums: when shard k reports a
+/// new sample, only its delta against k's previous sample moves the totals,
+/// so the value handed to the collector equals the sum of every shard's
+/// latest aggregates — for one shard, exactly the serial observation.
+class SampleMerger {
+ public:
+  SampleMerger(std::size_t shards, core::SimTime initial_end)
+      : latest_(shards), end_time_(initial_end) {}
+
+  void merge(std::vector<std::unique_ptr<ShardState>>& shards) {
+    std::vector<std::vector<ShardSample>> logs(shards.size());
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+      logs[k] = std::move(shards[k]->log);
+      shards[k]->log.clear();
+    }
+    for (const auto& [shard, index] : shard_merge_order(logs)) {
+      apply(shard, logs[shard][index]);
+    }
+  }
+
+  void finish(RunResult& result) const {
+    result.peak_active_pms = peak_active_;
+    metrics_.finish(end_time_, result);
+  }
+
+ private:
+  void apply(std::size_t shard, const ShardSample& s) {
+    ShardSample& prev = latest_[shard];
+    alloc_cores_ += static_cast<std::int64_t>(s.alloc.cores) - prev.alloc.cores;
+    alloc_mem_ += s.alloc.mem_mib - prev.alloc.mem_mib;
+    config_cores_ += static_cast<std::int64_t>(s.config.cores) - prev.config.cores;
+    config_mem_ += s.config.mem_mib - prev.config.mem_mib;
+    vms_ += static_cast<std::int64_t>(s.vms) - static_cast<std::int64_t>(prev.vms);
+    active_ +=
+        static_cast<std::int64_t>(s.active) - static_cast<std::int64_t>(prev.active);
+    prev = s;
+    const core::Resources alloc{static_cast<core::CoreCount>(alloc_cores_),
+                                alloc_mem_};
+    const core::Resources config{static_cast<core::CoreCount>(config_cores_),
+                                 config_mem_};
+    const auto active = static_cast<std::size_t>(active_);
+    metrics_.observe(s.time, alloc, config, static_cast<std::size_t>(vms_), active);
+    peak_active_ = std::max(peak_active_, active);
+    end_time_ = std::max(end_time_, s.time);
+  }
+
+  MetricsCollector metrics_;
+  std::vector<ShardSample> latest_;  ///< last merged sample per shard
+  std::int64_t alloc_cores_ = 0;
+  std::int64_t alloc_mem_ = 0;
+  std::int64_t config_cores_ = 0;
+  std::int64_t config_mem_ = 0;
+  std::int64_t vms_ = 0;
+  std::int64_t active_ = 0;
+  std::size_t peak_active_ = 0;
+  core::SimTime end_time_;
+};
+
+}  // namespace
+
+std::vector<std::pair<std::size_t, std::size_t>> shard_merge_order(
+    std::span<const std::vector<ShardSample>> logs) {
+  std::size_t total = 0;
+  for (const auto& log : logs) {
+    total += log.size();
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> order;
+  order.reserve(total);
+  std::vector<std::size_t> pos(logs.size(), 0);
+  while (order.size() < total) {
+    // Lowest time wins; the strict < keeps the first (lowest-index) shard
+    // on ties, and within a shard the log is consumed in order.
+    std::size_t best = logs.size();
+    for (std::size_t k = 0; k < logs.size(); ++k) {
+      if (pos[k] < logs[k].size() &&
+          (best == logs.size() || logs[k][pos[k]].time < logs[best][pos[best]].time)) {
+        best = k;
+      }
+    }
+    SLACKVM_ASSERT(best < logs.size());
+    order.emplace_back(best, pos[best]++);
+  }
+  return order;
+}
+
+RunResult replay_sharded(Datacenter& dc, const workload::Trace& trace,
+                         const ShardOptions& options) {
+  const std::size_t shard_count = std::max<std::size_t>(1, options.shards);
+  const std::size_t barrier_count = std::max<std::size_t>(1, options.barriers);
+  const core::SimTime horizon = trace.empty() ? 0.0 : trace.horizon();
+
+  dc.reserve(trace.size());
+
+  // Deal clusters round-robin: shard k owns {c : c % shards == k}.
+  std::vector<std::unique_ptr<ShardState>> shards;
+  shards.reserve(shard_count);
+  for (std::size_t k = 0; k < shard_count; ++k) {
+    shards.push_back(std::make_unique<ShardState>());
+    for (std::size_t c = k; c < dc.clusters().size(); c += shard_count) {
+      shards.back()->clusters.push_back(c);
+    }
+  }
+
+  for (std::size_t k = 0; k < shard_count; ++k) {
+    ShardState& shard = *shards[k];
+    shard.observe = [&dc, &shard](core::SimTime t) {
+      // Shard-local aggregates over the owned clusters only; the merger
+      // turns them into the global tuples the collector sees. O(owned
+      // clusters) thanks to the arena's running totals.
+      ShardSample s;
+      s.time = t;
+      for (const std::size_t c : shard.clusters) {
+        const sched::VCluster& cluster = *dc.clusters()[c];
+        s.alloc += cluster.total_alloc();
+        s.config += cluster.total_config();
+        s.vms += cluster.vm_count();
+        s.active += cluster.nonempty_hosts();
+      }
+      shard.log.push_back(s);
+      // Per-event audits must stay shard-local (other shards' clusters are
+      // mutating concurrently); the full datacenter audit runs at barriers.
+      if (debug_audit_enabled()) {
+        for (const std::size_t c : shard.clusters) {
+          debug_audit_check(*dc.clusters()[c]);
+        }
+      }
+    };
+    if (options.faults != nullptr && options.faults->enabled()) {
+      shard.injector.emplace(dc, shard.queue, *options.faults, shard.partial,
+                             shard.observe, ShardScope{k, shard_count});
+    }
+  }
+
+  // Schedule the trace in arrival order; each VM's events go to the shard
+  // owning its routed cluster, so within a shard the insertion-order
+  // tie-break matches the serial replay exactly.
+  for (const core::VmInstance& vm : trace.vms()) {
+    const std::size_t cluster = dc.route(vm.id, vm.spec);
+    ShardState& shard = *shards[cluster % shard_count];
+    shard.queue.schedule(vm.arrival, [&dc, &shard, &vm](core::SimTime t) {
+      if (shard.injector.has_value()) {
+        shard.injector->deploy_or_defer(vm.id, vm.spec, t);
+      } else {
+        dc.deploy(vm.id, vm.spec);
+        ++shard.partial.placed_vms;
+      }
+      shard.observe(t);
+    });
+    shard.queue.schedule(vm.departure, [&dc, &shard, cluster,
+                                        id = vm.id](core::SimTime t) {
+      if (!shard.injector.has_value() || !shard.injector->absorb_departure(id)) {
+        // Routed removal (not the probing Datacenter::remove): a shard must
+        // never read the other shards' placement maps.
+        dc.cluster(cluster).remove(id);
+      }
+      shard.observe(t);
+    });
+  }
+
+  if (options.rebalance && !trace.empty()) {
+    for (core::SimTime t = options.rebalance->interval; t < horizon;
+         t += options.rebalance->interval) {
+      for (const auto& shard_ptr : shards) {
+        ShardState& shard = *shard_ptr;
+        if (shard.clusters.empty()) {
+          continue;
+        }
+        shard.queue.schedule(
+            t, [&dc, &shard, budget = options.rebalance->budget_per_pass](
+                   core::SimTime now) {
+              for (const std::size_t c : shard.clusters) {
+                const sched::MigrationPlan plan =
+                    shard.rebalancer.plan(*dc.clusters()[c], budget);
+                shard.partial.migrations +=
+                    sched::Rebalancer::apply_plan(dc.cluster(c), plan);
+              }
+              shard.observe(now);
+            });
+      }
+    }
+  }
+
+  // Armed last so a fault colliding with a workload event fires after it
+  // (insertion-order ties), matching the serial replay.
+  for (const auto& shard : shards) {
+    if (shard->injector.has_value()) {
+      shard->injector->arm(horizon);
+    }
+  }
+
+  SampleMerger merger(shard_count, horizon);
+  ParallelRunner runner(options.threads);
+
+  // Windowed execution: parallel stretches separated by serial barriers.
+  for (std::size_t b = 1; b < barrier_count; ++b) {
+    const core::SimTime deadline =
+        horizon * static_cast<double>(b) / static_cast<double>(barrier_count);
+    runner.for_each(shard_count,
+                    [&shards, deadline](std::size_t k) {
+                      shards[k]->queue.run_until(deadline);
+                    });
+    // Barrier (serial): merge + drop the window's samples, replay every
+    // placement index's dirty log in one linear batch, and — in tests —
+    // audit the whole datacenter.
+    merger.merge(shards);
+    for (std::size_t c = 0; c < dc.clusters().size(); ++c) {
+      dc.cluster(c).flush_index();
+    }
+    debug_audit_check(dc);
+  }
+  // Final window: drain completely (fault repairs/retries may fire past the
+  // horizon).
+  runner.for_each(shard_count, [&shards](std::size_t k) { shards[k]->queue.run(); });
+  merger.merge(shards);
+  debug_audit_check(dc);
+
+  RunResult result;
+  for (const auto& shard : shards) {
+    const RunResult& p = shard->partial;
+    result.migrations += p.migrations;
+    result.placed_vms += p.placed_vms;
+    result.host_failures += p.host_failures;
+    result.host_repairs += p.host_repairs;
+    result.drained_hosts += p.drained_hosts;
+    result.evacuated_vms += p.evacuated_vms;
+    result.evac_replaced += p.evac_replaced;
+    result.evac_migrated += p.evac_migrated;
+    result.evac_retries += p.evac_retries;
+    result.evac_departed += p.evac_departed;
+    result.degraded_vms += p.degraded_vms;
+    result.deferred_arrivals += p.deferred_arrivals;
+    result.arrivals_dropped += p.arrivals_dropped;
+  }
+  result.opened_pms = dc.opened_pms();
+  result.opened_per_cluster = dc.opened_per_cluster();
+  merger.finish(result);
+  return result;
+}
+
+}  // namespace slackvm::sim

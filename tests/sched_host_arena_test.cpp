@@ -1,0 +1,174 @@
+// Property tests for the struct-of-arrays HostState arena: randomized
+// add/remove/fail/drain/repair/migrate sequences driven through VCluster
+// must keep every mirrored column — epoch, phase, alloc, capacity, per-level
+// vCPUs, vm_count — field-for-field equal to the authoritative HostState
+// vector, and the running totals exactly equal to a fresh recomputation.
+#include "sched/host_arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "sched/policy.hpp"
+#include "sched/vcluster.hpp"
+#include "workload/catalog.hpp"
+#include "workload/level_mix.hpp"
+
+namespace slackvm::sched {
+namespace {
+
+using core::gib;
+using core::OversubLevel;
+using core::VmId;
+using core::VmSpec;
+
+const core::Resources kWorker{32, gib(128)};
+
+/// Catalog-shaped random spec (same scheme as the placement-index tests).
+VmSpec random_spec(core::SplitMix64& rng) {
+  const workload::LevelMix mix = workload::make_mix(34, 33, 33);
+  VmSpec spec;
+  spec.level = mix.sample(rng);
+  const workload::Catalog& catalog =
+      spec.level.oversubscribed()
+          ? workload::azure_catalog().truncated(workload::kOversubMemCap)
+          : workload::azure_catalog();
+  const workload::Flavor& flavor = catalog.sample(rng);
+  spec.vcpus = flavor.vcpus;
+  spec.mem_mib = flavor.mem_mib;
+  return spec;
+}
+
+/// Field-for-field mirror equality via the arena's own checker, plus the
+/// O(1) totals against an explicit recomputation over the host vector.
+void expect_exact_mirror(const VCluster& cluster, std::size_t event) {
+  const auto violations = cluster.arena().check(cluster.hosts());
+  ASSERT_TRUE(violations.empty())
+      << "event " << event << ": " << violations.front();
+  core::Resources alloc;
+  core::Resources config;
+  std::size_t nonempty = 0;
+  for (const HostState& host : cluster.hosts()) {
+    alloc += host.alloc();
+    config += host.config();
+    if (!host.empty()) {
+      ++nonempty;
+    }
+  }
+  EXPECT_EQ(cluster.total_alloc(), alloc) << "event " << event;
+  EXPECT_EQ(cluster.total_config(), config) << "event " << event;
+  EXPECT_EQ(cluster.nonempty_hosts(), nonempty) << "event " << event;
+}
+
+void run_property(std::uint64_t seed, std::size_t events, bool use_index) {
+  VCluster cluster("arena-prop", kWorker, make_progress_policy());
+  cluster.set_index_enabled(use_index);
+  core::SplitMix64 rng(seed);
+  std::vector<VmId> live;
+  std::vector<HostId> down;
+  std::uint64_t next_id = 1;
+
+  for (std::size_t e = 0; e < events; ++e) {
+    const std::uint64_t roll = rng.below(100);
+    if (roll < 45 || live.empty()) {
+      // Arrival (may open a host, may be rejected — both must re-mirror).
+      const VmId vm{next_id++};
+      if (cluster.try_place(vm, random_spec(rng)).has_value()) {
+        live.push_back(vm);
+      }
+    } else if (roll < 70) {
+      // Departure.
+      const std::size_t pick = rng.below(live.size());
+      cluster.remove(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (roll < 80 && !live.empty()) {
+      // Targeted migration (both the success and the no-op path bump epochs
+      // on the success side only; the mirror must agree either way).
+      const VmId vm = live[rng.below(live.size())];
+      const auto to = static_cast<HostId>(rng.below(cluster.opened_hosts()));
+      (void)cluster.migrate(vm, to);
+    } else if (roll < 88 && cluster.opened_hosts() > 0) {
+      // Failure: evict and re-place each victim through the policy path.
+      const auto host = static_cast<HostId>(rng.below(cluster.opened_hosts()));
+      for (const auto& [vm, spec] : cluster.fail_host(host)) {
+        if (!cluster.try_place(vm, spec).has_value()) {
+          std::erase(live, vm);
+        }
+      }
+      down.push_back(host);
+    } else if (roll < 94 && cluster.opened_hosts() > 0) {
+      // Graceful drain + migrate_off.
+      const auto host = static_cast<HostId>(rng.below(cluster.opened_hosts()));
+      if (cluster.host_phase(host) == HostPhase::kUp) {
+        cluster.drain_host(host);
+        (void)cluster.migrate_off(host);
+        down.push_back(host);
+      }
+    } else if (!down.empty()) {
+      // Repair.
+      cluster.repair_host(down.back());
+      down.pop_back();
+    }
+    expect_exact_mirror(cluster, e);
+  }
+  EXPECT_GT(cluster.opened_hosts(), 0U);
+}
+
+TEST(HostArenaProperty, MirrorsNaiveClusterExactly) {
+  run_property(/*seed=*/1, /*events=*/4000, /*use_index=*/false);
+}
+
+TEST(HostArenaProperty, MirrorsIndexedClusterExactly) {
+  run_property(/*seed=*/2, /*events=*/4000, /*use_index=*/true);
+}
+
+TEST(HostArenaProperty, ManySeedsShortSequences) {
+  for (std::uint64_t seed = 10; seed < 18; ++seed) {
+    run_property(seed, 600, seed % 2 == 0);
+  }
+}
+
+// Epoch semantics: the arena row carries the exact epoch of the host it
+// mirrors, so an index entry validated against the arena epoch is validated
+// against the host's.
+TEST(HostArenaProperty, EpochTracksEveryMutation) {
+  VCluster cluster("arena-epoch", kWorker, make_first_fit());
+  const VmSpec spec = [] {
+    VmSpec s;
+    s.vcpus = 4;
+    s.mem_mib = gib(8);
+    s.level = OversubLevel{2};
+    return s;
+  }();
+  ASSERT_TRUE(cluster.try_place(VmId{1}, spec).has_value());
+  const HostArena& arena = cluster.arena();
+  EXPECT_EQ(arena.epoch(0), cluster.hosts()[0].epoch());
+  ASSERT_TRUE(cluster.try_place(VmId{2}, spec).has_value());
+  EXPECT_EQ(arena.epoch(0), cluster.hosts()[0].epoch());
+  cluster.remove(VmId{1});
+  EXPECT_EQ(arena.epoch(0), cluster.hosts()[0].epoch());
+}
+
+// Rollback of a failed opening: try_place opening a host and then failing
+// to fit (memory cap) must pop the arena row too, keeping sizes equal.
+TEST(HostArenaProperty, FeasibilityMatchesHostState) {
+  VCluster cluster("arena-feas", kWorker, make_first_fit());
+  core::SplitMix64 rng(99);
+  std::uint64_t next_id = 1;
+  for (int i = 0; i < 400; ++i) {
+    (void)cluster.try_place(VmId{next_id++}, random_spec(rng));
+  }
+  const HostArena& arena = cluster.arena();
+  ASSERT_EQ(arena.size(), cluster.hosts().size());
+  for (int i = 0; i < 200; ++i) {
+    const VmSpec probe = random_spec(rng);
+    for (const HostState& host : cluster.hosts()) {
+      EXPECT_EQ(arena.can_host(host.id(), probe), host.can_host(probe))
+          << "host " << host.id() << " probe " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slackvm::sched

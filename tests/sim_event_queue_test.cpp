@@ -85,5 +85,75 @@ TEST(EventQueueTest, PendingCountsScheduled) {
   EXPECT_EQ(queue.pending(), 2U);
 }
 
+// --- cross-shard ordering regressions ---------------------------------------
+//
+// The insertion-order tie-break is queue-local; when several queues run side
+// by side (sim/shard.hpp) the documented cross-queue rule is: ascending
+// time, ties to the lowest queue (shard) index, within a queue in fire
+// order. These tests pin the two queue-side properties that rule builds on:
+// fire order at one timestamp is exactly insertion order regardless of how
+// the heap sifts, and run_until leaves every queue at the identical clock so
+// windows line up across shards.
+
+TEST(EventQueueTest, SameTimestampFireOrderSurvivesHeapChurn) {
+  // Interleave many t=5 events with earlier and later ones so the heap
+  // reshuffles between the tied entries; fire order at t=5 must still be
+  // exactly insertion order.
+  EventQueue queue;
+  std::vector<int> tied;
+  for (int i = 0; i < 16; ++i) {
+    queue.schedule(5.0, [&tied, i](core::SimTime) { tied.push_back(i); });
+    queue.schedule(1.0 + 0.1 * i, [](core::SimTime) {});
+    queue.schedule(9.0 - 0.1 * i, [](core::SimTime) {});
+  }
+  queue.run();
+  std::vector<int> expected(16);
+  for (int i = 0; i < 16; ++i) {
+    expected[static_cast<std::size_t>(i)] = i;
+  }
+  EXPECT_EQ(tied, expected);
+}
+
+TEST(EventQueueTest, TwoQueuesReplayIdenticalSchedulesIdentically) {
+  // Two queues fed the same (time, payload) schedule in the same order must
+  // fire in the same sequence — the per-shard half of the cross-shard
+  // determinism argument: a shard's fire order depends only on its own
+  // schedule, never on how other queues interleave in wall-clock time.
+  const std::vector<core::SimTime> times = {3.0, 1.0, 3.0, 2.0, 3.0, 1.0};
+  std::vector<int> a;
+  std::vector<int> b;
+  EventQueue qa;
+  EventQueue qb;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    qa.schedule(times[i], [&a, i](core::SimTime) { a.push_back(static_cast<int>(i)); });
+  }
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    qb.schedule(times[i], [&b, i](core::SimTime) { b.push_back(static_cast<int>(i)); });
+  }
+  // Drive them through different window cuts: qa in one go, qb in windows.
+  qa.run();
+  qb.run_until(2.5);
+  qb.run_until(3.0);  // strictly-before semantics: t=3 events not yet fired
+  EXPECT_EQ(b.size(), 3U);
+  qb.run();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, (std::vector<int>{1, 5, 3, 0, 2, 4}));
+}
+
+TEST(EventQueueTest, RunUntilAlignsClocksAcrossQueues) {
+  // Barrier alignment: after run_until(t) every queue reports now() == t,
+  // even a queue with nothing to fire — so a post-barrier schedule at t is
+  // legal on every shard.
+  EventQueue busy;
+  EventQueue idle;
+  busy.schedule(1.0, [](core::SimTime) {});
+  busy.run_until(4.0);
+  idle.run_until(4.0);
+  EXPECT_DOUBLE_EQ(busy.now(), 4.0);
+  EXPECT_DOUBLE_EQ(idle.now(), 4.0);
+  idle.schedule(4.0, [](core::SimTime) {});
+  EXPECT_EQ(idle.pending(), 1U);
+}
+
 }  // namespace
 }  // namespace slackvm::sim

@@ -83,6 +83,7 @@ TEST(ScenarioParse, RoundTripsThroughWriter) {
   original.config.generator.target_population = 123;
   original.config.generator.seed = 9;
   original.config.mem_oversub = 1.25;
+  original.config.shards = 4;
   std::stringstream buffer;
   write_scenario(original, buffer);
   const Scenario restored = parse_scenario(buffer);
@@ -91,6 +92,14 @@ TEST(ScenarioParse, RoundTripsThroughWriter) {
   EXPECT_EQ(restored.distribution, original.distribution);
   EXPECT_EQ(restored.config.generator.target_population, 123U);
   EXPECT_DOUBLE_EQ(restored.config.mem_oversub, 1.25);
+  EXPECT_EQ(restored.config.shards, 4U);
+}
+
+TEST(ScenarioParse, ShardsKeyParsedAndValidated) {
+  std::istringstream in("population 100\nshards 8\n");
+  EXPECT_EQ(parse_scenario(in).config.shards, 8U);
+  std::istringstream zero("population 100\nshards 0\n");
+  EXPECT_THROW((void)parse_scenario(zero), core::SlackError);
 }
 
 TEST(ScenarioRun, SmallScenarioExecutes) {

@@ -1,0 +1,306 @@
+// Differential shard test suite: the sharded datacenter engine
+// (sim/shard.hpp) must be bit-identical to itself at every thread count and
+// — at one shard — to the serial replay() reference, across the full
+// {shards} x {index on/off} x {faults on/off} matrix, with the invariant
+// audits enabled so every event re-validates the datacenter and its SoA
+// arena mirror. Also pins the documented cross-shard merge order.
+#include "sim/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sched/policy.hpp"
+#include "sim/audit.hpp"
+#include "sim/experiment.hpp"
+#include "sim/fault.hpp"
+#include "sim/replay.hpp"
+#include "workload/catalog.hpp"
+#include "workload/generator.hpp"
+#include "workload/level_mix.hpp"
+
+namespace slackvm::sim {
+namespace {
+
+using core::gib;
+
+constexpr std::size_t kShardCounts[] = {1, 2, 8};
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+const core::Resources kWorker{32, gib(128)};
+
+// Bit-exact equality on every RunResult field (EXPECT_EQ on the doubles is
+// deliberate: the guarantee is identical bits, not approximate agreement).
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.opened_pms, b.opened_pms);
+  EXPECT_EQ(a.peak_active_pms, b.peak_active_pms);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.opened_per_cluster, b.opened_per_cluster);
+  EXPECT_EQ(a.placed_vms, b.placed_vms);
+  EXPECT_EQ(a.peak_vms, b.peak_vms);
+  EXPECT_EQ(a.avg_unalloc_cpu_share, b.avg_unalloc_cpu_share);
+  EXPECT_EQ(a.avg_unalloc_mem_share, b.avg_unalloc_mem_share);
+  EXPECT_EQ(a.peak_unalloc_cpu_share, b.peak_unalloc_cpu_share);
+  EXPECT_EQ(a.peak_unalloc_mem_share, b.peak_unalloc_mem_share);
+  EXPECT_EQ(a.duration, b.duration);
+  EXPECT_EQ(a.avg_active_pms, b.avg_active_pms);
+  EXPECT_EQ(a.avg_alloc_cores, b.avg_alloc_cores);
+  EXPECT_EQ(a.host_failures, b.host_failures);
+  EXPECT_EQ(a.host_repairs, b.host_repairs);
+  EXPECT_EQ(a.drained_hosts, b.drained_hosts);
+  EXPECT_EQ(a.evacuated_vms, b.evacuated_vms);
+  EXPECT_EQ(a.evac_replaced, b.evac_replaced);
+  EXPECT_EQ(a.evac_migrated, b.evac_migrated);
+  EXPECT_EQ(a.evac_retries, b.evac_retries);
+  EXPECT_EQ(a.evac_departed, b.evac_departed);
+  EXPECT_EQ(a.degraded_vms, b.degraded_vms);
+  EXPECT_EQ(a.deferred_arrivals, b.deferred_arrivals);
+  EXPECT_EQ(a.arrivals_dropped, b.arrivals_dropped);
+}
+
+workload::Trace make_trace(std::size_t population, std::uint64_t seed) {
+  workload::GeneratorConfig cfg;
+  cfg.target_population = population;
+  cfg.horizon = 2.0 * 24 * 3600;
+  cfg.mean_lifetime = 1.0 * 24 * 3600;
+  cfg.seed = seed;
+  workload::Generator gen(workload::azure_catalog(), workload::make_mix(34, 33, 33),
+                          cfg);
+  return gen.generate();
+}
+
+Datacenter make_dc(std::size_t shards, bool index) {
+  Datacenter dc = Datacenter::shared_sharded(kWorker, sched::make_progress_policy,
+                                             shards, 1.0);
+  dc.set_index_enabled(index);
+  return dc;
+}
+
+FaultConfig make_faults() {
+  FaultConfig faults;
+  faults.count = 40;
+  faults.seed = 777;
+  faults.repair_delay = 3600.0;
+  return faults;
+}
+
+// --- the differential matrix -----------------------------------------------
+//
+// For every cell of shards {1,2,8} x index {on,off} x faults {on,off}: the
+// reference is the sharded engine run serially (threads = 1); every other
+// thread count must reproduce it bit-for-bit, with per-event shard-local
+// audits and full-datacenter barrier audits throwing on any invariant or
+// arena-mirror violation.
+TEST(ShardDifferential, ShardedMatchesItselfAtEveryThreadCount) {
+  ScopedDebugAudit audit_every_event;
+  const workload::Trace trace = make_trace(120, 42);
+  const FaultConfig faults = make_faults();
+  for (const std::size_t shards : kShardCounts) {
+    for (const bool index : {true, false}) {
+      for (const bool inject : {false, true}) {
+        ShardOptions options;
+        options.shards = shards;
+        options.faults = inject ? &faults : nullptr;
+        Datacenter reference_dc = make_dc(shards, index);
+        const RunResult reference = replay_sharded(reference_dc, trace, options);
+        if (inject) {
+          EXPECT_GT(reference.host_failures, 0U);
+        }
+        for (const std::size_t threads : kThreadCounts) {
+          options.threads = threads;
+          Datacenter dc = make_dc(shards, index);
+          const RunResult result = replay_sharded(dc, trace, options);
+          SCOPED_TRACE("shards " + std::to_string(shards) + " index " +
+                       std::to_string(index) + " faults " + std::to_string(inject) +
+                       " threads " + std::to_string(threads));
+          expect_identical(reference, result);
+        }
+      }
+    }
+  }
+}
+
+// One shard is the serial reference: replay_sharded must be bit-identical
+// to the legacy replay() on the identical datacenter — same event schedule,
+// same observation tuples, same collector call sequence.
+TEST(ShardDifferential, OneShardMatchesLegacyReplay) {
+  ScopedDebugAudit audit_every_event;
+  const workload::Trace trace = make_trace(120, 7);
+  const FaultConfig faults = make_faults();
+  for (const bool index : {true, false}) {
+    for (const bool inject : {false, true}) {
+      for (const bool shared : {true, false}) {
+        Datacenter legacy_dc =
+            shared ? Datacenter::shared(kWorker, sched::make_progress_policy)
+                   : Datacenter::dedicated(
+                         kWorker,
+                         {core::OversubLevel{1}, core::OversubLevel{2},
+                          core::OversubLevel{3}, core::OversubLevel{4}},
+                         sched::make_progress_policy);
+        legacy_dc.set_index_enabled(index);
+        const RunResult legacy = replay(legacy_dc, trace, std::nullopt, nullptr,
+                                        inject ? &faults : nullptr);
+
+        Datacenter sharded_dc =
+            shared ? Datacenter::shared_sharded(kWorker, sched::make_progress_policy,
+                                                1)
+                   : Datacenter::dedicated(
+                         kWorker,
+                         {core::OversubLevel{1}, core::OversubLevel{2},
+                          core::OversubLevel{3}, core::OversubLevel{4}},
+                         sched::make_progress_policy);
+        sharded_dc.set_index_enabled(index);
+        ShardOptions options;  // shards = 1
+        options.faults = inject ? &faults : nullptr;
+        const RunResult sharded = replay_sharded(sharded_dc, trace, options);
+        SCOPED_TRACE(std::string(shared ? "shared" : "dedicated") + " index " +
+                     std::to_string(index) + " faults " + std::to_string(inject));
+        expect_identical(legacy, sharded);
+      }
+    }
+  }
+}
+
+// Rebalancing flows through the sharded engine too, and stays identical
+// across thread counts (each shard consolidates only its own clusters).
+TEST(ShardDifferential, RebalanceIsDeterministicAcrossThreads) {
+  ScopedDebugAudit audit_every_event;
+  const workload::Trace trace = make_trace(100, 11);
+  ShardOptions options;
+  options.shards = 4;
+  options.rebalance = RebalanceOptions{6.0 * 3600, 16};
+  Datacenter reference_dc = make_dc(4, true);
+  const RunResult reference = replay_sharded(reference_dc, trace, options);
+  for (const std::size_t threads : kThreadCounts) {
+    options.threads = threads;
+    Datacenter dc = make_dc(4, true);
+    const RunResult result = replay_sharded(dc, trace, options);
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    expect_identical(reference, result);
+  }
+}
+
+// Barrier count only batches work, never reorders it: any window split must
+// reproduce the default bit-for-bit.
+TEST(ShardDifferential, BarrierCountNeverChangesResults) {
+  ScopedDebugAudit audit_every_event;
+  const workload::Trace trace = make_trace(80, 3);
+  const FaultConfig faults = make_faults();
+  ShardOptions options;
+  options.shards = 8;
+  options.threads = 2;
+  options.faults = &faults;
+  Datacenter reference_dc = make_dc(8, true);
+  const RunResult reference = replay_sharded(reference_dc, trace, options);
+  for (const std::size_t barriers : {std::size_t{1}, std::size_t{3}, std::size_t{32}}) {
+    options.barriers = barriers;
+    Datacenter dc = make_dc(8, true);
+    const RunResult result = replay_sharded(dc, trace, options);
+    SCOPED_TRACE("barriers " + std::to_string(barriers));
+    expect_identical(reference, result);
+  }
+}
+
+// More shards than clusters: the excess shards own nothing and the run is
+// still identical across thread counts.
+TEST(ShardDifferential, MoreShardsThanClustersIsHarmless) {
+  ScopedDebugAudit audit_every_event;
+  const workload::Trace trace = make_trace(60, 5);
+  ShardOptions options;
+  options.shards = 8;
+  Datacenter reference_dc = make_dc(2, true);  // 2 clusters, 8 shards
+  const RunResult reference = replay_sharded(reference_dc, trace, options);
+  options.threads = 8;
+  Datacenter dc = make_dc(2, true);
+  expect_identical(reference, replay_sharded(dc, trace, options));
+}
+
+// The ExperimentConfig::shards knob: the grid engine must produce identical
+// comparisons at every parallelism for a fixed shard count (sharded
+// organisation, but the same determinism discipline).
+TEST(ShardDifferential, ExperimentGridHonorsShardsKnob) {
+  ExperimentConfig cfg;
+  cfg.generator.target_population = 60;
+  cfg.generator.horizon = 2.0 * 24 * 3600;
+  cfg.generator.mean_lifetime = 1.0 * 24 * 3600;
+  cfg.generator.seed = 42;
+  cfg.shards = 4;
+  const PackingComparison serial =
+      compare_packing(workload::azure_catalog(), workload::distribution('F'), cfg);
+  for (const std::size_t threads : kThreadCounts) {
+    cfg.parallelism = threads;
+    const PackingComparison parallel =
+        compare_packing(workload::azure_catalog(), workload::distribution('F'), cfg);
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    EXPECT_EQ(serial.provider, parallel.provider);
+    expect_identical(serial.baseline, parallel.baseline);
+    expect_identical(serial.slackvm, parallel.slackvm);
+  }
+}
+
+// --- the documented cross-shard ordering ------------------------------------
+
+ShardSample at(core::SimTime t) {
+  ShardSample s;
+  s.time = t;
+  return s;
+}
+
+TEST(ShardMergeOrder, AscendingTimeAcrossShards) {
+  const std::vector<std::vector<ShardSample>> logs = {
+      {at(1.0), at(4.0)},
+      {at(2.0), at(3.0)},
+  };
+  const auto order = shard_merge_order(logs);
+  const std::vector<std::pair<std::size_t, std::size_t>> expected = {
+      {0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ShardMergeOrder, TiesGoToTheLowestShardIndex) {
+  const std::vector<std::vector<ShardSample>> logs = {
+      {at(5.0)},
+      {at(5.0)},
+      {at(5.0)},
+  };
+  const auto order = shard_merge_order(logs);
+  const std::vector<std::pair<std::size_t, std::size_t>> expected = {
+      {0, 0}, {1, 0}, {2, 0}};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ShardMergeOrder, WithinShardLogOrderIsPreservedOnTies) {
+  // A shard may log several samples at one timestamp (an arrival and a
+  // fault colliding). The comparator always picks the lowest-index shard
+  // among the current minima, so shard 0 drains ALL its t=5 samples (in log
+  // order) before shard 1's first t=5 sample is taken.
+  const std::vector<std::vector<ShardSample>> logs = {
+      {at(5.0), at(5.0)},
+      {at(5.0), at(6.0)},
+  };
+  const auto order = shard_merge_order(logs);
+  const std::vector<std::pair<std::size_t, std::size_t>> expected = {
+      {0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ShardMergeOrder, EmptyLogsAreSkipped) {
+  const std::vector<std::vector<ShardSample>> logs = {
+      {},
+      {at(1.0)},
+      {},
+      {at(0.5)},
+  };
+  const auto order = shard_merge_order(logs);
+  const std::vector<std::pair<std::size_t, std::size_t>> expected = {{3, 0}, {1, 0}};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ShardMergeOrder, NoLogsAtAll) {
+  const std::vector<std::vector<ShardSample>> logs;
+  EXPECT_TRUE(shard_merge_order(logs).empty());
+}
+
+}  // namespace
+}  // namespace slackvm::sim

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/error.hpp"
 
@@ -105,6 +107,107 @@ TEST(TraceTest, ReadCsvRejectsUnknownUsage) {
   std::stringstream buffer(
       "id,vcpus,mem_mib,level,usage,arrival,departure\n1,2,4096,1,gaming,0,10\n");
   EXPECT_THROW((void)Trace::read_csv(buffer), core::SlackError);
+}
+
+// --- malformed-row hardening regressions -----------------------------------
+
+constexpr const char* kHeader = "id,vcpus,mem_mib,level,usage,arrival,departure\n";
+
+/// Parse header + `row`, asserting a SlackError whose message contains
+/// every string in `fragments` (line number, column, raw row context).
+void expect_rejected(const std::string& row,
+                     const std::vector<std::string>& fragments) {
+  std::stringstream buffer(kHeader + row + "\n");
+  try {
+    (void)Trace::read_csv(buffer);
+    FAIL() << "row accepted: " << row;
+  } catch (const core::SlackError& e) {
+    const std::string message = e.what();
+    for (const std::string& fragment : fragments) {
+      EXPECT_NE(message.find(fragment), std::string::npos)
+          << "missing '" << fragment << "' in: " << message;
+    }
+  }
+}
+
+TEST(TraceTest, ReadCsvRejectsTooManyColumns) {
+  expect_rejected("1,2,4096,1,steady,0,10,extra", {"line 2", "too many columns"});
+}
+
+TEST(TraceTest, ReadCsvRejectsNonNumericFields) {
+  expect_rejected("abc,2,4096,1,steady,0,10", {"line 2", "'id'", "abc"});
+  expect_rejected("1,two,4096,1,steady,0,10", {"'vcpus'", "two"});
+  expect_rejected("1,2,lots,1,steady,0,10", {"'mem_mib'", "lots"});
+  expect_rejected("1,2,4096,one,steady,0,10", {"'level'", "one"});
+  expect_rejected("1,2,4096,1,steady,noon,10", {"'arrival'", "noon"});
+  expect_rejected("1,2,4096,1,steady,0,never", {"'departure'", "never"});
+}
+
+TEST(TraceTest, ReadCsvRejectsPartiallyNumericFields) {
+  // std::stoull/stod would silently accept these prefixes.
+  expect_rejected("12x,2,4096,1,steady,0,10", {"'id'", "12x"});
+  expect_rejected("1,2,4096,1,steady,0.5h,10", {"'arrival'", "trailing junk"});
+  expect_rejected("1,-2,4096,1,steady,0,10", {"'vcpus'", "-2"});
+}
+
+TEST(TraceTest, ReadCsvRejectsZeroVcpus) {
+  expect_rejected("1,0,4096,1,steady,0,10", {"'vcpus'", ">= 1"});
+}
+
+TEST(TraceTest, ReadCsvRejectsOutOfRangeLevel) {
+  expect_rejected("1,2,4096,0,steady,0,10", {"'level'", "[1, 16]"});
+  expect_rejected("1,2,4096,17,steady,0,10", {"'level'", "[1, 16]"});
+}
+
+TEST(TraceTest, ReadCsvRejectsNonFiniteTimes) {
+  expect_rejected("1,2,4096,1,steady,nan,10", {"'arrival'"});
+  expect_rejected("1,2,4096,1,steady,0,inf", {"'departure'"});
+  expect_rejected("1,2,4096,1,steady,-5,10", {"'arrival'"});
+}
+
+TEST(TraceTest, ReadCsvRejectsDepartureNotAfterArrival) {
+  expect_rejected("1,2,4096,1,steady,10,10",
+                  {"line 2", "departure must be strictly after arrival"});
+  expect_rejected("1,2,4096,1,steady,10,5", {"strictly after"});
+}
+
+TEST(TraceTest, ReadCsvRejectsUnsortedArrivals) {
+  std::stringstream buffer(std::string(kHeader) +
+                           "1,2,4096,1,steady,50,60\n"
+                           "2,2,4096,1,steady,10,20\n");
+  try {
+    (void)Trace::read_csv(buffer);
+    FAIL() << "unsorted trace accepted";
+  } catch (const core::SlackError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+    EXPECT_NE(message.find("sorted by arrival"), std::string::npos) << message;
+  }
+}
+
+TEST(TraceTest, ReadCsvReportsLineNumberOfBadRow) {
+  std::stringstream buffer(std::string(kHeader) +
+                           "1,2,4096,1,steady,0,10\n"
+                           "\n"
+                           "2,2,4096,1,steady,1,oops\n");
+  try {
+    (void)Trace::read_csv(buffer);
+    FAIL() << "bad row accepted";
+  } catch (const core::SlackError& e) {
+    // Blank lines still count toward line numbers.
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos) << e.what();
+  }
+}
+
+TEST(TraceTest, ReadCsvStillAcceptsBlankLinesAndSortedInput) {
+  std::stringstream buffer(std::string(kHeader) +
+                           "1,2,4096,1,steady,0,10\n"
+                           "\n"
+                           "2,4,8192,3,bursty,0,5.5\n"
+                           "3,1,1024,16,idle,7,8\n");
+  const Trace trace = Trace::read_csv(buffer);
+  ASSERT_EQ(trace.size(), 3U);
+  EXPECT_EQ(trace.vms()[2].spec.level, core::OversubLevel{16});
 }
 
 }  // namespace

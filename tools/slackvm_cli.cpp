@@ -25,6 +25,7 @@
 #include "sim/power.hpp"
 #include "sim/replay.hpp"
 #include "sim/scenario.hpp"
+#include "sim/shard.hpp"
 #include "topology/builders.hpp"
 #include "topology/distance.hpp"
 #include "topology/sysfs.hpp"
@@ -50,6 +51,7 @@ struct Args {
   double rebalance_s = 0.0;
   std::size_t parallelism = 1;
   std::size_t repetitions = 1;
+  std::size_t shards = 1;
   bool use_index = true;
   sim::FaultConfig faults;
 };
@@ -66,6 +68,9 @@ int usage() {
                "                            cores; results identical at any value)\n"
                "         --index on|off    (incremental placement index; results\n"
                "                            identical, off replays the naive scan)\n"
+               "         --shards N        (sharded datacenter engine; 1 = serial\n"
+               "                            reference, > 1 runs shards on the thread\n"
+               "                            pool; replay uses --parallelism threads)\n"
                "         --faults N        (seed-derived host failures over the run)\n"
                "         --fault-seed N    (0 = derive from --seed)\n"
                "         --repair-s X  --drain-lead-s X   (fault timing knobs)\n");
@@ -110,6 +115,11 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.rebalance_s = std::strtod(value(), nullptr);
     } else if (key == "--parallelism") {
       args.parallelism = std::strtoull(value(), nullptr, 10);
+    } else if (key == "--shards") {
+      args.shards = std::strtoull(value(), nullptr, 10);
+      if (args.shards == 0) {
+        throw core::SlackError("--shards must be >= 1");
+      }
     } else if (key == "--index") {
       const std::string v = value();
       if (v == "on") {
@@ -242,17 +252,31 @@ int cmd_replay(const Args& args) {
                                        {core::OversubLevel{1}, core::OversubLevel{2},
                                         core::OversubLevel{3}},
                                        policy_factory(args), args.mem_oversub)
-          : sim::Datacenter::shared(worker, policy_factory(args), args.mem_oversub);
+          : (args.shards > 1
+                 ? sim::Datacenter::shared_sharded(worker, policy_factory(args),
+                                                   args.shards, args.mem_oversub)
+                 : sim::Datacenter::shared(worker, policy_factory(args),
+                                           args.mem_oversub));
   dc.set_index_enabled(args.use_index);
   std::optional<sim::RebalanceOptions> rebalance;
   if (args.rebalance_s > 0) {
     rebalance = sim::RebalanceOptions{args.rebalance_s, 64};
   }
   const sim::FaultConfig faults = sim::resolve_fault_seed(args.faults, args.seed);
-  const sim::RunResult result =
-      sim::replay(dc, trace, rebalance, nullptr, faults.enabled() ? &faults : nullptr);
-  std::printf("mode %s, policy %s, mem oversub %.2fx\n", args.mode.c_str(),
-              args.policy.c_str(), args.mem_oversub);
+  sim::RunResult result;
+  if (args.shards > 1) {
+    sim::ShardOptions shard_options;
+    shard_options.shards = args.shards;
+    shard_options.threads = args.parallelism;
+    shard_options.rebalance = rebalance;
+    shard_options.faults = faults.enabled() ? &faults : nullptr;
+    result = sim::replay_sharded(dc, trace, shard_options);
+  } else {
+    result =
+        sim::replay(dc, trace, rebalance, nullptr, faults.enabled() ? &faults : nullptr);
+  }
+  std::printf("mode %s, policy %s, mem oversub %.2fx, shards %zu\n", args.mode.c_str(),
+              args.policy.c_str(), args.mem_oversub, args.shards);
   std::printf("placed VMs     : %zu (peak %zu concurrent)\n", result.placed_vms,
               result.peak_vms);
   std::printf("PMs opened     : %zu (peak active %zu)\n", result.opened_pms,
@@ -286,6 +310,7 @@ int cmd_sweep(const Args& args) {
   cfg.mem_oversub = args.mem_oversub;
   cfg.repetitions = args.repetitions;
   cfg.parallelism = args.parallelism;
+  cfg.shards = args.shards;
   cfg.use_index = args.use_index;
   cfg.faults = args.faults;  // per-cell seed resolution happens in run_cell
   std::printf("dist,share1,share2,share3,baseline_pms,slackvm_pms,saving_pct,"
@@ -310,6 +335,7 @@ int cmd_heatmap(const Args& args) {
   cfg.mem_oversub = args.mem_oversub;
   cfg.repetitions = args.repetitions;
   cfg.parallelism = args.parallelism;
+  cfg.shards = args.shards;
   cfg.use_index = args.use_index;
   cfg.faults = args.faults;
   std::printf("pct_1to1,pct_2to1,pct_3to1,saving_pct\n");
