@@ -52,4 +52,15 @@ double ratio_delta(const Resources& alloc, const Resources& config) {
   return std::abs(mc_ratio_gib_per_core(alloc) - target);
 }
 
+OversubLevel classify_level(double mem_per_vcpu_gib) {
+  SLACKVM_ASSERT(mem_per_vcpu_gib >= 0.0);
+  if (mem_per_vcpu_gib >= 4.0) {
+    return OversubLevel{1};
+  }
+  if (mem_per_vcpu_gib >= 2.0) {
+    return OversubLevel{2};
+  }
+  return OversubLevel{3};
+}
+
 }  // namespace slackvm::core

@@ -14,6 +14,7 @@
 // makes busy PMs more attractive than empty ones and thus consolidates.
 #pragma once
 
+#include "core/oversub.hpp"
 #include "core/resources.hpp"
 
 namespace slackvm::core {
@@ -30,5 +31,23 @@ struct ProgressInputs {
 
 /// |current - target| distance helper used by tests and diagnostics.
 [[nodiscard]] double ratio_delta(const Resources& alloc, const Resources& config);
+
+/// Classify the oversubscription tier of a VM *request* from its requested
+/// memory-per-vCPU ratio (GiB per vCPU, before oversubscription).
+///
+/// Real-world traces (SAP Cloud Infrastructure, Azure Packing) carry sizes
+/// and lifetimes but no oversubscription contract, so the streaming trace
+/// frontend (workload::TraceReader, real format) must infer one. The rule
+/// mirrors the paper's catalog tiering: oversubscribable offers are capped
+/// at 8 GB total (§III-A) and skew toward low per-vCPU memory, while
+/// memory-heavy requests are premium —
+///
+///   ratio >= 4 GiB/vCPU  -> 1:1  (premium; the b2-/r2-style tiers)
+///   ratio >= 2 GiB/vCPU  -> 2:1
+///   otherwise            -> 3:1  (cheapest burst tier)
+///
+/// Deterministic and total: every finite non-negative ratio maps to exactly
+/// one of the three paper levels (kPaperLevelRatios).
+[[nodiscard]] OversubLevel classify_level(double mem_per_vcpu_gib);
 
 }  // namespace slackvm::core

@@ -4,9 +4,10 @@
 
 namespace slackvm::sim {
 
-void EventQueue::schedule(core::SimTime time, EventAction action) {
+void EventQueue::schedule_lane(core::SimTime time, std::uint8_t lane,
+                               EventAction action) {
   SLACKVM_ASSERT(time >= now_);
-  heap_.push(Entry{time, next_seq_++, std::move(action)});
+  heap_.push(Entry{time, lane, next_seq_++, std::move(action)});
 }
 
 bool EventQueue::step() {

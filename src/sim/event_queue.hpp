@@ -1,6 +1,18 @@
 // Discrete-event simulation core: a time-ordered event queue with a
-// monotonic clock. Ties are broken by insertion order, which makes every
-// simulation fully deterministic.
+// monotonic clock. Ties are broken first by *lane*, then by insertion
+// order, which makes every simulation fully deterministic.
+//
+// Lanes are a coarse priority band compared before the insertion-order
+// tie-break. They exist for the streaming replay (sim/event_source.hpp):
+// the materialized replay schedules every workload event before any
+// control event (rebalance passes, usage samples, the fault timetable), so
+// at equal timestamps workload events always fired first purely by
+// insertion order. A streaming replay inserts workload events lazily —
+// mid-run, after the control events — and the workload lane (kLaneWorkload
+// < kLaneControl) preserves the exact same firing order without knowing
+// the trace length up front. Within one lane the insertion-order tie-break
+// applies unchanged, and a queue whose events all share a lane behaves
+// exactly like the historical (time, insertion) ordering.
 //
 // That tie-break is queue-local: it totally orders events *within* one
 // queue, but says nothing about events in different queues. The sharded
@@ -26,8 +38,21 @@ using EventAction = std::function<void(core::SimTime)>;
 
 class EventQueue {
  public:
-  /// Schedule `action` at absolute time `time` (>= now()).
-  void schedule(core::SimTime time, EventAction action);
+  /// Workload lane: trace arrivals/departures. Fires before kLaneControl at
+  /// equal timestamps regardless of insertion order.
+  static constexpr std::uint8_t kLaneWorkload = 0;
+  /// Control lane (the default): rebalance passes, usage samples, fault
+  /// timetables and their dynamically scheduled repairs/retries.
+  static constexpr std::uint8_t kLaneControl = 1;
+
+  /// Schedule `action` at absolute time `time` (>= now()) on the control
+  /// lane.
+  void schedule(core::SimTime time, EventAction action) {
+    schedule_lane(time, kLaneControl, std::move(action));
+  }
+
+  /// Schedule on an explicit lane (see the lane constants above).
+  void schedule_lane(core::SimTime time, std::uint8_t lane, EventAction action);
 
   /// Fire the earliest event; returns false when the queue is empty.
   bool step();
@@ -43,15 +68,28 @@ class EventQueue {
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
 
+  /// Timestamp of the earliest pending event; the queue must not be empty.
+  [[nodiscard]] core::SimTime next_time() const {
+    SLACKVM_ASSERT(!heap_.empty());
+    return heap_.top().time;
+  }
+
  private:
   struct Entry {
     core::SimTime time;
+    std::uint8_t lane;
     std::uint64_t seq;
     EventAction action;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const noexcept {
-      return a.time > b.time || (a.time == b.time && a.seq > b.seq);
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      if (a.lane != b.lane) {
+        return a.lane > b.lane;
+      }
+      return a.seq > b.seq;
     }
   };
 

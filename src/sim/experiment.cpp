@@ -1,12 +1,16 @@
 #include "sim/experiment.hpp"
 
 #include <map>
+#include <memory>
+#include <optional>
 
 #include "core/oversub.hpp"
 #include "sched/policy.hpp"
+#include "sim/event_source.hpp"
 #include "sim/parallel.hpp"
 #include "sim/replay.hpp"
 #include "sim/shard.hpp"
+#include "workload/trace_reader.hpp"
 
 namespace slackvm::sim {
 
@@ -39,7 +43,39 @@ CellResult run_cell(const workload::Catalog& catalog, const workload::LevelMix& 
                     const ExperimentConfig& config, std::size_t rep) {
   workload::GeneratorConfig gen_cfg = config.generator;
   gen_cfg.seed = config.generator.seed + rep;
-  const workload::Trace trace = workload::Generator(catalog, mix, gen_cfg).generate();
+
+  // Workload: either a freshly generated (materialized) trace, or a real
+  // trace file streamed through TraceReader — one scan pre-pass for the
+  // horizon, then each replay pulls rows with O(chunk) resident memory.
+  // The streamed trace is the same for every repetition; only the fault
+  // timetable (seeded per repetition below) varies across reps then.
+  const bool streamed = !config.trace_path.empty();
+  workload::Trace trace;
+  std::optional<workload::TraceReader::ScanInfo> scan;
+  if (streamed) {
+    scan = workload::TraceReader::scan(config.trace_path);
+  } else {
+    trace = workload::Generator(catalog, mix, gen_cfg).generate();
+  }
+  const auto open_source = [&]() -> std::unique_ptr<EventSource> {
+    if (streamed) {
+      return std::make_unique<StreamingTraceSource>(
+          workload::TraceReader(config.trace_path), scan);
+    }
+    return std::make_unique<MaterializedSource>(trace);
+  };
+  // Dedicated baseline clusters: for a generated workload the mix dictates
+  // the levels; a real trace's levels emerge row-by-row from the
+  // classifier, so cover all three paper levels (absent ones just stay
+  // empty).
+  std::vector<core::OversubLevel> levels;
+  if (streamed) {
+    for (const std::uint8_t ratio : core::kPaperLevelRatios) {
+      levels.push_back(core::OversubLevel{ratio});
+    }
+  } else {
+    levels = levels_present(mix);
+  }
 
   // Both organisations replay the same fault timetable (seed resolved from
   // the cell's workload seed), so the comparison stays apples-to-apples.
@@ -48,17 +84,23 @@ CellResult run_cell(const workload::Catalog& catalog, const workload::LevelMix& 
 
   CellResult cell;
   if (config.shards <= 1) {
-    // Baseline: dedicated First-Fit clusters, one per level present.
-    Datacenter baseline = Datacenter::dedicated(config.host_config, levels_present(mix),
+    // Baseline: dedicated First-Fit clusters.
+    Datacenter baseline = Datacenter::dedicated(config.host_config, levels,
                                                 sched::make_first_fit, config.mem_oversub);
     baseline.set_index_enabled(config.use_index);
-    cell.baseline = replay(baseline, trace, std::nullopt, nullptr, fault_ptr);
+    {
+      const std::unique_ptr<EventSource> source = open_source();
+      cell.baseline = replay(baseline, *source, std::nullopt, nullptr, fault_ptr);
+    }
 
     // SlackVM: one shared cluster, Algorithm-2 progress scoring.
     Datacenter slackvm = Datacenter::shared(config.host_config,
                                             sched::make_progress_policy, config.mem_oversub);
     slackvm.set_index_enabled(config.use_index);
-    cell.slackvm = replay(slackvm, trace, std::nullopt, nullptr, fault_ptr);
+    {
+      const std::unique_ptr<EventSource> source = open_source();
+      cell.slackvm = replay(slackvm, *source, std::nullopt, nullptr, fault_ptr);
+    }
     return cell;
   }
 
@@ -69,16 +111,22 @@ CellResult run_cell(const workload::Catalog& catalog, const workload::LevelMix& 
   shard_options.shards = config.shards;
   shard_options.threads = 1;
   shard_options.faults = fault_ptr;
-  Datacenter baseline = Datacenter::dedicated(config.host_config, levels_present(mix),
+  Datacenter baseline = Datacenter::dedicated(config.host_config, levels,
                                               sched::make_first_fit, config.mem_oversub);
   baseline.set_index_enabled(config.use_index);
-  cell.baseline = replay_sharded(baseline, trace, shard_options);
+  {
+    const std::unique_ptr<EventSource> source = open_source();
+    cell.baseline = replay_sharded(baseline, *source, shard_options);
+  }
 
   Datacenter slackvm =
       Datacenter::shared_sharded(config.host_config, sched::make_progress_policy,
                                  config.shards, config.mem_oversub);
   slackvm.set_index_enabled(config.use_index);
-  cell.slackvm = replay_sharded(slackvm, trace, shard_options);
+  {
+    const std::unique_ptr<EventSource> source = open_source();
+    cell.slackvm = replay_sharded(slackvm, *source, shard_options);
+  }
   return cell;
 }
 

@@ -53,6 +53,17 @@ struct ExperimentConfig {
   /// repetition sees an independent (but reproducible) fault timetable; an
   /// explicit seed pins one timetable across the grid.
   FaultConfig faults{};
+  /// Replay a real trace file instead of generating a workload. When
+  /// non-empty, every cell streams this CSV through workload::TraceReader
+  /// (native or real format, auto-detected; one O(chunk)-memory scan
+  /// pre-pass per replay provides the horizon) and the generator/mix are
+  /// ignored for workload purposes — the dedicated baseline then builds a
+  /// cluster for each of the three paper levels, since the level
+  /// population is decided row-by-row by the classifier. The trace is
+  /// fixed across repetitions, so with faults disabled every repetition is
+  /// identical; repetitions still matter with faults enabled because the
+  /// per-repetition fault seed varies the timetable (CLI/scenario: trace=).
+  std::string trace_path;
 };
 
 /// One baseline-vs-SlackVM comparison (a Fig. 3 bar pair / Fig. 4 cell).

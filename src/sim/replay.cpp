@@ -4,22 +4,41 @@
 #include <optional>
 
 #include "sim/audit.hpp"
+#include "sim/event_source.hpp"
 
 namespace slackvm::sim {
 
-RunResult replay(Datacenter& dc, const workload::Trace& trace,
+RunResult replay(Datacenter& dc, EventSource& source,
                  const std::optional<RebalanceOptions>& rebalance,
                  UsageMonitor* usage_monitor, const FaultConfig* faults) {
   EventQueue queue;
   MetricsCollector metrics;
   RunResult result;
 
-  // Trace-size hint: pre-size placement maps/host vectors before the churn.
-  dc.reserve(trace.size());
+  // Row-count hint: pre-size placement maps/host vectors before the churn.
+  // Purely a performance hint — absent for unscanned streams.
+  if (const std::optional<std::size_t> rows = source.size_hint()) {
+    dc.reserve(*rows);
+  }
+
+  // Periodic control schedules (consolidation passes, usage samples, the
+  // fault timetable) must be laid out before the first event fires, which
+  // needs the horizon up-front. A plain replay converges to the horizon by
+  // observation instead (the last departure is the latest event).
+  const std::optional<core::SimTime> horizon_hint = source.horizon_hint();
+  const bool wants_horizon = rebalance.has_value() || usage_monitor != nullptr ||
+                             (faults != nullptr && faults->enabled());
+  if (wants_horizon && !horizon_hint.has_value()) {
+    SLACKVM_THROW(
+        "replay: rebalance/usage-monitor/fault schedules need the trace "
+        "horizon up-front, but this event source has no horizon hint; "
+        "pre-scan the file (TraceReader::scan) or materialize the trace");
+  }
+  const core::SimTime horizon = horizon_hint.value_or(0.0);
 
   // Fault events (repairs, backoff retries) may legitimately fire past the
   // trace horizon; the run ends at the later of the two.
-  core::SimTime end_time = trace.empty() ? 0.0 : trace.horizon();
+  core::SimTime end_time = horizon;
 
   auto observe = [&dc, &metrics, &result, &end_time](core::SimTime t) {
     end_time = std::max(end_time, t);
@@ -36,34 +55,58 @@ RunResult replay(Datacenter& dc, const workload::Trace& trace,
     injector.emplace(dc, queue, *faults, result, observe);
   }
 
-  for (const core::VmInstance& vm : trace.vms()) {
-    // Both events are scheduled up-front; at equal timestamps the queue
-    // falls back to insertion order, so the replay is fully deterministic.
-    queue.schedule(vm.arrival, [&dc, &result, &vm, &observe, &injector](core::SimTime t) {
-      if (injector.has_value()) {
-        // Under fault injection capacity can be transiently exhausted;
-        // arrivals defer into the retry/degraded machinery instead of
-        // aborting the run.
-        injector->deploy_or_defer(vm.id, vm.spec, t);
-      } else {
-        dc.deploy(vm.id, vm.spec);
-        ++result.placed_vms;
+  // Lazily schedule one trace row: arrival then departure, both on the
+  // workload lane so a row inserted mid-run still wins time ties against
+  // control events exactly as the historical schedule-everything-first
+  // replay did. The row is captured by value — the source's buffers are
+  // long recycled by the time the events fire.
+  const auto schedule_row = [&queue, &dc, &result, &observe,
+                             &injector](const core::VmInstance& vm) {
+    queue.schedule_lane(
+        vm.arrival, EventQueue::kLaneWorkload,
+        [&dc, &result, vm, &observe, &injector](core::SimTime t) {
+          if (injector.has_value()) {
+            // Under fault injection capacity can be transiently exhausted;
+            // arrivals defer into the retry/degraded machinery instead of
+            // aborting the run.
+            injector->deploy_or_defer(vm.id, vm.spec, t);
+          } else {
+            dc.deploy(vm.id, vm.spec);
+            ++result.placed_vms;
+          }
+          observe(t);
+        });
+    queue.schedule_lane(vm.departure, EventQueue::kLaneWorkload,
+                        [&dc, &observe, &injector, id = vm.id](core::SimTime t) {
+                          // A VM still waiting for a retry (or parked
+                          // degraded) is not in the datacenter; the injector
+                          // absorbs its departure.
+                          if (!injector.has_value() || !injector->absorb_departure(id)) {
+                            dc.remove(id);
+                          }
+                          observe(t);
+                        });
+  };
+
+  // The pump invariant: before any event at time T fires, every row with
+  // arrival <= T is scheduled. Rows arrive in nondecreasing order and
+  // depart strictly after they arrive, so pulling until the next row
+  // arrives after the queue's earliest pending event maintains it — and
+  // the queue never holds more than the trace's active window.
+  const auto pump = [&queue, &source, &schedule_row]() {
+    while (const core::VmInstance* row = source.peek()) {
+      if (!queue.empty() && row->arrival > queue.next_time()) {
+        break;
       }
-      observe(t);
-    });
-    queue.schedule(vm.departure, [&dc, &observe, &injector, id = vm.id](core::SimTime t) {
-      // A VM still waiting for a retry (or parked degraded) is not in the
-      // datacenter; the injector absorbs its departure.
-      if (!injector.has_value() || !injector->absorb_departure(id)) {
-        dc.remove(id);
-      }
-      observe(t);
-    });
-  }
+      schedule_row(*row);
+      source.advance();
+    }
+  };
+  pump();
+
   // Must outlive queue.run(): the periodic events below capture it.
   const sched::Rebalancer rebalancer;
-  if (rebalance && !trace.empty()) {
-    const core::SimTime horizon = trace.horizon();
+  if (rebalance && horizon > 0) {
     for (core::SimTime t = rebalance->interval; t < horizon; t += rebalance->interval) {
       queue.schedule(t, [&dc, &result, &rebalancer, &rebalance,
                          &observe](core::SimTime now) {
@@ -72,8 +115,7 @@ RunResult replay(Datacenter& dc, const workload::Trace& trace,
       });
     }
   }
-  if (usage_monitor != nullptr && !trace.empty()) {
-    const core::SimTime horizon = trace.horizon();
+  if (usage_monitor != nullptr && horizon > 0) {
     for (core::SimTime t = usage_monitor->interval() / 2; t < horizon;
          t += usage_monitor->interval()) {
       queue.schedule(t, [&dc, usage_monitor](core::SimTime now) {
@@ -81,17 +123,32 @@ RunResult replay(Datacenter& dc, const workload::Trace& trace,
       });
     }
   }
-  // Armed last so that a fault colliding with a workload event fires after
-  // it (insertion-order ties) — the same order on every run.
+  // Armed last so that control-lane ties between the timetable and the
+  // schedules above resolve the same way on every run. Workload events win
+  // time ties regardless via their lane.
   if (injector.has_value()) {
-    injector->arm(trace.empty() ? 0.0 : trace.horizon());
+    injector->arm(horizon);
   }
-  queue.run();
+
+  while (true) {
+    pump();
+    if (queue.empty()) {
+      break;
+    }
+    queue.step();
+  }
 
   result.opened_pms = dc.opened_pms();
   result.opened_per_cluster = dc.opened_per_cluster();
   metrics.finish(end_time, result);
   return result;
+}
+
+RunResult replay(Datacenter& dc, const workload::Trace& trace,
+                 const std::optional<RebalanceOptions>& rebalance,
+                 UsageMonitor* usage_monitor, const FaultConfig* faults) {
+  MaterializedSource source(trace);
+  return replay(dc, source, rebalance, usage_monitor, faults);
 }
 
 }  // namespace slackvm::sim

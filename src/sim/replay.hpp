@@ -14,6 +14,8 @@
 
 namespace slackvm::sim {
 
+class EventSource;
+
 /// Periodic live-migration consolidation during a replay (paper §VII-B2a
 /// future work).
 struct RebalanceOptions {
@@ -21,15 +23,29 @@ struct RebalanceOptions {
   std::size_t budget_per_pass = 64;         ///< migration cap per cluster/pass
 };
 
-/// Replay `trace` against `dc` (which must be fresh). Deterministic. With
-/// `rebalance` set, a consolidation pass runs every interval; with
-/// `usage_monitor` set, effective-usage samples are taken at the monitor's
-/// interval throughout the run. With `faults` set (and enabled), a
-/// FaultInjector drives host failures/drains/repairs and the evacuation
-/// engine through the same event queue; pass the config through
-/// resolve_fault_seed first when its seed should follow the workload seed.
-/// While the debug-audit flag is set (sim/audit.hpp), every event is
-/// followed by a full invariant audit that throws on the first violation.
+/// Drain `source` (sim/event_source.hpp) against `dc` (which must be
+/// fresh). Deterministic. Rows are pulled and scheduled incrementally, so
+/// resident memory is O(active window) — a multi-GB trace streams through
+/// without ever being materialized. With `rebalance` set, a consolidation
+/// pass runs every interval; with `usage_monitor` set, effective-usage
+/// samples are taken at the monitor's interval throughout the run. With
+/// `faults` set (and enabled), a FaultInjector drives host
+/// failures/drains/repairs and the evacuation engine through the same
+/// event queue; pass the config through resolve_fault_seed first when its
+/// seed should follow the workload seed. Any of those three schedules
+/// needs the horizon before the first event fires: the call throws if the
+/// source has no horizon hint (pre-scan with TraceReader::scan, or
+/// materialize). While the debug-audit flag is set (sim/audit.hpp), every
+/// event is followed by a full invariant audit that throws on the first
+/// violation.
+[[nodiscard]] RunResult replay(Datacenter& dc, EventSource& source,
+                               const std::optional<RebalanceOptions>& rebalance =
+                                   std::nullopt,
+                               UsageMonitor* usage_monitor = nullptr,
+                               const FaultConfig* faults = nullptr);
+
+/// Replay a materialized trace: wraps it in a MaterializedSource and runs
+/// the engine above, so the two paths are bit-identical by construction.
 [[nodiscard]] RunResult replay(Datacenter& dc, const workload::Trace& trace,
                                const std::optional<RebalanceOptions>& rebalance =
                                    std::nullopt,

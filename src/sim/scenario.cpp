@@ -123,6 +123,8 @@ Scenario parse_scenario(std::istream& input) {
           fail("'" + key + "' needs host= and at=");
         }
         scenario.config.faults.directives.push_back(directive);
+      } else if (key == "trace") {
+        scenario.config.trace_path = value;
       } else if (key == "host_cores") {
         scenario.config.host_config.cores =
             static_cast<core::CoreCount>(std::stoul(value));
@@ -161,6 +163,9 @@ void write_scenario(const Scenario& scenario, std::ostream& output) {
   output << "lifetime_days " << scenario.config.generator.mean_lifetime / (24 * 3600)
          << '\n';
   output << "diurnal " << scenario.config.generator.diurnal_amplitude << '\n';
+  if (!scenario.config.trace_path.empty()) {
+    output << "trace " << scenario.config.trace_path << '\n';
+  }
   output << "host_cores " << scenario.config.host_config.cores << '\n';
   output << "host_mem_gib " << scenario.config.host_config.mem_mib / core::kMibPerGib
          << '\n';

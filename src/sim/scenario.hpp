@@ -25,6 +25,11 @@
 //   horizon_days 7
 //   lifetime_days 2
 //   diurnal      0.0
+//   trace        traces/sap_month.csv   # optional: stream this CSV
+//                                  # (workload::TraceReader, native or real
+//                                  # format) instead of generating a
+//                                  # workload; population/seed/horizon then
+//                                  # only shape the fault seeds
 //
 // Fault injection (sim/fault.hpp) — all optional, default off:
 //

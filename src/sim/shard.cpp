@@ -9,6 +9,7 @@
 #include "sched/rebalancer.hpp"
 #include "sim/audit.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/event_source.hpp"
 #include "sim/fault.hpp"
 #include "sim/parallel.hpp"
 
@@ -114,13 +115,26 @@ std::vector<std::pair<std::size_t, std::size_t>> shard_merge_order(
   return order;
 }
 
-RunResult replay_sharded(Datacenter& dc, const workload::Trace& trace,
+RunResult replay_sharded(Datacenter& dc, EventSource& source,
                          const ShardOptions& options) {
   const std::size_t shard_count = std::max<std::size_t>(1, options.shards);
   const std::size_t barrier_count = std::max<std::size_t>(1, options.barriers);
-  const core::SimTime horizon = trace.empty() ? 0.0 : trace.horizon();
 
-  dc.reserve(trace.size());
+  // Barrier windows, the SampleMerger's end time and the fault timetable
+  // all need the horizon before anything runs; an unhinted source cannot
+  // be sharded.
+  const std::optional<core::SimTime> horizon_hint = source.horizon_hint();
+  if (!horizon_hint.has_value()) {
+    SLACKVM_THROW(
+        "replay_sharded: barrier windows need the trace horizon up-front, "
+        "but this event source has no horizon hint; pre-scan the file "
+        "(TraceReader::scan) or materialize the trace");
+  }
+  const core::SimTime horizon = *horizon_hint;
+
+  if (const std::optional<std::size_t> rows = source.size_hint()) {
+    dc.reserve(*rows);
+  }
 
   // Deal clusters round-robin: shard k owns {c : c % shards == k}.
   std::vector<std::unique_ptr<ShardState>> shards;
@@ -162,33 +176,58 @@ RunResult replay_sharded(Datacenter& dc, const workload::Trace& trace,
     }
   }
 
-  // Schedule the trace in arrival order; each VM's events go to the shard
-  // owning its routed cluster, so within a shard the insertion-order
-  // tie-break matches the serial replay exactly.
-  for (const core::VmInstance& vm : trace.vms()) {
+  // Serial demux: route one row to the shard owning its routed cluster,
+  // arrival then departure on the workload lane. Rows are pumped in
+  // arrival (row) order, so within a shard the lane-0 insertion order —
+  // and hence every time tie — matches the materialized path exactly; the
+  // workload lane keeps rows inserted at a late barrier winning time ties
+  // against control events scheduled up-front. The row is captured by
+  // value (the source's buffers are recycled long before events fire).
+  const auto route_row = [&dc, &shards, shard_count](const core::VmInstance& vm) {
     const std::size_t cluster = dc.route(vm.id, vm.spec);
     ShardState& shard = *shards[cluster % shard_count];
-    shard.queue.schedule(vm.arrival, [&dc, &shard, &vm](core::SimTime t) {
-      if (shard.injector.has_value()) {
-        shard.injector->deploy_or_defer(vm.id, vm.spec, t);
-      } else {
-        dc.deploy(vm.id, vm.spec);
-        ++shard.partial.placed_vms;
+    shard.queue.schedule_lane(
+        vm.arrival, EventQueue::kLaneWorkload, [&dc, &shard, vm](core::SimTime t) {
+          if (shard.injector.has_value()) {
+            shard.injector->deploy_or_defer(vm.id, vm.spec, t);
+          } else {
+            dc.deploy(vm.id, vm.spec);
+            ++shard.partial.placed_vms;
+          }
+          shard.observe(t);
+        });
+    shard.queue.schedule_lane(vm.departure, EventQueue::kLaneWorkload,
+                              [&dc, &shard, cluster, id = vm.id](core::SimTime t) {
+                                if (!shard.injector.has_value() ||
+                                    !shard.injector->absorb_departure(id)) {
+                                  // Routed removal (not the probing
+                                  // Datacenter::remove): a shard must never
+                                  // read the other shards' placement maps.
+                                  dc.cluster(cluster).remove(id);
+                                }
+                                shard.observe(t);
+                              });
+  };
+  // Pump every row arriving before `deadline` (all its events lie in the
+  // window: departures are strictly after arrivals, and events at or past
+  // the deadline wait for a later window either way).
+  const auto pump_until = [&source, &route_row](core::SimTime deadline) {
+    while (const core::VmInstance* row = source.peek()) {
+      if (row->arrival >= deadline) {
+        break;
       }
-      shard.observe(t);
-    });
-    shard.queue.schedule(vm.departure, [&dc, &shard, cluster,
-                                        id = vm.id](core::SimTime t) {
-      if (!shard.injector.has_value() || !shard.injector->absorb_departure(id)) {
-        // Routed removal (not the probing Datacenter::remove): a shard must
-        // never read the other shards' placement maps.
-        dc.cluster(cluster).remove(id);
-      }
-      shard.observe(t);
-    });
-  }
+      route_row(*row);
+      source.advance();
+    }
+  };
+  const auto pump_all = [&source, &route_row]() {
+    while (const core::VmInstance* row = source.peek()) {
+      route_row(*row);
+      source.advance();
+    }
+  };
 
-  if (options.rebalance && !trace.empty()) {
+  if (options.rebalance && horizon > 0) {
     for (core::SimTime t = options.rebalance->interval; t < horizon;
          t += options.rebalance->interval) {
       for (const auto& shard_ptr : shards) {
@@ -223,9 +262,12 @@ RunResult replay_sharded(Datacenter& dc, const workload::Trace& trace,
   ParallelRunner runner(options.threads);
 
   // Windowed execution: parallel stretches separated by serial barriers.
+  // Each window's arrivals are demuxed serially before the window runs, so
+  // the shards only ever pull from their own queues while in parallel.
   for (std::size_t b = 1; b < barrier_count; ++b) {
     const core::SimTime deadline =
         horizon * static_cast<double>(b) / static_cast<double>(barrier_count);
+    pump_until(deadline);
     runner.for_each(shard_count,
                     [&shards, deadline](std::size_t k) {
                       shards[k]->queue.run_until(deadline);
@@ -239,8 +281,10 @@ RunResult replay_sharded(Datacenter& dc, const workload::Trace& trace,
     }
     debug_audit_check(dc);
   }
-  // Final window: drain completely (fault repairs/retries may fire past the
-  // horizon).
+  // Final window: demux the remaining rows (arrivals at exactly the last
+  // deadline, or past a 0 horizon), then drain completely (fault
+  // repairs/retries may fire past the horizon).
+  pump_all();
   runner.for_each(shard_count, [&shards](std::size_t k) { shards[k]->queue.run(); });
   merger.merge(shards);
   debug_audit_check(dc);
@@ -266,6 +310,12 @@ RunResult replay_sharded(Datacenter& dc, const workload::Trace& trace,
   result.opened_per_cluster = dc.opened_per_cluster();
   merger.finish(result);
   return result;
+}
+
+RunResult replay_sharded(Datacenter& dc, const workload::Trace& trace,
+                         const ShardOptions& options) {
+  MaterializedSource source(trace);
+  return replay_sharded(dc, source, options);
 }
 
 }  // namespace slackvm::sim

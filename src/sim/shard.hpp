@@ -92,9 +92,23 @@ struct ShardSample {
 [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> shard_merge_order(
     std::span<const std::vector<ShardSample>> logs);
 
-/// Replay `trace` against `dc` (which must be fresh) with the clusters
-/// sharded per `options`. Deterministic and bit-identical to replay() when
+/// Drain `source` (sim/event_source.hpp) against `dc` (which must be
+/// fresh) with the clusters sharded per `options`. Rows are pulled
+/// incrementally: at each barrier the serial demux routes every row
+/// arriving before the next window's deadline to the shard owning its
+/// routed cluster (Datacenter::route — the same pure function the
+/// materialized path uses), in row order, on the workload lane; the final
+/// window drains the source completely. Resident memory is therefore
+/// O(active window + one window's arrivals), never O(trace). The source
+/// must provide a horizon hint (barrier windows and the fault timetable
+/// need it up-front) — pre-scan streaming files with TraceReader::scan, or
+/// materialize. Deterministic and bit-identical to replay() when
 /// options.shards == 1; bit-identical across options.threads always.
+[[nodiscard]] RunResult replay_sharded(Datacenter& dc, EventSource& source,
+                                       const ShardOptions& options = {});
+
+/// Replay a materialized trace: wraps it in a MaterializedSource and runs
+/// the engine above, so the two paths are bit-identical by construction.
 [[nodiscard]] RunResult replay_sharded(Datacenter& dc, const workload::Trace& trace,
                                        const ShardOptions& options = {});
 

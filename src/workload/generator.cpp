@@ -42,46 +42,55 @@ core::VmSpec Generator::sample_spec(core::SplitMix64& rng) const {
   return spec;
 }
 
-Trace Generator::generate() const {
-  core::SplitMix64 rng(config_.seed);
-  core::SplitMix64 spec_rng = rng.fork();
+Generator::Stream::Stream(const Generator& gen)
+    : gen_(&gen), rng_(gen.config_.seed), spec_rng_(rng_.fork()) {}
 
+bool Generator::Stream::next(core::VmInstance& out) {
+  const GeneratorConfig& config = gen_->config_;
   // Little's law: arrival rate lambda = N / E[lifetime] keeps the
   // steady-state population at the target once the ramp-up completes. With
   // a diurnal amplitude the rate is modulated around that mean via Lewis &
   // Shedler thinning (candidates at the peak rate, accepted with
   // probability lambda(t)/lambda_max).
   const double lambda =
-      static_cast<double>(config_.target_population) / config_.mean_lifetime;
-  const double lambda_max = lambda * (1.0 + config_.diurnal_amplitude);
-
-  std::vector<core::VmInstance> vms;
-  std::uint64_t next_id = 1;
-  core::SimTime t = 0;
+      static_cast<double>(config.target_population) / config.mean_lifetime;
+  const double lambda_max = lambda * (1.0 + config.diurnal_amplitude);
   constexpr double kDay = 24.0 * 3600.0;
   while (true) {
-    t += rng.exponential(1.0 / lambda_max);
-    if (t >= config_.horizon) {
-      break;
+    t_ += rng_.exponential(1.0 / lambda_max);
+    if (t_ >= config.horizon) {
+      return false;
     }
-    if (config_.diurnal_amplitude > 0.0) {
+    if (config.diurnal_amplitude > 0.0) {
       const double rate_now =
-          lambda * (1.0 + config_.diurnal_amplitude *
-                              std::sin(2.0 * std::numbers::pi * t / kDay));
-      if (rng.uniform() >= rate_now / lambda_max) {
+          lambda * (1.0 + config.diurnal_amplitude *
+                              std::sin(2.0 * std::numbers::pi * t_ / kDay));
+      if (rng_.uniform() >= rate_now / lambda_max) {
         continue;  // thinned-out candidate
       }
     }
-    core::VmInstance vm;
-    vm.id = core::VmId{next_id++};
-    vm.spec = sample_spec(spec_rng);
-    vm.arrival = t;
+    out.id = core::VmId{next_id_++};
+    out.spec = gen_->sample_spec(spec_rng_);
+    out.arrival = t_;
     // Lifetimes are clipped to the horizon: the paper's experiment measures
     // the week window, so VMs alive at the end simply depart at the horizon.
-    vm.departure = std::min(t + rng.exponential(config_.mean_lifetime), config_.horizon);
-    if (vm.departure <= vm.arrival) {
-      vm.departure = vm.arrival + 1.0;
+    // (The +1.0 bump near the edge means the latest departure can slightly
+    // exceed config.horizon — the true horizon is data-dependent, which is
+    // why GeneratorSource advertises no horizon hint.)
+    out.departure =
+        std::min(t_ + rng_.exponential(config.mean_lifetime), config.horizon);
+    if (out.departure <= out.arrival) {
+      out.departure = out.arrival + 1.0;
     }
+    return true;
+  }
+}
+
+Trace Generator::generate() const {
+  Stream stream(*this);
+  std::vector<core::VmInstance> vms;
+  core::VmInstance vm;
+  while (stream.next(vm)) {
     vms.push_back(vm);
   }
   return Trace(std::move(vms));

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "core/rng.hpp"
 #include "workload/catalog.hpp"
 #include "workload/level_mix.hpp"
 #include "workload/trace.hpp"
@@ -36,6 +37,31 @@ struct GeneratorConfig {
 class Generator {
  public:
   Generator(const Catalog& catalog, LevelMix mix, GeneratorConfig config = {});
+
+  /// Resumable row-at-a-time view of the generated trace. Arrivals are
+  /// emitted in nondecreasing order (the Poisson clock only moves forward),
+  /// so the stream satisfies the sorted-arrival contract of
+  /// sim::EventSource without any buffering. generate() is implemented on
+  /// top of this, so the stream and the materialized trace contain
+  /// identical rows by construction. The Generator (and its catalog) must
+  /// outlive the stream.
+  class Stream {
+   public:
+    explicit Stream(const Generator& gen);
+
+    /// Produce the next VM; false once the arrival clock passes the horizon.
+    bool next(core::VmInstance& out);
+
+   private:
+    const Generator* gen_;
+    core::SplitMix64 rng_;
+    core::SplitMix64 spec_rng_;
+    std::uint64_t next_id_ = 1;
+    core::SimTime t_ = 0;
+  };
+
+  /// Start a fresh stream from the configured seed.
+  [[nodiscard]] Stream stream() const { return Stream(*this); }
 
   /// Generate the full trace. Deterministic for a given (catalog, mix, seed).
   [[nodiscard]] Trace generate() const;

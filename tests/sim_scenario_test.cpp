@@ -95,6 +95,21 @@ TEST(ScenarioParse, RoundTripsThroughWriter) {
   EXPECT_EQ(restored.config.shards, 4U);
 }
 
+TEST(ScenarioParse, TraceKeyRoundTrips) {
+  std::istringstream in("population 10\ntrace traces/sap_month.csv\n");
+  const Scenario scenario = parse_scenario(in);
+  EXPECT_EQ(scenario.config.trace_path, "traces/sap_month.csv");
+
+  // Defaults to empty (generated workload) and round-trips through the
+  // writer when set.
+  std::istringstream plain("population 10\n");
+  EXPECT_TRUE(parse_scenario(plain).config.trace_path.empty());
+  std::stringstream buffer;
+  write_scenario(scenario, buffer);
+  EXPECT_NE(buffer.str().find("trace traces/sap_month.csv"), std::string::npos);
+  EXPECT_EQ(parse_scenario(buffer).config.trace_path, "traces/sap_month.csv");
+}
+
 TEST(ScenarioParse, ShardsKeyParsedAndValidated) {
   std::istringstream in("population 100\nshards 8\n");
   EXPECT_EQ(parse_scenario(in).config.shards, 8U);
