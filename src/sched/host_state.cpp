@@ -61,6 +61,29 @@ void HostState::remove(core::VmId id) {
   ++epoch_;
 }
 
+void HostState::reserve(core::VmId id, const core::VmSpec& spec) {
+  SLACKVM_ASSERT(!reservations_.contains(id));
+  SLACKVM_ASSERT(fits(spec));
+  reservations_.emplace(id, spec);
+  vcpus_per_level_[spec.level.ratio()] += spec.vcpus;
+  committed_mem_ += spec.mem_mib;
+  recompute_alloc_cores();
+  ++epoch_;
+}
+
+void HostState::release_reservation(core::VmId id) {
+  const auto it = reservations_.find(id);
+  if (it == reservations_.end()) {
+    SLACKVM_THROW("HostState::release_reservation: unknown VM");
+  }
+  const core::VmSpec& spec = it->second;
+  vcpus_per_level_[spec.level.ratio()] -= spec.vcpus;
+  committed_mem_ -= spec.mem_mib;
+  reservations_.erase(it);
+  recompute_alloc_cores();
+  ++epoch_;
+}
+
 core::VcpuCount HostState::committed_vcpus(core::OversubLevel level) const noexcept {
   return vcpus_per_level_[level.ratio()];
 }

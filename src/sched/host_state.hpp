@@ -107,6 +107,36 @@ class HostState {
   /// Release a VM; throws for unknown ids.
   void remove(core::VmId id);
 
+  // --- migration reservations (sim/migration.hpp holds them in flight) -----
+  //
+  // A reservation double-books the capacity of a VM that is still running on
+  // its *source* host while its pre-copy is in flight: the spec participates
+  // in every accounting column (per-level vCPUs, committed memory, alloc
+  // cores, epoch) exactly like a hosted VM, so fits()/can_host(), the
+  // placement index and the HostArena aggregates all see the booked space —
+  // but the VM is not in vms() and the host does not count as non-empty.
+
+  /// Book `spec` for an in-flight migration. Callers must have checked
+  /// capacity (fits); throws when `id` is already reserved here.
+  void reserve(core::VmId id, const core::VmSpec& spec);
+
+  /// Release a reservation booked earlier; throws for unknown ids.
+  void release_reservation(core::VmId id);
+
+  [[nodiscard]] std::size_t reservation_count() const noexcept {
+    return reservations_.size();
+  }
+
+  [[nodiscard]] bool has_reservation(core::VmId id) const noexcept {
+    return reservations_.contains(id);
+  }
+
+  /// All in-flight reservations (unordered).
+  [[nodiscard]] const std::unordered_map<core::VmId, core::VmSpec>& reservations()
+      const noexcept {
+    return reservations_;
+  }
+
   [[nodiscard]] std::size_t vm_count() const noexcept { return vms_.size(); }
   [[nodiscard]] bool empty() const noexcept { return vms_.empty(); }
 
@@ -137,6 +167,9 @@ class HostState {
   core::MemMib committed_mem_ = 0;
   std::uint64_t epoch_ = 0;
   std::unordered_map<core::VmId, core::VmSpec> vms_;
+  /// In-flight migration reservations; booked in the accounting columns
+  /// above but not in vms_.
+  std::unordered_map<core::VmId, core::VmSpec> reservations_;
 };
 
 }  // namespace slackvm::sched

@@ -145,6 +145,52 @@ bool VCluster::migrate(core::VmId vm, HostId to) {
   return true;
 }
 
+bool VCluster::try_reserve(HostId host, core::VmId vm, const core::VmSpec& spec) {
+  if (host >= hosts_.size()) {
+    SLACKVM_THROW("VCluster::try_reserve: unknown host");
+  }
+  if (!hosts_[host].can_host(spec)) {
+    return false;  // not UP, or the double-booked capacity does not fit
+  }
+  hosts_[host].reserve(vm, spec);
+  note(host);
+  return true;
+}
+
+void VCluster::release_reservation(HostId host, core::VmId vm) {
+  if (host >= hosts_.size()) {
+    SLACKVM_THROW("VCluster::release_reservation: unknown host");
+  }
+  hosts_[host].release_reservation(vm);
+  note(host);
+}
+
+void VCluster::commit_migration(core::VmId vm, HostId to) {
+  const auto it = placements_.find(vm);
+  if (it == placements_.end()) {
+    SLACKVM_THROW("VCluster::commit_migration: unknown VM");
+  }
+  if (to >= hosts_.size() || !hosts_[to].has_reservation(vm)) {
+    SLACKVM_THROW("VCluster::commit_migration: no reservation held");
+  }
+  const HostId from = it->second;
+  SLACKVM_ASSERT(from != to);
+  // The engine aborts flights before their destination leaves UP; a commit
+  // onto a draining or failed host means a missed notification.
+  SLACKVM_ASSERT(hosts_[to].phase() == HostPhase::kUp);
+  const core::VmSpec spec = hosts_[from].spec_of(vm);
+  // Swap reservation for residency inside one event: the freed booking is
+  // exactly the VM's footprint, so the add can never fail, and no placement
+  // can run between the release and the add.
+  hosts_[to].release_reservation(vm);
+  hosts_[from].remove(vm);
+  SLACKVM_ASSERT(hosts_[to].fits(spec));
+  hosts_[to].add(vm, spec);
+  note(from);
+  note(to);
+  it->second = to;
+}
+
 HostPhase VCluster::host_phase(HostId host) const {
   if (host >= hosts_.size()) {
     SLACKVM_THROW("VCluster::host_phase: unknown host");

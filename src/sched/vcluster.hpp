@@ -64,6 +64,24 @@ class VCluster {
   /// change) when the target cannot host it. Throws for unknown VMs/hosts.
   bool migrate(core::VmId vm, HostId to);
 
+  // --- in-flight migration reservations (sim/migration.hpp) ----------------
+
+  /// Book migration capacity for `vm` on `host`: returns false (no state
+  /// change) unless the host is UP and the spec fits on top of everything
+  /// already hosted *and* reserved there. The booking is visible to every
+  /// placement path (can_host, the placement index, the arena aggregates)
+  /// until released or committed. Throws for unknown hosts.
+  bool try_reserve(HostId host, core::VmId vm, const core::VmSpec& spec);
+
+  /// Roll back a reservation booked earlier; throws when absent.
+  void release_reservation(HostId host, core::VmId vm);
+
+  /// Commit an in-flight migration: atomically swap the reservation on `to`
+  /// for the VM itself and detach it from its source. The reserved capacity
+  /// is exact, so the move cannot fail; throws when `vm` has no reservation
+  /// on `to` or is not placed here.
+  void commit_migration(core::VmId vm, HostId to);
+
   /// Place a VM, opening a new host when no open one fits. Throws when the
   /// VM cannot fit even on an empty host (spec larger than the PM) or when
   /// the host cap is exhausted.

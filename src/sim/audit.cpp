@@ -26,11 +26,27 @@ void audit_host(const sched::HostState& host, const std::string& where,
     fail("FAILED host still runs " + std::to_string(host.vm_count()) + " VMs");
   }
 
+  // Migration flights abort before their destination leaves UP, so a booking
+  // on a draining or failed host means the engine missed a notification.
+  if (host.phase() != sched::HostPhase::kUp && host.reservation_count() > 0) {
+    fail("non-UP host holds " + std::to_string(host.reservation_count()) +
+         " migration reservations");
+  }
+
   // Recompute the per-level commitments and the resource totals from the
-  // per-VM map — the one structure the fast accounting is derived from.
+  // per-VM maps — the structures the fast accounting is derived from. A
+  // migration reservation double-books exactly like a hosted VM, so both
+  // maps feed the recomputation.
   std::array<core::VcpuCount, core::OversubLevel::kMaxRatio + 1> vcpus{};
   core::MemMib mem = 0;
   for (const auto& [vm, spec] : host.vms()) {
+    vcpus[spec.level.ratio()] += spec.vcpus;
+    mem += spec.mem_mib;
+  }
+  for (const auto& [vm, spec] : host.reservations()) {
+    if (host.vms().contains(vm)) {
+      fail("VM " + std::to_string(vm.value) + " both hosted and reserved");
+    }
     vcpus[spec.level.ratio()] += spec.vcpus;
     mem += spec.mem_mib;
   }

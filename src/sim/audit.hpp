@@ -10,6 +10,9 @@
 //    never exceed n x physical cores, and the ceil-rounded vNode cores sum
 //    to the cached allocation, within the PM's core budget);
 //  * memory is conserved and within the (possibly oversubscribed) bound;
+//  * in-flight migration reservations double-book coherently: they feed the
+//    same per-level/memory recomputation as hosted VMs, never overlap the
+//    hosted set, and only UP hosts hold them;
 //  * VM membership is conserved across host maps, cluster placements, and
 //    the per-cluster counts the datacenter aggregates;
 //  * the cluster's struct-of-arrays mirror (sched/host_arena.hpp) agrees

@@ -19,6 +19,10 @@ bool EventQueue::step() {
   Entry entry = std::move(const_cast<Entry&>(heap_.top()));
   heap_.pop();
   now_ = entry.time;
+  // Publish progress before firing: a watchdog sampling mid-action sees the
+  // event that is (possibly) stuck, not the one before it.
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  now_bits_.store(std::bit_cast<std::uint64_t>(now_), std::memory_order_relaxed);
   entry.action(now_);
   return true;
 }

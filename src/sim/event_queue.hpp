@@ -23,6 +23,8 @@
 // and tests/sim_shard_test.cpp.
 #pragma once
 
+#include <atomic>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -74,6 +76,21 @@ class EventQueue {
     return heap_.top().time;
   }
 
+  // --- cross-thread progress probes (the stall watchdog reads these from
+  // another thread while the owner is mid-run; everything else on this class
+  // stays single-owner). Relaxed: the probes are diagnostics, not sync.
+
+  /// Events fired so far over the queue's lifetime.
+  [[nodiscard]] std::uint64_t fired_count() const noexcept {
+    return fired_.load(std::memory_order_relaxed);
+  }
+
+  /// Clock as of the most recently fired event (may trail now() while the
+  /// owner sits between events; exact once the owner blocks).
+  [[nodiscard]] core::SimTime approx_now() const noexcept {
+    return std::bit_cast<core::SimTime>(now_bits_.load(std::memory_order_relaxed));
+  }
+
  private:
   struct Entry {
     core::SimTime time;
@@ -96,6 +113,10 @@ class EventQueue {
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   core::SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  // The atomics make EventQueue immovable; every owner holds it in place
+  // (replay locals, heap-allocated shard states).
+  std::atomic<std::uint64_t> fired_{0};
+  std::atomic<std::uint64_t> now_bits_{0};
 };
 
 }  // namespace slackvm::sim

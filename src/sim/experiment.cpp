@@ -82,6 +82,17 @@ CellResult run_cell(const workload::Catalog& catalog, const workload::LevelMix& 
   const FaultConfig faults = resolve_fault_seed(config.faults, gen_cfg.seed);
   const FaultConfig* fault_ptr = faults.enabled() ? &faults : nullptr;
 
+  // Same story for the rebalance loop: both organisations consolidate on
+  // the same cadence with the same migration semantics (instant or
+  // time-extended flights).
+  std::optional<RebalanceOptions> rebalance;
+  if (config.rebalance_interval > 0) {
+    rebalance.emplace();
+    rebalance->interval = config.rebalance_interval;
+    rebalance->budget_per_pass = config.rebalance_budget;
+    rebalance->migration = config.migration;
+  }
+
   CellResult cell;
   if (config.shards <= 1) {
     // Baseline: dedicated First-Fit clusters.
@@ -90,7 +101,7 @@ CellResult run_cell(const workload::Catalog& catalog, const workload::LevelMix& 
     baseline.set_index_enabled(config.use_index);
     {
       const std::unique_ptr<EventSource> source = open_source();
-      cell.baseline = replay(baseline, *source, std::nullopt, nullptr, fault_ptr);
+      cell.baseline = replay(baseline, *source, rebalance, nullptr, fault_ptr);
     }
 
     // SlackVM: one shared cluster, Algorithm-2 progress scoring.
@@ -99,7 +110,7 @@ CellResult run_cell(const workload::Catalog& catalog, const workload::LevelMix& 
     slackvm.set_index_enabled(config.use_index);
     {
       const std::unique_ptr<EventSource> source = open_source();
-      cell.slackvm = replay(slackvm, *source, std::nullopt, nullptr, fault_ptr);
+      cell.slackvm = replay(slackvm, *source, rebalance, nullptr, fault_ptr);
     }
     return cell;
   }
@@ -111,6 +122,7 @@ CellResult run_cell(const workload::Catalog& catalog, const workload::LevelMix& 
   shard_options.shards = config.shards;
   shard_options.threads = 1;
   shard_options.faults = fault_ptr;
+  shard_options.rebalance = rebalance;
   Datacenter baseline = Datacenter::dedicated(config.host_config, levels,
                                               sched::make_first_fit, config.mem_oversub);
   baseline.set_index_enabled(config.use_index);
@@ -186,6 +198,13 @@ RunResult mean_result(std::span<const RunResult> results) {
   double degraded = 0;
   double deferred = 0;
   double dropped = 0;
+  double mig_planned = 0;
+  double mig_committed = 0;
+  double mig_cancelled = 0;
+  double mig_rolled_back = 0;
+  double mig_timed_out = 0;
+  double mig_degraded = 0;
+  double mig_retries = 0;
   std::map<std::string, double> per_cluster;
   for (const RunResult& r : results) {
     opened += static_cast<double>(r.opened_pms);
@@ -211,6 +230,13 @@ RunResult mean_result(std::span<const RunResult> results) {
     degraded += static_cast<double>(r.degraded_vms);
     deferred += static_cast<double>(r.deferred_arrivals);
     dropped += static_cast<double>(r.arrivals_dropped);
+    mig_planned += static_cast<double>(r.mig_planned);
+    mig_committed += static_cast<double>(r.mig_committed);
+    mig_cancelled += static_cast<double>(r.mig_cancelled);
+    mig_rolled_back += static_cast<double>(r.mig_rolled_back);
+    mig_timed_out += static_cast<double>(r.mig_timed_out);
+    mig_degraded += static_cast<double>(r.mig_degraded);
+    mig_retries += static_cast<double>(r.mig_retries);
     for (const auto& [cluster, pms] : r.opened_per_cluster) {
       per_cluster[cluster] += static_cast<double>(pms);
     }
@@ -240,6 +266,13 @@ RunResult mean_result(std::span<const RunResult> results) {
   out.degraded_vms = round_to_count(degraded, d);
   out.deferred_arrivals = round_to_count(deferred, d);
   out.arrivals_dropped = round_to_count(dropped, d);
+  out.mig_planned = round_to_count(mig_planned, d);
+  out.mig_committed = round_to_count(mig_committed, d);
+  out.mig_cancelled = round_to_count(mig_cancelled, d);
+  out.mig_rolled_back = round_to_count(mig_rolled_back, d);
+  out.mig_timed_out = round_to_count(mig_timed_out, d);
+  out.mig_degraded = round_to_count(mig_degraded, d);
+  out.mig_retries = round_to_count(mig_retries, d);
   for (const auto& [cluster, sum] : per_cluster) {
     out.opened_per_cluster[cluster] = round_to_count(sum, d);
   }

@@ -10,6 +10,7 @@
 #include "sim/datacenter.hpp"
 #include "sim/fault.hpp"
 #include "sim/metrics.hpp"
+#include "sim/migration.hpp"
 #include "workload/catalog.hpp"
 #include "workload/generator.hpp"
 #include "workload/level_mix.hpp"
@@ -53,6 +54,19 @@ struct ExperimentConfig {
   /// repetition sees an independent (but reproducible) fault timetable; an
   /// explicit seed pins one timetable across the grid.
   FaultConfig faults{};
+  /// Continuous rebalance cadence in simulated seconds; 0 disables the
+  /// loop. When > 0 every replay runs with RebalanceOptions{interval,
+  /// budget} — instantly applied plans by default, or time-extended
+  /// flights when `migration.enabled` (CLI/scenario: rebalance_s=,
+  /// rebalance_budget=).
+  core::SimTime rebalance_interval = 0;
+  /// Per-pass migration budget handed to sched::Rebalancer::plan.
+  std::size_t rebalance_budget = 64;
+  /// Live-migration engine knobs (sim/migration.hpp). Only consulted when
+  /// rebalance_interval > 0; `migration.enabled` switches the rebalance
+  /// loop from instant apply_plan to MigrationEngine flights
+  /// (CLI/scenario: migration=engine|instant, mig_*).
+  MigrationConfig migration{};
   /// Replay a real trace file instead of generating a workload. When
   /// non-empty, every cell streams this CSV through workload::TraceReader
   /// (native or real format, auto-detected; one O(chunk)-memory scan

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/error.hpp"
+#include "sim/migration.hpp"
 
 namespace slackvm::sim {
 
@@ -120,6 +121,11 @@ void FaultInjector::fire_drain(std::size_t cluster, sched::HostId host,
   if (cl.host_phase(host) != sched::HostPhase::kUp) {
     return;
   }
+  if (migration_engine_ != nullptr) {
+    // Flights must let go of the host before migrate_off moves its VMs and
+    // before the phase change strands destination reservations.
+    migration_engine_->on_host_draining(cluster, host, now);
+  }
   cl.drain_host(host);
   ++result_.drained_hosts;
   result_.evac_migrated += cl.migrate_off(host);
@@ -131,6 +137,12 @@ void FaultInjector::fire_fail(std::size_t cluster, sched::HostId host, bool auto
   sched::VCluster& cl = dc_.cluster(cluster);
   if (cl.host_phase(host) == sched::HostPhase::kFailed) {
     return;  // double failure (overlapping schedules); the repair is pending
+  }
+  if (migration_engine_ != nullptr) {
+    // Cancel flights sourced here (the eviction below re-places their VMs)
+    // and roll back reservations targeting the dying host — all before any
+    // fleet mutation, so the engine classifies against pre-failure state.
+    migration_engine_->on_host_failing(cluster, host, now);
   }
   ++result_.host_failures;
   const auto victims = dc_.fail_host(cluster, host);

@@ -45,6 +45,8 @@
 
 namespace slackvm::sim {
 
+class MigrationEngine;
+
 /// One explicit fault event (a scenario `fail|drain|repair` directive).
 struct FaultDirective {
   enum class Kind : std::uint8_t { kFail, kDrain, kRepair };
@@ -126,6 +128,14 @@ class FaultInjector {
   /// fire after the workload events that tie with them.
   void arm(core::SimTime horizon);
 
+  /// Notify this engine (sim/migration.hpp) *before* a drain or failure
+  /// mutates the fleet, so in-flight migration reservations on the dying
+  /// host roll back and flights off it convert to evacuations. nullptr
+  /// (the default) disarms the hook. The engine must outlive the injector.
+  void set_migration_engine(MigrationEngine* engine) noexcept {
+    migration_engine_ = engine;
+  }
+
   /// Arrival path under fault injection: place now, or defer into the
   /// retry/degraded machinery when no capacity admits the VM.
   void deploy_or_defer(core::VmId id, const core::VmSpec& spec, core::SimTime now);
@@ -174,6 +184,7 @@ class FaultInjector {
   ShardScope scope_;
   RunResult& result_;
   std::function<void(core::SimTime)> observe_;
+  MigrationEngine* migration_engine_ = nullptr;  ///< unowned; see setter
   std::unordered_map<core::VmId, Pending> pending_;
   std::unordered_set<core::VmId> degraded_;
 };

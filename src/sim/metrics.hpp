@@ -48,6 +48,19 @@ struct RunResult {
   std::size_t degraded_vms = 0;      ///< victims parked in the degraded queue
   std::size_t deferred_arrivals = 0; ///< arrivals deferred for lack of capacity
   std::size_t arrivals_dropped = 0;  ///< deferred arrivals never placed
+
+  // --- time-extended migrations (sim/migration.hpp); zero in instant mode --
+  // Once the queue drains, every accepted rebalance intent is terminal in
+  // exactly one bucket:
+  //   mig_planned == mig_committed + mig_cancelled + mig_rolled_back
+  //                  + mig_timed_out + mig_degraded.
+  std::size_t mig_planned = 0;      ///< rebalance intents accepted by the engine
+  std::size_t mig_committed = 0;    ///< flights that completed and moved the VM
+  std::size_t mig_cancelled = 0;    ///< intents overtaken by departure/failure/drain of the source
+  std::size_t mig_rolled_back = 0;  ///< flights aborted by dest failure/drain, retries exhausted
+  std::size_t mig_timed_out = 0;    ///< flights aborted by the pre-copy timeout
+  std::size_t mig_degraded = 0;     ///< intents parked after no destination was found
+  std::size_t mig_retries = 0;      ///< backoff retry attempts (not part of the identity)
 };
 
 /// Streaming collector driven by the replay loop.

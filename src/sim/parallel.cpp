@@ -1,6 +1,7 @@
 #include "sim/parallel.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace slackvm::sim {
 
@@ -35,7 +36,8 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::run(std::size_t count, const std::function<void(std::size_t)>& task) {
+void ThreadPool::run(std::size_t count, const std::function<void(std::size_t)>& task,
+                     const WatchdogConfig* watchdog) {
   if (count == 0) {
     return;
   }
@@ -74,7 +76,25 @@ void ThreadPool::run(std::size_t count, const std::function<void(std::size_t)>& 
   }
   {
     std::unique_lock<std::mutex> lock(batch_mutex_);
-    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    if (watchdog == nullptr || watchdog->timeout.count() <= 0) {
+      done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    } else {
+      // Bounded wait: every `timeout` without completion is a stall. The
+      // dump runs unlocked so on_stall may take its own locks (or block on
+      // stderr) without deadlocking workers finishing behind its back.
+      while (!done_cv_.wait_for(lock, watchdog->timeout,
+                                [this] { return remaining_ == 0; })) {
+        lock.unlock();
+        if (watchdog->on_stall) {
+          watchdog->on_stall();
+        }
+        if (watchdog->fatal) {
+          // A crash with the dump on stderr beats an undiagnosable hang.
+          std::abort();
+        }
+        lock.lock();
+      }
+    }
     task_ = nullptr;
   }
   std::exception_ptr error;
@@ -179,14 +199,15 @@ ParallelRunner::ParallelRunner(std::size_t parallelism)
 }
 
 void ParallelRunner::for_each(std::size_t count,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              const WatchdogConfig* watchdog) {
   if (pool_ == nullptr) {
     for (std::size_t i = 0; i < count; ++i) {
       fn(i);
     }
     return;
   }
-  pool_->run(count, fn);
+  pool_->run(count, fn, watchdog);
 }
 
 }  // namespace slackvm::sim

@@ -19,6 +19,7 @@
 // count, so serial and parallel experiment results are interchangeable.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -36,6 +37,19 @@ namespace slackvm::sim {
 /// Resolve a parallelism knob: 0 means "all hardware threads", anything
 /// else is taken literally (including 1 = serial).
 [[nodiscard]] std::size_t resolve_parallelism(std::size_t requested) noexcept;
+
+/// Bounded-wait stall watchdog for a task batch. A lost worker (deadlocked
+/// event handler, livelocked barrier) turns a hang into a diagnosed abort:
+/// whenever the batch has made no progress for `timeout`, `on_stall` runs
+/// on the waiting thread (dump per-shard progress, in-flight state, ...)
+/// and, when `fatal`, the process aborts — a stack-producing crash beats an
+/// infinite CI hang. Non-fatal watchdogs keep waiting after the dump (the
+/// testable path). timeout <= 0 disables the watchdog entirely.
+struct WatchdogConfig {
+  std::chrono::milliseconds timeout{0};
+  std::function<void()> on_stall;  ///< may be empty; called once per expiry
+  bool fatal = true;
+};
 
 /// Work-stealing thread pool over indexed task batches (std::thread +
 /// std::mutex/std::condition_variable only, no external dependencies).
@@ -58,8 +72,12 @@ class ThreadPool {
 
   /// Run task(0) .. task(count-1), blocking until every index completed.
   /// The first exception thrown by any task is rethrown here (remaining
-  /// tasks still run to completion, keeping the pool reusable).
-  void run(std::size_t count, const std::function<void(std::size_t)>& task);
+  /// tasks still run to completion, keeping the pool reusable). A watchdog
+  /// (optional) bounds the completion wait: it covers work executing on the
+  /// pool's workers, not the indices the calling thread drains itself
+  /// first.
+  void run(std::size_t count, const std::function<void(std::size_t)>& task,
+           const WatchdogConfig* watchdog = nullptr);
 
  private:
   struct WorkerQueue {
@@ -114,7 +132,10 @@ class ParallelRunner {
   }
 
   /// Indexed for-each with the same ordering/determinism contract as map().
-  void for_each(std::size_t count, const std::function<void(std::size_t)>& fn);
+  /// The watchdog (optional) is forwarded to ThreadPool::run; the serial
+  /// fast path ignores it (an inline loop cannot lose a worker).
+  void for_each(std::size_t count, const std::function<void(std::size_t)>& fn,
+                const WatchdogConfig* watchdog = nullptr);
 
  private:
   std::size_t parallelism_;

@@ -54,14 +54,23 @@ RunResult replay(Datacenter& dc, EventSource& source,
   if (faults != nullptr && faults->enabled()) {
     injector.emplace(dc, queue, *faults, result, observe);
   }
+  std::optional<MigrationEngine> engine;
+  if (rebalance && rebalance->migration.enabled) {
+    engine.emplace(dc, queue, rebalance->migration, result, observe);
+    if (injector.has_value()) {
+      // Faults must abort/reroute the flights they touch *before* they
+      // mutate the fleet (sim/migration.hpp failure semantics).
+      injector->set_migration_engine(&*engine);
+    }
+  }
 
   // Lazily schedule one trace row: arrival then departure, both on the
   // workload lane so a row inserted mid-run still wins time ties against
   // control events exactly as the historical schedule-everything-first
   // replay did. The row is captured by value — the source's buffers are
   // long recycled by the time the events fire.
-  const auto schedule_row = [&queue, &dc, &result, &observe,
-                             &injector](const core::VmInstance& vm) {
+  const auto schedule_row = [&queue, &dc, &result, &observe, &injector,
+                             &engine](const core::VmInstance& vm) {
     queue.schedule_lane(
         vm.arrival, EventQueue::kLaneWorkload,
         [&dc, &result, vm, &observe, &injector](core::SimTime t) {
@@ -77,7 +86,14 @@ RunResult replay(Datacenter& dc, EventSource& source,
           observe(t);
         });
     queue.schedule_lane(vm.departure, EventQueue::kLaneWorkload,
-                        [&dc, &observe, &injector, id = vm.id](core::SimTime t) {
+                        [&dc, &observe, &injector, &engine, id = vm.id](core::SimTime t) {
+                          // A departing VM first cancels any migration intent
+                          // it carries (rolling back an in-flight
+                          // reservation) — the engine must let go before the
+                          // VM leaves the placement maps.
+                          if (engine.has_value()) {
+                            engine->on_departure(id, t);
+                          }
                           // A VM still waiting for a retry (or parked
                           // degraded) is not in the datacenter; the injector
                           // absorbs its departure.
@@ -108,11 +124,27 @@ RunResult replay(Datacenter& dc, EventSource& source,
   const sched::Rebalancer rebalancer;
   if (rebalance && horizon > 0) {
     for (core::SimTime t = rebalance->interval; t < horizon; t += rebalance->interval) {
-      queue.schedule(t, [&dc, &result, &rebalancer, &rebalance,
-                         &observe](core::SimTime now) {
-        result.migrations += dc.rebalance(rebalancer, rebalance->budget_per_pass);
-        observe(now);
-      });
+      if (engine.has_value()) {
+        // Continuous rebalance loop: plan per cluster against the live
+        // (reservation-aware) state and hand every move to the engine as an
+        // intent. Flights already in the air make request() reject repeats,
+        // and the per-cluster in-flight budget bounds the launch rate.
+        queue.schedule(t, [&dc, &rebalancer, &rebalance, &engine](core::SimTime now) {
+          for (std::size_t c = 0; c < dc.clusters().size(); ++c) {
+            const sched::MigrationPlan plan =
+                rebalancer.plan(dc.cluster(c), rebalance->budget_per_pass);
+            for (const sched::Migration& m : plan.migrations) {
+              engine->request(c, m, now);
+            }
+          }
+        });
+      } else {
+        queue.schedule(t, [&dc, &result, &rebalancer, &rebalance,
+                           &observe](core::SimTime now) {
+          result.migrations += dc.rebalance(rebalancer, rebalance->budget_per_pass);
+          observe(now);
+        });
+      }
     }
   }
   if (usage_monitor != nullptr && horizon > 0) {
@@ -136,6 +168,21 @@ RunResult replay(Datacenter& dc, EventSource& source,
       break;
     }
     queue.step();
+  }
+
+  if (engine.has_value()) {
+    // A drained queue means every intent reached a terminal bucket; the
+    // engine re-derives the counter identity and the reservation <-> flight
+    // bijection from first principles.
+    SLACKVM_ASSERT(engine->in_flight() == 0 && engine->pending_intents() == 0);
+    const std::vector<std::string> violations = engine->audit();
+    if (!violations.empty()) {
+      std::string message = "replay: migration audit failed:";
+      for (const std::string& v : violations) {
+        message += "\n  " + v;
+      }
+      SLACKVM_THROW(message);
+    }
   }
 
   result.opened_pms = dc.opened_pms();

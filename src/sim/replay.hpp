@@ -9,6 +9,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/fault.hpp"
 #include "sim/metrics.hpp"
+#include "sim/migration.hpp"
 #include "sim/usage_monitor.hpp"
 #include "workload/trace.hpp"
 
@@ -17,10 +18,14 @@ namespace slackvm::sim {
 class EventSource;
 
 /// Periodic live-migration consolidation during a replay (paper §VII-B2a
-/// future work).
+/// future work). With `migration.enabled`, each pass hands its plan to a
+/// MigrationEngine and the moves become time-extended flights with
+/// reservations, retry/backoff and rollback (sim/migration.hpp); otherwise
+/// plans apply instantaneously — the differential reference path.
 struct RebalanceOptions {
   core::SimTime interval = 6.0 * 3600;      ///< consolidation pass period
   std::size_t budget_per_pass = 64;         ///< migration cap per cluster/pass
+  MigrationConfig migration{};              ///< time-extended flight knobs
 };
 
 /// Drain `source` (sim/event_source.hpp) against `dc` (which must be

@@ -1,6 +1,7 @@
 #include "sim/scenario.hpp"
 
 #include <istream>
+#include <map>
 #include <ostream>
 #include <sstream>
 
@@ -22,6 +23,11 @@ Scenario parse_scenario(std::istream& input) {
   Scenario scenario;
   std::string line;
   std::size_t line_no = 0;
+  // First-seen line per scalar key: every scalar key may appear at most
+  // once, so a stale duplicate (the classic copy-paste edit that silently
+  // loses) is a parse error, not a last-one-wins surprise. Directives
+  // (fail/drain/repair) are events and stay repeatable.
+  std::map<std::string, std::size_t> seen;
   while (std::getline(input, line)) {
     ++line_no;
     // Strip trailing comments.
@@ -36,6 +42,14 @@ Scenario parse_scenario(std::istream& input) {
     const auto fail = [&](const std::string& message) {
       SLACKVM_THROW("scenario line " + std::to_string(line_no) + ": " + message);
     };
+    const bool directive = key == "fail" || key == "drain" || key == "repair";
+    if (!directive) {
+      const auto [first, inserted] = seen.emplace(key, line_no);
+      if (!inserted) {
+        fail("duplicate key '" + key + "' (first set on line " +
+             std::to_string(first->second) + ")");
+      }
+    }
     std::string value;
     if (!(in >> value)) {
       fail("missing value for '" + key + "'");
@@ -91,11 +105,53 @@ Scenario parse_scenario(std::istream& input) {
         scenario.config.faults.max_retries = std::stoull(value);
       } else if (key == "evac_backoff_s") {
         scenario.config.faults.backoff_base = std::stod(value);
+      } else if (key == "rebalance_s") {
+        scenario.config.rebalance_interval = std::stod(value);
+        if (scenario.config.rebalance_interval < 0) {
+          fail("rebalance_s must be >= 0");
+        }
+      } else if (key == "rebalance_budget") {
+        scenario.config.rebalance_budget = std::stoull(value);
+      } else if (key == "migration") {
+        if (value == "engine") {
+          scenario.config.migration.enabled = true;
+        } else if (value == "instant") {
+          scenario.config.migration.enabled = false;
+        } else {
+          fail("migration must be engine|instant");
+        }
+      } else if (key == "mig_bw_mibps") {
+        scenario.config.migration.bandwidth_mibps = std::stod(value);
+        if (!(scenario.config.migration.bandwidth_mibps > 0)) {
+          fail("mig_bw_mibps must be > 0");
+        }
+      } else if (key == "mig_cap") {
+        scenario.config.migration.max_concurrent_per_host = std::stoull(value);
+        if (scenario.config.migration.max_concurrent_per_host == 0) {
+          fail("mig_cap must be >= 1");
+        }
+      } else if (key == "mig_in_flight") {
+        scenario.config.migration.max_in_flight = std::stoull(value);
+        if (scenario.config.migration.max_in_flight == 0) {
+          fail("mig_in_flight must be >= 1");
+        }
+      } else if (key == "mig_timeout_s") {
+        scenario.config.migration.timeout = std::stod(value);
+        if (scenario.config.migration.timeout < 0) {
+          fail("mig_timeout_s must be >= 0");
+        }
+      } else if (key == "mig_retries") {
+        scenario.config.migration.max_retries = std::stoull(value);
+      } else if (key == "mig_backoff_s") {
+        scenario.config.migration.backoff_base = std::stod(value);
+        if (scenario.config.migration.backoff_base < 0) {
+          fail("mig_backoff_s must be >= 0");
+        }
       } else if (key == "fail" || key == "drain" || key == "repair") {
-        FaultDirective directive;
-        directive.kind = key == "fail"    ? FaultDirective::Kind::kFail
-                         : key == "drain" ? FaultDirective::Kind::kDrain
-                                          : FaultDirective::Kind::kRepair;
+        FaultDirective event;
+        event.kind = key == "fail"    ? FaultDirective::Kind::kFail
+                     : key == "drain" ? FaultDirective::Kind::kDrain
+                                      : FaultDirective::Kind::kRepair;
         bool have_host = false;
         bool have_at = false;
         // `value` holds the first field; the rest stream in.
@@ -108,13 +164,13 @@ Scenario parse_scenario(std::istream& input) {
           const std::string field = token.substr(0, eq);
           const std::string field_value = token.substr(eq + 1);
           if (field == "host") {
-            directive.host = static_cast<sched::HostId>(std::stoul(field_value));
+            event.host = static_cast<sched::HostId>(std::stoul(field_value));
             have_host = true;
           } else if (field == "at") {
-            directive.at = std::stod(field_value);
+            event.at = std::stod(field_value);
             have_at = true;
           } else if (field == "cluster") {
-            directive.cluster = std::stoull(field_value);
+            event.cluster = std::stoull(field_value);
           } else {
             fail("unknown directive field '" + field + "'");
           }
@@ -122,7 +178,7 @@ Scenario parse_scenario(std::istream& input) {
         if (!have_host || !have_at) {
           fail("'" + key + "' needs host= and at=");
         }
-        scenario.config.faults.directives.push_back(directive);
+        scenario.config.faults.directives.push_back(event);
       } else if (key == "trace") {
         scenario.config.trace_path = value;
       } else if (key == "host_cores") {
@@ -132,6 +188,16 @@ Scenario parse_scenario(std::istream& input) {
         scenario.config.host_config.mem_mib = core::gib(std::stoll(value));
       } else {
         fail("unknown key '" + key + "'");
+      }
+      // Scalar keys take exactly one value: leftover tokens are either a
+      // forgotten '#' or a mangled line, so reject them with the position
+      // instead of silently dropping them. Directives consumed the whole
+      // line themselves above.
+      if (!directive) {
+        std::string extra;
+        if (in >> extra) {
+          fail("trailing token '" + extra + "' after '" + key + " " + value + "'");
+        }
       }
     } catch (const std::invalid_argument&) {
       fail("invalid value '" + value + "' for '" + key + "'");
@@ -176,6 +242,16 @@ void write_scenario(const Scenario& scenario, std::ostream& output) {
   output << "drain_lead_s " << faults.drain_lead << '\n';
   output << "evac_retries " << faults.max_retries << '\n';
   output << "evac_backoff_s " << faults.backoff_base << '\n';
+  output << "rebalance_s " << scenario.config.rebalance_interval << '\n';
+  output << "rebalance_budget " << scenario.config.rebalance_budget << '\n';
+  const MigrationConfig& migration = scenario.config.migration;
+  output << "migration " << (migration.enabled ? "engine" : "instant") << '\n';
+  output << "mig_bw_mibps " << migration.bandwidth_mibps << '\n';
+  output << "mig_cap " << migration.max_concurrent_per_host << '\n';
+  output << "mig_in_flight " << migration.max_in_flight << '\n';
+  output << "mig_timeout_s " << migration.timeout << '\n';
+  output << "mig_retries " << migration.max_retries << '\n';
+  output << "mig_backoff_s " << migration.backoff_base << '\n';
   for (const FaultDirective& directive : faults.directives) {
     const char* kind = directive.kind == FaultDirective::Kind::kFail    ? "fail"
                        : directive.kind == FaultDirective::Kind::kDrain ? "drain"

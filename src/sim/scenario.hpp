@@ -42,6 +42,25 @@
 //   fail   host=3 at=86400          # explicit events (cluster=N optional);
 //   repair host=3 at=90000          # explicit failures never auto-repair
 //   drain  host=7 at=43200
+//
+// Continuous rebalance / live migration (sim/migration.hpp) — optional:
+//
+//   rebalance_s     21600            # consolidation cadence (0 = off)
+//   rebalance_budget 64              # migrations planned per cluster/pass
+//   migration       engine           # engine = time-extended flights with
+//                                    # retry/rollback; instant = legacy
+//                                    # apply_plan teleport
+//   mig_bw_mibps    1024             # pre-copy bandwidth (flight duration =
+//                                    # VM mem / bandwidth)
+//   mig_cap         2                # concurrent flights per host (src+dst)
+//   mig_in_flight   16               # concurrent flights per cluster
+//   mig_timeout_s   0                # per-flight deadline (0 = none)
+//   mig_retries     3                # rollback retry budget per VM
+//   mig_backoff_s   60               # base of the exponential retry backoff
+//
+// Every scalar key may appear at most once (duplicates are parse errors),
+// and takes exactly one value (trailing tokens are parse errors);
+// fail/drain/repair directives may repeat.
 #pragma once
 
 #include <iosfwd>

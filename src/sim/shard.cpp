@@ -1,9 +1,12 @@
 #include "sim/shard.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <memory>
+#include <sstream>
 
 #include "core/error.hpp"
 #include "sched/rebalancer.hpp"
@@ -11,6 +14,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/event_source.hpp"
 #include "sim/fault.hpp"
+#include "sim/migration.hpp"
 #include "sim/parallel.hpp"
 
 namespace slackvm::sim {
@@ -26,6 +30,7 @@ struct ShardState {
   std::vector<ShardSample> log;   ///< observations, drained at each barrier
   std::function<void(core::SimTime)> observe;
   std::optional<FaultInjector> injector;
+  std::optional<MigrationEngine> engine;  ///< time-extended migration flights
   const sched::Rebalancer rebalancer{};
 };
 
@@ -174,6 +179,16 @@ RunResult replay_sharded(Datacenter& dc, EventSource& source,
       shard.injector.emplace(dc, shard.queue, *options.faults, shard.partial,
                              shard.observe, ShardScope{k, shard_count});
     }
+    if (options.rebalance && options.rebalance->migration.enabled) {
+      // One engine per shard, scoped like the injector: all flight state is
+      // per-cluster, so the union of the shard engines evolves exactly like
+      // the serial engine.
+      shard.engine.emplace(dc, shard.queue, options.rebalance->migration,
+                           shard.partial, shard.observe, ShardScope{k, shard_count});
+      if (shard.injector.has_value()) {
+        shard.injector->set_migration_engine(&*shard.engine);
+      }
+    }
   }
 
   // Serial demux: route one row to the shard owning its routed cluster,
@@ -198,6 +213,11 @@ RunResult replay_sharded(Datacenter& dc, EventSource& source,
         });
     shard.queue.schedule_lane(vm.departure, EventQueue::kLaneWorkload,
                               [&dc, &shard, cluster, id = vm.id](core::SimTime t) {
+                                // Migration intents let go before the VM
+                                // leaves the placement maps (see replay()).
+                                if (shard.engine.has_value()) {
+                                  shard.engine->on_departure(id, t);
+                                }
                                 if (!shard.injector.has_value() ||
                                     !shard.injector->absorb_departure(id)) {
                                   // Routed removal (not the probing
@@ -235,17 +255,33 @@ RunResult replay_sharded(Datacenter& dc, EventSource& source,
         if (shard.clusters.empty()) {
           continue;
         }
-        shard.queue.schedule(
-            t, [&dc, &shard, budget = options.rebalance->budget_per_pass](
-                   core::SimTime now) {
-              for (const std::size_t c : shard.clusters) {
-                const sched::MigrationPlan plan =
-                    shard.rebalancer.plan(*dc.clusters()[c], budget);
-                shard.partial.migrations +=
-                    sched::Rebalancer::apply_plan(dc.cluster(c), plan);
-              }
-              shard.observe(now);
-            });
+        if (shard.engine.has_value()) {
+          // Engine mode: hand each cluster's plan to the shard's engine as
+          // intents (see replay()); request() pumps and observes itself.
+          shard.queue.schedule(
+              t, [&dc, &shard, budget = options.rebalance->budget_per_pass](
+                     core::SimTime now) {
+                for (const std::size_t c : shard.clusters) {
+                  const sched::MigrationPlan plan =
+                      shard.rebalancer.plan(*dc.clusters()[c], budget);
+                  for (const sched::Migration& m : plan.migrations) {
+                    shard.engine->request(c, m, now);
+                  }
+                }
+              });
+        } else {
+          shard.queue.schedule(
+              t, [&dc, &shard, budget = options.rebalance->budget_per_pass](
+                     core::SimTime now) {
+                for (const std::size_t c : shard.clusters) {
+                  const sched::MigrationPlan plan =
+                      shard.rebalancer.plan(*dc.clusters()[c], budget);
+                  shard.partial.migrations +=
+                      sched::Rebalancer::apply_plan(dc.cluster(c), plan);
+                }
+                shard.observe(now);
+              });
+        }
       }
     }
   }
@@ -261,6 +297,30 @@ RunResult replay_sharded(Datacenter& dc, EventSource& source,
   SampleMerger merger(shard_count, horizon);
   ParallelRunner runner(options.threads);
 
+  // Bounded-wait barrier watchdog: a shard that stops draining its window
+  // turns into a per-shard progress dump on stderr (and an abort when
+  // fatal) instead of an undiagnosable hang.
+  WatchdogConfig watchdog;
+  watchdog.timeout = std::chrono::milliseconds(options.watchdog_ms);
+  watchdog.fatal = options.watchdog_fatal;
+  watchdog.on_stall = [&shards] {
+    std::ostringstream os;
+    os << "replay_sharded: barrier stalled; per-shard progress:\n";
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+      const ShardState& shard = *shards[k];
+      os << "  shard " << k << ": " << shard.clusters.size() << " clusters, "
+         << shard.queue.fired_count() << " events fired, sim time "
+         << shard.queue.approx_now();
+      if (shard.engine.has_value()) {
+        os << ", " << shard.engine->in_flight() << " migrations in flight";
+      }
+      os << '\n';
+    }
+    std::fputs(os.str().c_str(), stderr);
+    std::fflush(stderr);
+  };
+  const WatchdogConfig* dog = options.watchdog_ms > 0 ? &watchdog : nullptr;
+
   // Windowed execution: parallel stretches separated by serial barriers.
   // Each window's arrivals are demuxed serially before the window runs, so
   // the shards only ever pull from their own queues while in parallel.
@@ -268,10 +328,10 @@ RunResult replay_sharded(Datacenter& dc, EventSource& source,
     const core::SimTime deadline =
         horizon * static_cast<double>(b) / static_cast<double>(barrier_count);
     pump_until(deadline);
-    runner.for_each(shard_count,
-                    [&shards, deadline](std::size_t k) {
-                      shards[k]->queue.run_until(deadline);
-                    });
+    runner.for_each(
+        shard_count,
+        [&shards, deadline](std::size_t k) { shards[k]->queue.run_until(deadline); },
+        dog);
     // Barrier (serial): merge + drop the window's samples, replay every
     // placement index's dirty log in one linear batch, and — in tests —
     // audit the whole datacenter.
@@ -285,12 +345,27 @@ RunResult replay_sharded(Datacenter& dc, EventSource& source,
   // deadline, or past a 0 horizon), then drain completely (fault
   // repairs/retries may fire past the horizon).
   pump_all();
-  runner.for_each(shard_count, [&shards](std::size_t k) { shards[k]->queue.run(); });
+  runner.for_each(
+      shard_count, [&shards](std::size_t k) { shards[k]->queue.run(); }, dog);
   merger.merge(shards);
   debug_audit_check(dc);
 
   RunResult result;
   for (const auto& shard : shards) {
+    if (shard->engine.has_value()) {
+      // Drained queues mean every intent is terminal; re-derive the counter
+      // identity and the reservation <-> flight bijection per shard.
+      SLACKVM_ASSERT(shard->engine->in_flight() == 0 &&
+                     shard->engine->pending_intents() == 0);
+      const std::vector<std::string> violations = shard->engine->audit();
+      if (!violations.empty()) {
+        std::string message = "replay_sharded: migration audit failed:";
+        for (const std::string& v : violations) {
+          message += "\n  " + v;
+        }
+        SLACKVM_THROW(message);
+      }
+    }
     const RunResult& p = shard->partial;
     result.migrations += p.migrations;
     result.placed_vms += p.placed_vms;
@@ -305,6 +380,13 @@ RunResult replay_sharded(Datacenter& dc, EventSource& source,
     result.degraded_vms += p.degraded_vms;
     result.deferred_arrivals += p.deferred_arrivals;
     result.arrivals_dropped += p.arrivals_dropped;
+    result.mig_planned += p.mig_planned;
+    result.mig_committed += p.mig_committed;
+    result.mig_cancelled += p.mig_cancelled;
+    result.mig_rolled_back += p.mig_rolled_back;
+    result.mig_timed_out += p.mig_timed_out;
+    result.mig_degraded += p.mig_degraded;
+    result.mig_retries += p.mig_retries;
   }
   result.opened_pms = dc.opened_pms();
   result.opened_per_cluster = dc.opened_per_cluster();

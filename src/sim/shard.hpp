@@ -71,6 +71,14 @@ struct ShardOptions {
   /// Fault injection, as in replay(); each shard owns the timetable events
   /// that target its clusters.
   const FaultConfig* faults = nullptr;
+  /// Stall watchdog over every barrier wait (sim/parallel.hpp): when a
+  /// window makes no progress for this long, per-shard progress (clusters
+  /// owned, events fired, simulated time, in-flight migrations) is dumped
+  /// to stderr and — with `watchdog_fatal` — the process aborts instead of
+  /// hanging. 0 disables. Ignored on the serial path (threads <= 1), where
+  /// no cross-thread wait exists.
+  std::size_t watchdog_ms = 0;
+  bool watchdog_fatal = true;
 };
 
 /// One metric observation recorded by a shard after one of its events:

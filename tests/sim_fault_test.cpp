@@ -492,6 +492,13 @@ void expect_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.degraded_vms, b.degraded_vms);
   EXPECT_EQ(a.deferred_arrivals, b.deferred_arrivals);
   EXPECT_EQ(a.arrivals_dropped, b.arrivals_dropped);
+  EXPECT_EQ(a.mig_planned, b.mig_planned);
+  EXPECT_EQ(a.mig_committed, b.mig_committed);
+  EXPECT_EQ(a.mig_cancelled, b.mig_cancelled);
+  EXPECT_EQ(a.mig_rolled_back, b.mig_rolled_back);
+  EXPECT_EQ(a.mig_timed_out, b.mig_timed_out);
+  EXPECT_EQ(a.mig_degraded, b.mig_degraded);
+  EXPECT_EQ(a.mig_retries, b.mig_retries);
 }
 
 TEST(FaultAcceptance, HundredFailuresBitIdenticalAcrossParallelismAndIndex) {

@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "sim/audit.hpp"
@@ -163,6 +165,47 @@ TEST(ThreadPoolTest, PropagatesTaskExceptions) {
   std::atomic<std::size_t> total{0};
   pool.run(8, [&total](std::size_t) { ++total; });
   EXPECT_EQ(total.load(), 8U);
+}
+
+TEST(ThreadPoolTest, NonFatalWatchdogDumpsAndKeepsWaiting) {
+  // A worker wedges until the watchdog's on_stall releases it: the bounded
+  // wait must fire at least once, and run() must still complete the batch
+  // afterwards (non-fatal watchdogs keep waiting after the dump).
+  ThreadPool pool(2);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int> stalls{0};
+  std::atomic<bool> worker_ran{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> executed{0};
+  WatchdogConfig watchdog;
+  watchdog.timeout = std::chrono::milliseconds(20);
+  watchdog.fatal = false;
+  watchdog.on_stall = [&stalls, &release] {
+    stalls.fetch_add(1);
+    release.store(true);  // un-wedge the worker so the batch can finish
+  };
+  pool.run(
+      16,
+      [&](std::size_t) {
+        executed.fetch_add(1);
+        if (std::this_thread::get_id() == caller) {
+          // The caller drains its share before it starts watching the pool;
+          // keep it busy long enough for the workers to wake and grab work.
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          return;
+        }
+        worker_ran.store(true);
+        while (!release.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      },
+      &watchdog);
+  EXPECT_EQ(executed.load(), 16);
+  EXPECT_TRUE(worker_ran.load());
+  if (worker_ran.load()) {
+    // A wedged worker can only have been released by on_stall.
+    EXPECT_GE(stalls.load(), 1);
+  }
 }
 
 TEST(ParallelRunnerTest, MapReturnsResultsInIndexOrder) {

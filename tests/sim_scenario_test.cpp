@@ -117,6 +117,93 @@ TEST(ScenarioParse, ShardsKeyParsedAndValidated) {
   EXPECT_THROW((void)parse_scenario(zero), core::SlackError);
 }
 
+TEST(ScenarioParse, DuplicateScalarKeyRejectedWithBothLines) {
+  std::istringstream in("population 100\nseed 1\npopulation 200\n");
+  try {
+    (void)parse_scenario(in);
+    FAIL() << "expected SlackError";
+  } catch (const core::SlackError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate key 'population'"), std::string::npos) << what;
+    EXPECT_NE(what.find("first set on line 1"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioParse, DirectiveKeysMayRepeat) {
+  std::istringstream in(R"(population 100
+fail host=0 at=3600
+fail host=1 at=7200
+drain host=2 at=1800
+repair host=0 at=9000
+repair host=1 at=9600 cluster=1
+)");
+  const Scenario scenario = parse_scenario(in);
+  ASSERT_EQ(scenario.config.faults.directives.size(), 5U);
+  EXPECT_EQ(scenario.config.faults.directives[4].cluster, 1U);
+}
+
+TEST(ScenarioParse, TrailingTokensRejected) {
+  std::istringstream in("population 100 extra\n");
+  try {
+    (void)parse_scenario(in);
+    FAIL() << "expected SlackError";
+  } catch (const core::SlackError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("trailing token 'extra'"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+  }
+  // A trailing comment is not a trailing token.
+  std::istringstream commented("population 100 # fleet size\n");
+  EXPECT_EQ(parse_scenario(commented).config.generator.target_population, 100U);
+}
+
+TEST(ScenarioParse, MigrationKeysParsedValidatedAndRoundTripped) {
+  std::istringstream in(R"(population 100
+rebalance_s 7200
+rebalance_budget 8
+migration engine
+mig_bw_mibps 512
+mig_cap 3
+mig_in_flight 24
+mig_timeout_s 900
+mig_retries 5
+mig_backoff_s 120
+)");
+  const Scenario scenario = parse_scenario(in);
+  EXPECT_DOUBLE_EQ(scenario.config.rebalance_interval, 7200.0);
+  EXPECT_EQ(scenario.config.rebalance_budget, 8U);
+  EXPECT_TRUE(scenario.config.migration.enabled);
+  EXPECT_DOUBLE_EQ(scenario.config.migration.bandwidth_mibps, 512.0);
+  EXPECT_EQ(scenario.config.migration.max_concurrent_per_host, 3U);
+  EXPECT_EQ(scenario.config.migration.max_in_flight, 24U);
+  EXPECT_DOUBLE_EQ(scenario.config.migration.timeout, 900.0);
+  EXPECT_EQ(scenario.config.migration.max_retries, 5U);
+  EXPECT_DOUBLE_EQ(scenario.config.migration.backoff_base, 120.0);
+
+  std::stringstream buffer;
+  write_scenario(scenario, buffer);
+  const Scenario restored = parse_scenario(buffer);
+  EXPECT_DOUBLE_EQ(restored.config.rebalance_interval, 7200.0);
+  EXPECT_EQ(restored.config.rebalance_budget, 8U);
+  EXPECT_TRUE(restored.config.migration.enabled);
+  EXPECT_DOUBLE_EQ(restored.config.migration.bandwidth_mibps, 512.0);
+  EXPECT_EQ(restored.config.migration.max_concurrent_per_host, 3U);
+  EXPECT_EQ(restored.config.migration.max_in_flight, 24U);
+  EXPECT_DOUBLE_EQ(restored.config.migration.timeout, 900.0);
+  EXPECT_EQ(restored.config.migration.max_retries, 5U);
+  EXPECT_DOUBLE_EQ(restored.config.migration.backoff_base, 120.0);
+
+  std::istringstream bad_mode("population 10\nmigration teleport\n");
+  EXPECT_THROW((void)parse_scenario(bad_mode), core::SlackError);
+  std::istringstream bad_bw("population 10\nmig_bw_mibps 0\n");
+  EXPECT_THROW((void)parse_scenario(bad_bw), core::SlackError);
+  std::istringstream bad_cap("population 10\nmig_cap 0\n");
+  EXPECT_THROW((void)parse_scenario(bad_cap), core::SlackError);
+  std::istringstream bad_interval("population 10\nrebalance_s -1\n");
+  EXPECT_THROW((void)parse_scenario(bad_interval), core::SlackError);
+}
+
 TEST(ScenarioRun, SmallScenarioExecutes) {
   std::istringstream in(R"(name smoke
 provider ovhcloud

@@ -57,6 +57,13 @@ void expect_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.degraded_vms, b.degraded_vms);
   EXPECT_EQ(a.deferred_arrivals, b.deferred_arrivals);
   EXPECT_EQ(a.arrivals_dropped, b.arrivals_dropped);
+  EXPECT_EQ(a.mig_planned, b.mig_planned);
+  EXPECT_EQ(a.mig_committed, b.mig_committed);
+  EXPECT_EQ(a.mig_cancelled, b.mig_cancelled);
+  EXPECT_EQ(a.mig_rolled_back, b.mig_rolled_back);
+  EXPECT_EQ(a.mig_timed_out, b.mig_timed_out);
+  EXPECT_EQ(a.mig_degraded, b.mig_degraded);
+  EXPECT_EQ(a.mig_retries, b.mig_retries);
 }
 
 workload::Trace make_trace(std::size_t population, std::uint64_t seed) {
@@ -200,6 +207,25 @@ TEST(ShardDifferential, BarrierCountNeverChangesResults) {
     SCOPED_TRACE("barriers " + std::to_string(barriers));
     expect_identical(reference, result);
   }
+}
+
+// The barrier watchdog is pure observation: a tiny non-fatal timeout fires
+// progress dumps on slow windows (stderr noise only) and must never change
+// the replay — bit-identical to the undogged reference, faults and all.
+TEST(ShardDifferential, NonFatalWatchdogNeverChangesResults) {
+  ScopedDebugAudit audit_every_event;
+  const workload::Trace trace = make_trace(100, 9);
+  const FaultConfig faults = make_faults();
+  ShardOptions options;
+  options.shards = 4;
+  options.threads = 4;
+  options.faults = &faults;
+  Datacenter reference_dc = make_dc(4, true);
+  const RunResult reference = replay_sharded(reference_dc, trace, options);
+  options.watchdog_ms = 1;  // virtually every barrier wait trips the dump
+  options.watchdog_fatal = false;
+  Datacenter dc = make_dc(4, true);
+  expect_identical(reference, replay_sharded(dc, trace, options));
 }
 
 // More shards than clusters: the excess shards own nothing and the run is

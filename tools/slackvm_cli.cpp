@@ -52,12 +52,15 @@ struct Args {
   std::string out_path = "trace.csv";
   double mem_oversub = 1.0;
   double rebalance_s = 0.0;
+  std::size_t rebalance_budget = 64;
   std::size_t parallelism = 1;
   std::size_t repetitions = 1;
   std::size_t shards = 1;
   bool use_index = true;
   bool stream = true;
+  double watchdog_s = 0.0;
   sim::FaultConfig faults;
+  sim::MigrationConfig migration;
 };
 
 int usage() {
@@ -80,7 +83,17 @@ int usage() {
                "                            materialize it first; bit-identical)\n"
                "         --faults N        (seed-derived host failures over the run)\n"
                "         --fault-seed N    (0 = derive from --seed)\n"
-               "         --repair-s X  --drain-lead-s X   (fault timing knobs)\n");
+               "         --repair-s X  --drain-lead-s X   (fault timing knobs)\n"
+               "         --rebalance-budget N  (migrations planned per cluster/pass)\n"
+               "         --migration engine|instant  (time-extended flights with\n"
+               "                            retry/rollback, or legacy instant apply)\n"
+               "         --mig-bw MIBPS  --mig-cap N  --mig-in-flight N\n"
+               "         --mig-timeout-s X  --mig-retries N  --mig-backoff-s X\n"
+               "                           (engine knobs: pre-copy bandwidth, per-host\n"
+               "                            and per-cluster concurrency, deadline,\n"
+               "                            retry budget, backoff base)\n"
+               "         --watchdog-s X    (sharded replay: abort with a per-shard\n"
+               "                            progress dump after X seconds of stall)\n");
   return 2;
 }
 
@@ -155,6 +168,34 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.faults.repair_delay = std::strtod(value(), nullptr);
     } else if (key == "--drain-lead-s") {
       args.faults.drain_lead = std::strtod(value(), nullptr);
+    } else if (key == "--rebalance-budget") {
+      args.rebalance_budget = std::strtoull(value(), nullptr, 10);
+    } else if (key == "--migration") {
+      const std::string v = value();
+      if (v == "engine") {
+        args.migration.enabled = true;
+      } else if (v == "instant") {
+        args.migration.enabled = false;
+      } else {
+        throw core::SlackError("--migration must be engine|instant");
+      }
+    } else if (key == "--mig-bw") {
+      args.migration.bandwidth_mibps = std::strtod(value(), nullptr);
+      if (!(args.migration.bandwidth_mibps > 0)) {
+        throw core::SlackError("--mig-bw must be > 0");
+      }
+    } else if (key == "--mig-cap") {
+      args.migration.max_concurrent_per_host = std::strtoull(value(), nullptr, 10);
+    } else if (key == "--mig-in-flight") {
+      args.migration.max_in_flight = std::strtoull(value(), nullptr, 10);
+    } else if (key == "--mig-timeout-s") {
+      args.migration.timeout = std::strtod(value(), nullptr);
+    } else if (key == "--mig-retries") {
+      args.migration.max_retries = std::strtoull(value(), nullptr, 10);
+    } else if (key == "--mig-backoff-s") {
+      args.migration.backoff_base = std::strtod(value(), nullptr);
+    } else if (key == "--watchdog-s") {
+      args.watchdog_s = std::strtod(value(), nullptr);
     } else {
       throw core::SlackError("unknown option " + key);
     }
@@ -277,7 +318,8 @@ int cmd_replay(const Args& args) {
   dc.set_index_enabled(args.use_index);
   std::optional<sim::RebalanceOptions> rebalance;
   if (args.rebalance_s > 0) {
-    rebalance = sim::RebalanceOptions{args.rebalance_s, 64};
+    rebalance = sim::RebalanceOptions{args.rebalance_s, args.rebalance_budget,
+                                      args.migration};
   }
   const sim::FaultConfig faults = sim::resolve_fault_seed(args.faults, args.seed);
   const sim::FaultConfig* fault_ptr = faults.enabled() ? &faults : nullptr;
@@ -310,6 +352,8 @@ int cmd_replay(const Args& args) {
     shard_options.threads = args.parallelism;
     shard_options.rebalance = rebalance;
     shard_options.faults = fault_ptr;
+    shard_options.watchdog_ms =
+        static_cast<std::size_t>(args.watchdog_s * 1000.0);
     result = sim::replay_sharded(dc, *source, shard_options);
   } else {
     result = sim::replay(dc, *source, rebalance, nullptr, fault_ptr);
@@ -325,6 +369,13 @@ int cmd_replay(const Args& args) {
               result.avg_unalloc_cpu_share * 100, result.avg_unalloc_mem_share * 100);
   if (result.migrations > 0) {
     std::printf("migrations     : %zu\n", result.migrations);
+  }
+  if (result.mig_planned > 0) {
+    std::printf("mig flights    : %zu planned -> %zu committed, %zu cancelled, "
+                "%zu rolled back, %zu timed out, %zu degraded (%zu retries)\n",
+                result.mig_planned, result.mig_committed, result.mig_cancelled,
+                result.mig_rolled_back, result.mig_timed_out, result.mig_degraded,
+                result.mig_retries);
   }
   if (faults.enabled()) {
     std::printf("faults         : %zu failures, %zu repairs, %zu drains\n",
@@ -354,6 +405,9 @@ int cmd_sweep(const Args& args) {
   cfg.use_index = args.use_index;
   cfg.faults = args.faults;  // per-cell seed resolution happens in run_cell
   cfg.trace_path = args.trace_path;  // optional: stream a real trace per cell
+  cfg.rebalance_interval = args.rebalance_s;
+  cfg.rebalance_budget = args.rebalance_budget;
+  cfg.migration = args.migration;
   std::printf("dist,share1,share2,share3,baseline_pms,slackvm_pms,saving_pct,"
               "base_cpu_stranded,base_mem_stranded,slack_cpu_stranded,"
               "slack_mem_stranded\n");
@@ -379,6 +433,9 @@ int cmd_heatmap(const Args& args) {
   cfg.shards = args.shards;
   cfg.use_index = args.use_index;
   cfg.faults = args.faults;
+  cfg.rebalance_interval = args.rebalance_s;
+  cfg.rebalance_budget = args.rebalance_budget;
+  cfg.migration = args.migration;
   std::printf("pct_1to1,pct_2to1,pct_3to1,saving_pct\n");
   for (const auto& cell :
        sim::run_savings_heatmap(workload::catalog_by_name(args.provider), cfg)) {
@@ -408,6 +465,15 @@ int cmd_run_scenario(const Args& args) {
   std::printf("slackvm  (shared):       %zu PMs, stranded cpu %.1f%% mem %.1f%%\n",
               cmp.slackvm.opened_pms, cmp.slackvm.avg_unalloc_cpu_share * 100,
               cmp.slackvm.avg_unalloc_mem_share * 100);
+  if (cmp.slackvm.mig_planned > 0) {
+    std::printf("mig flights (slackvm):   %zu planned -> %zu committed, "
+                "%zu cancelled, %zu rolled back, %zu timed out, %zu degraded "
+                "(%zu retries)\n",
+                cmp.slackvm.mig_planned, cmp.slackvm.mig_committed,
+                cmp.slackvm.mig_cancelled, cmp.slackvm.mig_rolled_back,
+                cmp.slackvm.mig_timed_out, cmp.slackvm.mig_degraded,
+                cmp.slackvm.mig_retries);
+  }
   std::printf("==> saving %.1f%%\n", cmp.pm_saving_pct());
   return 0;
 }
