@@ -16,6 +16,8 @@ void HostArena::copy_row(const HostState& host) {
   config_cores_[id] = host.config().cores;
   config_mem_[id] = host.config().mem_mib;
   vm_count_[id] = static_cast<std::uint32_t>(host.vm_count());
+  heat_[id] = host.heat();
+  heat_bucket_[id] = host.heat_bucket();
   core::VcpuCount* levels = &vcpus_per_level_[std::size_t{id} * kLevels];
   levels[0] = 0;
   for (std::uint8_t ratio = 1; ratio <= core::OversubLevel::kMaxRatio; ++ratio) {
@@ -33,6 +35,8 @@ void HostArena::push_host(const HostState& host) {
   config_cores_.emplace_back();
   config_mem_.emplace_back();
   vm_count_.emplace_back();
+  heat_.emplace_back();
+  heat_bucket_.emplace_back();
   vcpus_per_level_.resize(vcpus_per_level_.size() + kLevels);
   copy_row(host);
   total_alloc_ += host.alloc();
@@ -57,6 +61,8 @@ void HostArena::pop_host() {
   config_cores_.pop_back();
   config_mem_.pop_back();
   vm_count_.pop_back();
+  heat_.pop_back();
+  heat_bucket_.pop_back();
   vcpus_per_level_.resize(vcpus_per_level_.size() - kLevels);
 }
 
@@ -86,6 +92,8 @@ void HostArena::reserve(std::size_t hosts) {
   config_cores_.reserve(hosts);
   config_mem_.reserve(hosts);
   vm_count_.reserve(hosts);
+  heat_.reserve(hosts);
+  heat_bucket_.reserve(hosts);
   vcpus_per_level_.reserve(hosts * kLevels);
 }
 
@@ -146,6 +154,16 @@ std::vector<std::string> HostArena::check(std::span<const HostState> hosts) cons
     if (vm_count_[id] != host.vm_count()) {
       fail(id, "vm_count " + std::to_string(vm_count_[id]) + " != " +
                    std::to_string(host.vm_count()));
+    }
+    // Exact comparison on purpose: the column is copied verbatim, so any
+    // difference at all is mirror drift, not floating-point noise.
+    if (heat_[id] != host.heat()) {
+      fail(id, "heat " + std::to_string(heat_[id]) + " != " +
+                   std::to_string(host.heat()));
+    }
+    if (heat_bucket_[id] != host.heat_bucket()) {
+      fail(id, "heat bucket " + std::to_string(heat_bucket_[id]) + " != " +
+                   std::to_string(host.heat_bucket()));
     }
     for (std::uint8_t ratio = 1; ratio <= core::OversubLevel::kMaxRatio; ++ratio) {
       const core::VcpuCount mirrored =

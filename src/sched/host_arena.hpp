@@ -69,6 +69,12 @@ class HostArena {
   [[nodiscard]] HostPhase phase(HostId host) const noexcept {
     return static_cast<HostPhase>(phase_[host]);
   }
+  /// Raw interference heat EWMA mirrored from HostState::heat().
+  [[nodiscard]] double heat(HostId host) const noexcept { return heat_[host]; }
+  /// Quantization bucket mirrored from HostState::heat_bucket().
+  [[nodiscard]] std::uint32_t heat_bucket(HostId host) const noexcept {
+    return heat_bucket_[host];
+  }
 
   /// Same admission answer as hosts[host].can_host(spec), computed from the
   /// columns: UP phase, memory within the (oversubscribed) bound, and the
@@ -93,6 +99,8 @@ class HostArena {
   std::vector<core::CoreCount> config_cores_;
   std::vector<core::MemMib> config_mem_;
   std::vector<std::uint32_t> vm_count_;
+  std::vector<double> heat_;
+  std::vector<std::uint32_t> heat_bucket_;
   /// Flattened [host][ratio] vCPU commitments, kLevels entries per host.
   std::vector<core::VcpuCount> vcpus_per_level_;
 

@@ -67,6 +67,46 @@ class HostState {
     }
   }
 
+  // --- interference heat (sim/usage_monitor.hpp feeds it) ------------------
+  //
+  // `heat` is an EWMA of runnable vCPU demand per physical core — the q that
+  // perf::ContentionModel maps to response inflation. The raw value moves a
+  // little on every sample; caching layers must not see every wiggle, so the
+  // value the scorers read is *quantized*: bucket = floor(heat / width), and
+  // the epoch advances only when the bucket changes (same contract as
+  // set_phase above). Within a bucket every cached PlacementIndex entry
+  // stays exact; a crossing invalidates them all.
+
+  /// Update the heat EWMA. Negative inputs clamp to zero; `bucket_width <= 0`
+  /// disables quantization (bucket pinned at 0, epoch never bumped by heat).
+  void set_heat(double heat, double bucket_width) noexcept {
+    heat_ = std::max(heat, 0.0);
+    heat_bucket_width_ = bucket_width;
+    const std::uint32_t bucket =
+        bucket_width > 0.0 ? static_cast<std::uint32_t>(heat_ / bucket_width) : 0;
+    if (heat_bucket_ != bucket) {
+      heat_bucket_ = bucket;
+      ++epoch_;
+    }
+  }
+
+  /// Raw EWMA heat (runnable demand / physical cores).
+  [[nodiscard]] double heat() const noexcept { return heat_; }
+
+  /// Quantization bucket index of the current heat.
+  [[nodiscard]] std::uint32_t heat_bucket() const noexcept { return heat_bucket_; }
+
+  [[nodiscard]] double heat_bucket_width() const noexcept {
+    return heat_bucket_width_;
+  }
+
+  /// The heat value scorers are allowed to read: the lower edge of the
+  /// current bucket. Changes only when the epoch does, which is what keeps
+  /// index-cached scores valid (sched/placement_index.hpp purity contract).
+  [[nodiscard]] double quantized_heat() const noexcept {
+    return static_cast<double>(heat_bucket_) * heat_bucket_width_;
+  }
+
   /// Memory admission bound: config.mem_mib * mem_oversub.
   [[nodiscard]] core::MemMib mem_capacity() const noexcept {
     return static_cast<core::MemMib>(static_cast<double>(config_.mem_mib) *
@@ -165,6 +205,9 @@ class HostState {
   std::array<core::VcpuCount, core::OversubLevel::kMaxRatio + 1> vcpus_per_level_{};
   core::CoreCount alloc_cores_ = 0;
   core::MemMib committed_mem_ = 0;
+  double heat_ = 0.0;
+  double heat_bucket_width_ = 0.0;
+  std::uint32_t heat_bucket_ = 0;
   std::uint64_t epoch_ = 0;
   std::unordered_map<core::VmId, core::VmSpec> vms_;
   /// In-flight migration reservations; booked in the accounting columns

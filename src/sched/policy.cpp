@@ -76,6 +76,11 @@ std::unique_ptr<PlacementPolicy> make_random_fit(std::uint64_t seed) {
   return std::make_unique<RandomPolicy>(seed);
 }
 
+std::unique_ptr<PlacementPolicy> make_interference_policy(double heat_weight) {
+  return std::make_unique<ScorePolicy>(
+      std::make_unique<InterferenceScorer>(heat_weight));
+}
+
 std::unique_ptr<PlacementPolicy> make_slackvm_policy(double packing_weight) {
   auto composite = std::make_unique<CompositeScorer>();
   composite->add(std::make_unique<ProgressScorer>(), 1.0);

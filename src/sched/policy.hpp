@@ -113,6 +113,12 @@ class RandomPolicy final : public PlacementPolicy {
 [[nodiscard]] std::unique_ptr<PlacementPolicy> make_worst_fit();
 [[nodiscard]] std::unique_ptr<PlacementPolicy> make_random_fit(std::uint64_t seed = 42);
 
+/// Interference-aware placement: Algorithm 2's progress score stacked with a
+/// penalty on the host's quantized heat (scorer.hpp InterferenceScorer).
+/// Serves the index in kScore mode like every other ScorePolicy.
+[[nodiscard]] std::unique_ptr<PlacementPolicy> make_interference_policy(
+    double heat_weight = 1.0);
+
 /// The production-shaped SlackVM policy (paper §VII-B2: "providers may guide
 /// workload packing by adjusting the weight of our metric in their scoring
 /// mechanism, alongside their other criteria"): the Algorithm-2 progress

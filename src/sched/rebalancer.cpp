@@ -3,7 +3,23 @@
 #include <algorithm>
 #include <optional>
 
+#include "core/error.hpp"
+#include "perf/contention.hpp"
+#include "workload/usage.hpp"
+
 namespace slackvm::sched {
+
+void InterferenceOptions::validate() const {
+  if (!enabled) {
+    return;
+  }
+  SLACKVM_ASSERT(heat_interval > 0.0);
+  SLACKVM_ASSERT(heat_alpha > 0.0 && heat_alpha <= 1.0);
+  SLACKVM_ASSERT(heat_bucket > 0.0);
+  SLACKVM_ASSERT(heat_weight >= 0.0);
+  SLACKVM_ASSERT(threshold >= 1.0);
+  SLACKVM_ASSERT(evictions_per_pass > 0);
+}
 
 Rebalancer::Rebalancer(std::unique_ptr<Scorer> scorer) : scorer_(std::move(scorer)) {
   if (!scorer_) {
@@ -83,6 +99,101 @@ MigrationPlan Rebalancer::plan(const VCluster& cluster,
     emptied[*candidate] = true;
     plan.migrations.insert(plan.migrations.end(), drain.begin(), drain.end());
     ++plan.hosts_emptied;
+  }
+  return plan;
+}
+
+MigrationPlan Rebalancer::plan_interference(const VCluster& cluster,
+                                            const perf::ContentionModel& model,
+                                            const InterferenceOptions& options) const {
+  MigrationPlan plan;
+  if (!options.enabled) {
+    return plan;
+  }
+  // Scratch copy: planned evictions adjust the copies' heat so one pass
+  // spreads its moves instead of dogpiling the coolest host. Each host is
+  // considered as a polluter source at most once per pass.
+  std::vector<HostState> hosts = cluster.hosts();
+  std::vector<bool> attempted(hosts.size(), false);
+
+  while (plan.migrations.size() < options.evictions_per_pass) {
+    // Hottest untried UP host with at least two VMs (evicting the only VM
+    // of a host just moves the whole load somewhere cooler — polluter
+    // separation needs co-located victims to split).
+    std::optional<std::size_t> source;
+    for (std::size_t h = 0; h < hosts.size(); ++h) {
+      if (attempted[h] || hosts[h].phase() != HostPhase::kUp ||
+          hosts[h].vm_count() < 2) {
+        continue;
+      }
+      if (!source || hosts[h].heat() > hosts[*source].heat()) {
+        source = h;  // strict > keeps ties on the lowest id
+      }
+    }
+    if (!source) {
+      break;
+    }
+    // The fleet is scanned hottest-first, so once the hottest candidate sits
+    // below the threshold every other host does too.
+    if (model.contention_inflation(hosts[*source].heat()) <= options.threshold) {
+      break;
+    }
+    attempted[*source] = true;
+    ++plan.hot_hosts;
+    HostState& src = hosts[*source];
+
+    // Heaviest contributor: max expected physical-core demand, i.e. vCPUs
+    // weighted by the VM's long-run mean usage. Deterministic: candidates
+    // are ranked in ascending VmId order and replaced only on strictly
+    // higher demand, so ties keep the lowest id.
+    std::vector<core::VmId> vms;
+    vms.reserve(src.vm_count());
+    for (const auto& [id, spec] : src.vms()) {
+      vms.push_back(id);
+    }
+    std::ranges::sort(vms);
+    std::optional<core::VmId> victim;
+    double victim_demand = 0.0;
+    for (const core::VmId vm : vms) {
+      const core::VmSpec& spec = src.spec_of(vm);
+      const double demand = static_cast<double>(spec.vcpus) *
+                            workload::UsageSignal(vm, spec.usage).mean();
+      if (!victim || demand > victim_demand) {
+        victim = vm;
+        victim_demand = demand;
+      }
+    }
+    const core::VmSpec spec = src.spec_of(*victim);
+
+    // Coolest strictly-cooler UP host that fits the victim; ties to the
+    // lowest id via strict <.
+    std::optional<std::size_t> target;
+    for (std::size_t h = 0; h < hosts.size(); ++h) {
+      if (h == *source || hosts[h].heat() >= src.heat() ||
+          !hosts[h].can_host(spec)) {
+        continue;
+      }
+      if (!target || hosts[h].heat() < hosts[*target].heat()) {
+        target = h;
+      }
+    }
+    if (!target) {
+      continue;  // hottest host is stuck; try the next-hottest
+    }
+
+    // Move the victim in scratch and shift its expected demand share
+    // between the two heat columns (the EWMA re-converges on the real
+    // values at the next heat refresh; this only guides within-pass
+    // decisions).
+    src.remove(*victim);
+    hosts[*target].add(*victim, spec);
+    const double src_cores = static_cast<double>(src.config().cores);
+    const double dst_cores = static_cast<double>(hosts[*target].config().cores);
+    src.set_heat(src.heat() - victim_demand / src_cores, options.heat_bucket);
+    hosts[*target].set_heat(hosts[*target].heat() + victim_demand / dst_cores,
+                            options.heat_bucket);
+    plan.migrations.push_back(Migration{*victim, static_cast<HostId>(*source),
+                                        static_cast<HostId>(*target)});
   }
   return plan;
 }

@@ -9,13 +9,23 @@
 // whole drain is abandoned, so the plan never leaves a host half-emptied
 // for nothing. Planning runs against a copy of the cluster state; the
 // caller applies the plan with apply_plan().
+// A second, orthogonal pass — plan_interference — closes the QoS loop: it
+// picks the hottest host whose contention inflation (perf::ContentionModel
+// applied to the host's heat EWMA) exceeds a threshold and evicts the
+// heaviest contributor toward a cool host (Angelou et al.'s
+// interference-aware rescheduling cycle: monitor → decide → live-migrate).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "sched/scorer.hpp"
 #include "sched/vcluster.hpp"
+
+namespace slackvm::perf {
+class ContentionModel;
+}  // namespace slackvm::perf
 
 namespace slackvm::sched {
 
@@ -29,8 +39,35 @@ struct Migration {
 struct MigrationPlan {
   std::vector<Migration> migrations;
   std::size_t hosts_emptied = 0;
+  /// Hosts found above the interference threshold (plan_interference only).
+  std::size_t hot_hosts = 0;
 
   [[nodiscard]] bool empty() const noexcept { return migrations.empty(); }
+};
+
+/// Knobs of the interference loop: how heat is accumulated and quantized
+/// (consumed by sim::update_cluster_heat and HostState::set_heat), how the
+/// InterferenceScorer weighs it, and when the polluter pass fires. Lives
+/// here so sim::RebalanceOptions and the scenario/CLI layers share one
+/// source of truth.
+struct InterferenceOptions {
+  bool enabled = false;
+  /// Seconds between heat EWMA refreshes (replay schedules one per cluster).
+  double heat_interval = 900.0;
+  /// EWMA smoothing factor in (0, 1]: heat' = alpha*q + (1-alpha)*heat.
+  double heat_alpha = 0.3;
+  /// Quantization bucket width (epoch bumps only on bucket crossings).
+  double heat_bucket = 0.25;
+  /// InterferenceScorer penalty weight per unit of quantized heat.
+  double heat_weight = 4.0;
+  /// Polluter pass fires on hosts whose contention_inflation(heat) exceeds
+  /// this (1.0 == no inflation; Table IV's 2:1 operating point is ~1.26).
+  double threshold = 1.25;
+  /// Max polluter evictions planned per rebalance pass.
+  std::size_t evictions_per_pass = 4;
+
+  /// Validate the knobs (throws core::SlackError); no-op when disabled.
+  void validate() const;
 };
 
 class Rebalancer {
@@ -43,6 +80,18 @@ class Rebalancer {
   /// The cluster is not modified.
   [[nodiscard]] MigrationPlan plan(const VCluster& cluster,
                                    std::size_t max_migrations) const;
+
+  /// Polluter-detection pass. Repeatedly picks the hottest untried UP host
+  /// with >= 2 VMs whose contention inflation model(heat) exceeds
+  /// options.threshold, and plans the eviction of its heaviest contributor
+  /// (max expected core demand: vcpus x mean usage, ties to the lowest
+  /// VmId) toward the coolest UP host that fits it and is strictly cooler
+  /// than the source (ties to the lowest HostId). Scratch heats are
+  /// adjusted after each planned move so one pass does not dogpile a single
+  /// cool target. The cluster is not modified; fully deterministic.
+  [[nodiscard]] MigrationPlan plan_interference(
+      const VCluster& cluster, const perf::ContentionModel& model,
+      const InterferenceOptions& options) const;
 
   /// Execute a plan. Returns the number of migrations actually performed
   /// (a migration may be skipped if the cluster changed since planning).

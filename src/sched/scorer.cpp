@@ -30,6 +30,22 @@ double WorstFitScorer::score(const HostState& host, const core::VmSpec& spec) co
   return -best_.score(host, spec);
 }
 
+InterferenceScorer::InterferenceScorer(double heat_weight)
+    : heat_weight_(heat_weight) {
+  SLACKVM_ASSERT(heat_weight >= 0.0);
+}
+
+double InterferenceScorer::score(const HostState& host,
+                                 const core::VmSpec& spec) const {
+  return progress_.score(host, spec) - heat_weight_ * host.quantized_heat();
+}
+
+std::string InterferenceScorer::name() const {
+  std::ostringstream os;
+  os << "interference-aware(w=" << heat_weight_ << ')';
+  return os.str();
+}
+
 void CompositeScorer::add(std::unique_ptr<Scorer> scorer, double weight) {
   SLACKVM_ASSERT(scorer != nullptr);
   parts_.push_back(Part{std::move(scorer), weight});

@@ -57,6 +57,27 @@ class WorstFitScorer final : public Scorer {
   BestFitScorer best_;  ///< negated per call; held, not rebuilt per score
 };
 
+/// Interference-aware scorer: Algorithm 2's progress score minus a penalty
+/// proportional to the host's *quantized* heat (HostState::quantized_heat).
+/// Reading the quantized value — never the raw EWMA — is what keeps this
+/// scorer inside the PlacementIndex lazy-deletion protocol: the score of a
+/// host can only change when its epoch does (heat-bucket crossings bump it),
+/// so cached heap entries stay exact within a bucket.
+class InterferenceScorer final : public Scorer {
+ public:
+  explicit InterferenceScorer(double heat_weight = 1.0);
+
+  [[nodiscard]] double score(const HostState& host,
+                             const core::VmSpec& spec) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double heat_weight() const noexcept { return heat_weight_; }
+
+ private:
+  ProgressScorer progress_;
+  double heat_weight_ = 1.0;
+};
+
 /// Weighted sum of scorers, mirroring how providers compose dozens of rules;
 /// used by the ablation bench to mix Algorithm 2 with packing pressure.
 class CompositeScorer final : public Scorer {

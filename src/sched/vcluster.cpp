@@ -145,6 +145,27 @@ bool VCluster::migrate(core::VmId vm, HostId to) {
   return true;
 }
 
+void VCluster::set_host_heat(HostId host, double heat, double bucket_width) {
+  if (host >= hosts_.size()) {
+    SLACKVM_THROW("VCluster::set_host_heat: unknown host");
+  }
+  const std::uint64_t before = hosts_[host].epoch();
+  hosts_[host].set_heat(heat, bucket_width);
+  // Within a bucket the epoch is unchanged and every cached index score is
+  // still exact — refresh the arena mirror but spare the index a touch.
+  arena_.refresh(hosts_[host]);
+  if (hosts_[host].epoch() != before) {
+    touch(host);
+  }
+}
+
+double VCluster::host_heat(HostId host) const {
+  if (host >= hosts_.size()) {
+    SLACKVM_THROW("VCluster::host_heat: unknown host");
+  }
+  return hosts_[host].heat();
+}
+
 bool VCluster::try_reserve(HostId host, core::VmId vm, const core::VmSpec& spec) {
   if (host >= hosts_.size()) {
     SLACKVM_THROW("VCluster::try_reserve: unknown host");

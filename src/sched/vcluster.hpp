@@ -130,6 +130,17 @@ class VCluster {
   /// draining.
   std::size_t migrate_off(HostId host);
 
+  // --- interference heat (sim/usage_monitor.hpp feeds it) ------------------
+
+  /// Update a host's interference-heat EWMA through the index-safe funnel:
+  /// the arena row is re-mirrored always, the placement index is touched
+  /// only when the quantized bucket crossed (== the epoch bumped). Throws
+  /// for unknown hosts.
+  void set_host_heat(HostId host, double heat, double bucket_width);
+
+  /// Raw heat of an opened host; throws for unknown hosts.
+  [[nodiscard]] double host_heat(HostId host) const;
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const PlacementPolicy& policy() const noexcept { return *policy_; }
 

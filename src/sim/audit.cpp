@@ -86,6 +86,24 @@ void audit_host(const sched::HostState& host, const std::string& where,
     fail("memory capacity exceeded: " + std::to_string(mem) + " > " +
          std::to_string(host.mem_capacity()));
   }
+
+  // Interference heat: the EWMA never goes negative (set_heat clamps), and
+  // the quantized bucket the scorers read must be the bucket of the raw
+  // value — a drifted bucket means an epoch bump was skipped and the
+  // placement index may hold stale-but-"valid" entries.
+  if (host.heat() < 0.0) {
+    fail("negative heat " + std::to_string(host.heat()));
+  }
+  const std::uint32_t expected_bucket =
+      host.heat_bucket_width() > 0.0
+          ? static_cast<std::uint32_t>(host.heat() / host.heat_bucket_width())
+          : 0;
+  if (host.heat_bucket() != expected_bucket) {
+    fail("heat bucket " + std::to_string(host.heat_bucket()) +
+         " != quantize(" + std::to_string(host.heat()) + ", " +
+         std::to_string(host.heat_bucket_width()) + ") = " +
+         std::to_string(expected_bucket));
+  }
 }
 
 }  // namespace

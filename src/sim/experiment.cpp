@@ -91,7 +91,21 @@ CellResult run_cell(const workload::Catalog& catalog, const workload::LevelMix& 
     rebalance->interval = config.rebalance_interval;
     rebalance->budget_per_pass = config.rebalance_budget;
     rebalance->migration = config.migration;
+    rebalance->interference = config.interference;
   }
+
+  // With interference armed the shared organisation also scores placements
+  // heat-aware; the dedicated baseline keeps First-Fit (it has no scoring
+  // stage to stack the penalty onto) but still runs the same heat/polluter
+  // schedules, so the comparison stays apples-to-apples on the loop cost.
+  const bool interference =
+      rebalance.has_value() && rebalance->interference.enabled;
+  const auto shared_policy = [&]() -> std::unique_ptr<sched::PlacementPolicy> {
+    if (interference) {
+      return sched::make_interference_policy(config.interference.heat_weight);
+    }
+    return sched::make_progress_policy();
+  };
 
   CellResult cell;
   if (config.shards <= 1) {
@@ -104,9 +118,10 @@ CellResult run_cell(const workload::Catalog& catalog, const workload::LevelMix& 
       cell.baseline = replay(baseline, *source, rebalance, nullptr, fault_ptr);
     }
 
-    // SlackVM: one shared cluster, Algorithm-2 progress scoring.
-    Datacenter slackvm = Datacenter::shared(config.host_config,
-                                            sched::make_progress_policy, config.mem_oversub);
+    // SlackVM: one shared cluster, Algorithm-2 progress scoring (heat-aware
+    // when the interference loop is armed).
+    Datacenter slackvm =
+        Datacenter::shared(config.host_config, shared_policy, config.mem_oversub);
     slackvm.set_index_enabled(config.use_index);
     {
       const std::unique_ptr<EventSource> source = open_source();
@@ -131,9 +146,8 @@ CellResult run_cell(const workload::Catalog& catalog, const workload::LevelMix& 
     cell.baseline = replay_sharded(baseline, *source, shard_options);
   }
 
-  Datacenter slackvm =
-      Datacenter::shared_sharded(config.host_config, sched::make_progress_policy,
-                                 config.shards, config.mem_oversub);
+  Datacenter slackvm = Datacenter::shared_sharded(
+      config.host_config, shared_policy, config.shards, config.mem_oversub);
   slackvm.set_index_enabled(config.use_index);
   {
     const std::unique_ptr<EventSource> source = open_source();
@@ -205,6 +219,13 @@ RunResult mean_result(std::span<const RunResult> results) {
   double mig_timed_out = 0;
   double mig_degraded = 0;
   double mig_retries = 0;
+  double heat_updates = 0;
+  double itf_passes = 0;
+  double itf_hot_hosts = 0;
+  double itf_evictions = 0;
+  double itf_applied = 0;
+  double itf_requested = 0;
+  double itf_skipped = 0;
   std::map<std::string, double> per_cluster;
   for (const RunResult& r : results) {
     opened += static_cast<double>(r.opened_pms);
@@ -237,6 +258,13 @@ RunResult mean_result(std::span<const RunResult> results) {
     mig_timed_out += static_cast<double>(r.mig_timed_out);
     mig_degraded += static_cast<double>(r.mig_degraded);
     mig_retries += static_cast<double>(r.mig_retries);
+    heat_updates += static_cast<double>(r.heat_updates);
+    itf_passes += static_cast<double>(r.itf_passes);
+    itf_hot_hosts += static_cast<double>(r.itf_hot_hosts);
+    itf_evictions += static_cast<double>(r.itf_evictions);
+    itf_applied += static_cast<double>(r.itf_applied);
+    itf_requested += static_cast<double>(r.itf_requested);
+    itf_skipped += static_cast<double>(r.itf_skipped);
     for (const auto& [cluster, pms] : r.opened_per_cluster) {
       per_cluster[cluster] += static_cast<double>(pms);
     }
@@ -273,6 +301,13 @@ RunResult mean_result(std::span<const RunResult> results) {
   out.mig_timed_out = round_to_count(mig_timed_out, d);
   out.mig_degraded = round_to_count(mig_degraded, d);
   out.mig_retries = round_to_count(mig_retries, d);
+  out.heat_updates = round_to_count(heat_updates, d);
+  out.itf_passes = round_to_count(itf_passes, d);
+  out.itf_hot_hosts = round_to_count(itf_hot_hosts, d);
+  out.itf_evictions = round_to_count(itf_evictions, d);
+  out.itf_applied = round_to_count(itf_applied, d);
+  out.itf_requested = round_to_count(itf_requested, d);
+  out.itf_skipped = round_to_count(itf_skipped, d);
   for (const auto& [cluster, sum] : per_cluster) {
     out.opened_per_cluster[cluster] = round_to_count(sum, d);
   }

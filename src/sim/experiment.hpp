@@ -67,6 +67,13 @@ struct ExperimentConfig {
   /// loop from instant apply_plan to MigrationEngine flights
   /// (CLI/scenario: migration=engine|instant, mig_*).
   MigrationConfig migration{};
+  /// Interference loop knobs (sched/rebalancer.hpp). Only consulted when
+  /// rebalance_interval > 0; `interference.enabled` arms the heat EWMA
+  /// schedule and the polluter pass in every replay, and switches the
+  /// shared organisation's policy from plain progress scoring to
+  /// sched::make_interference_policy(heat_weight) (CLI/scenario:
+  /// interference=on|off, heat_*, itf_*).
+  sched::InterferenceOptions interference{};
   /// Replay a real trace file instead of generating a workload. When
   /// non-empty, every cell streams this CSV through workload::TraceReader
   /// (native or real format, auto-detected; one O(chunk)-memory scan

@@ -61,6 +61,21 @@ struct RunResult {
   std::size_t mig_timed_out = 0;    ///< flights aborted by the pre-copy timeout
   std::size_t mig_degraded = 0;     ///< intents parked after no destination was found
   std::size_t mig_retries = 0;      ///< backoff retry attempts (not part of the identity)
+
+  // --- interference loop (sched/rebalancer.hpp polluter pass + the heat
+  // feeder in sim/usage_monitor.hpp); all zero with interference disabled.
+  // Every planned eviction lands in exactly one terminal bucket:
+  //   itf_evictions == itf_applied + itf_requested + itf_skipped
+  // (instant mode splits between applied and skipped; engine mode hands
+  // every eviction over as an intent, which then also shows up in the
+  // mig_* identity above).
+  std::size_t heat_updates = 0;   ///< per-host heat EWMA refreshes
+  std::size_t itf_passes = 0;     ///< polluter-detection passes run
+  std::size_t itf_hot_hosts = 0;  ///< hosts found above the inflation threshold
+  std::size_t itf_evictions = 0;  ///< polluter evictions planned
+  std::size_t itf_applied = 0;    ///< evictions applied instantly
+  std::size_t itf_requested = 0;  ///< evictions handed to the MigrationEngine
+  std::size_t itf_skipped = 0;    ///< planned evictions no longer applicable
 };
 
 /// Streaming collector driven by the replay loop.

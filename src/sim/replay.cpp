@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "perf/contention.hpp"
 #include "sim/audit.hpp"
 #include "sim/event_source.hpp"
 
@@ -120,23 +121,65 @@ RunResult replay(Datacenter& dc, EventSource& source,
   };
   pump();
 
-  // Must outlive queue.run(): the periodic events below capture it.
+  // Must outlive queue.run(): the periodic events below capture them.
   const sched::Rebalancer rebalancer;
+  const perf::ContentionModel contention;
+  const bool interference = rebalance && rebalance->interference.enabled;
+  if (interference) {
+    rebalance->interference.validate();
+  }
   if (rebalance && horizon > 0) {
     for (core::SimTime t = rebalance->interval; t < horizon; t += rebalance->interval) {
       if (engine.has_value()) {
         // Continuous rebalance loop: plan per cluster against the live
         // (reservation-aware) state and hand every move to the engine as an
         // intent. Flights already in the air make request() reject repeats,
-        // and the per-cluster in-flight budget bounds the launch rate.
-        queue.schedule(t, [&dc, &rebalancer, &rebalance, &engine](core::SimTime now) {
+        // and the per-cluster in-flight budget bounds the launch rate. With
+        // interference on, each cluster's polluter pass runs first so its
+        // evictions claim in-flight slots before consolidation fills them.
+        queue.schedule(t, [&dc, &result, &rebalancer, &rebalance, &engine,
+                           &contention, interference](core::SimTime now) {
           for (std::size_t c = 0; c < dc.clusters().size(); ++c) {
+            if (interference) {
+              const sched::MigrationPlan hot = rebalancer.plan_interference(
+                  dc.cluster(c), contention, rebalance->interference);
+              ++result.itf_passes;
+              result.itf_hot_hosts += hot.hot_hosts;
+              result.itf_evictions += hot.migrations.size();
+              for (const sched::Migration& m : hot.migrations) {
+                engine->request(c, m, now);
+                ++result.itf_requested;
+              }
+            }
             const sched::MigrationPlan plan =
                 rebalancer.plan(dc.cluster(c), rebalance->budget_per_pass);
             for (const sched::Migration& m : plan.migrations) {
               engine->request(c, m, now);
             }
           }
+        });
+      } else if (interference) {
+        // Instant mode, interference on: interleave polluter pass and
+        // consolidation per cluster — the exact order replay_sharded()'s
+        // per-shard pass uses, so both paths stay bit-identical.
+        queue.schedule(t, [&dc, &result, &rebalancer, &rebalance, &contention,
+                           &observe](core::SimTime now) {
+          for (std::size_t c = 0; c < dc.clusters().size(); ++c) {
+            const sched::MigrationPlan hot = rebalancer.plan_interference(
+                dc.cluster(c), contention, rebalance->interference);
+            ++result.itf_passes;
+            result.itf_hot_hosts += hot.hot_hosts;
+            result.itf_evictions += hot.migrations.size();
+            const std::size_t applied =
+                sched::Rebalancer::apply_plan(dc.cluster(c), hot);
+            result.itf_applied += applied;
+            result.itf_skipped += hot.migrations.size() - applied;
+            result.migrations += applied;
+            const sched::MigrationPlan plan =
+                rebalancer.plan(dc.cluster(c), rebalance->budget_per_pass);
+            result.migrations += sched::Rebalancer::apply_plan(dc.cluster(c), plan);
+          }
+          observe(now);
         });
       } else {
         queue.schedule(t, [&dc, &result, &rebalancer, &rebalance,
@@ -145,6 +188,24 @@ RunResult replay(Datacenter& dc, EventSource& source,
           observe(now);
         });
       }
+    }
+  }
+  if (interference && horizon > 0) {
+    // Heat refresh schedule: one event per heat_interval updates every
+    // host's EWMA through the index-safe funnel. Scheduled after the
+    // rebalance events so a coincident tick rebalances against the
+    // *previous* window's heat — the same relative order replay_sharded()
+    // uses. The metric sample stream is untouched (no observe()): a run
+    // only differs from a heat-free run through actual placement changes.
+    const sched::InterferenceOptions& itf = rebalance->interference;
+    for (core::SimTime t = itf.heat_interval; t < horizon; t += itf.heat_interval) {
+      queue.schedule(t, [&dc, &result, &itf](core::SimTime now) {
+        for (std::size_t c = 0; c < dc.clusters().size(); ++c) {
+          result.heat_updates +=
+              update_cluster_heat(dc.cluster(c), now, itf.heat_alpha, itf.heat_bucket);
+        }
+        debug_audit_check(dc);
+      });
     }
   }
   if (usage_monitor != nullptr && horizon > 0) {

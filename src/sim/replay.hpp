@@ -22,10 +22,16 @@ class EventSource;
 /// MigrationEngine and the moves become time-extended flights with
 /// reservations, retry/backoff and rollback (sim/migration.hpp); otherwise
 /// plans apply instantaneously — the differential reference path.
+/// With `interference.enabled`, the replay additionally (a) refreshes every
+/// host's heat EWMA from the usage signals each heat_interval, and (b)
+/// prepends a polluter-detection pass (Rebalancer::plan_interference) to
+/// every consolidation pass, evicting the heaviest contributor of each
+/// over-threshold host toward a cooler one.
 struct RebalanceOptions {
   core::SimTime interval = 6.0 * 3600;      ///< consolidation pass period
   std::size_t budget_per_pass = 64;         ///< migration cap per cluster/pass
   MigrationConfig migration{};              ///< time-extended flight knobs
+  sched::InterferenceOptions interference{};  ///< heat + polluter-pass knobs
 };
 
 /// Drain `source` (sim/event_source.hpp) against `dc` (which must be

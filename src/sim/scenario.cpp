@@ -147,6 +147,45 @@ Scenario parse_scenario(std::istream& input) {
         if (scenario.config.migration.backoff_base < 0) {
           fail("mig_backoff_s must be >= 0");
         }
+      } else if (key == "interference") {
+        if (value == "on" || value == "1") {
+          scenario.config.interference.enabled = true;
+        } else if (value == "off" || value == "0") {
+          scenario.config.interference.enabled = false;
+        } else {
+          fail("interference must be on|off");
+        }
+      } else if (key == "heat_interval_s") {
+        scenario.config.interference.heat_interval = std::stod(value);
+        if (!(scenario.config.interference.heat_interval > 0)) {
+          fail("heat_interval_s must be > 0");
+        }
+      } else if (key == "heat_alpha") {
+        scenario.config.interference.heat_alpha = std::stod(value);
+        if (!(scenario.config.interference.heat_alpha > 0) ||
+            scenario.config.interference.heat_alpha > 1.0) {
+          fail("heat_alpha must be in (0, 1]");
+        }
+      } else if (key == "heat_bucket") {
+        scenario.config.interference.heat_bucket = std::stod(value);
+        if (!(scenario.config.interference.heat_bucket > 0)) {
+          fail("heat_bucket must be > 0");
+        }
+      } else if (key == "heat_weight") {
+        scenario.config.interference.heat_weight = std::stod(value);
+        if (scenario.config.interference.heat_weight < 0) {
+          fail("heat_weight must be >= 0");
+        }
+      } else if (key == "itf_threshold") {
+        scenario.config.interference.threshold = std::stod(value);
+        if (scenario.config.interference.threshold < 1.0) {
+          fail("itf_threshold must be >= 1");
+        }
+      } else if (key == "itf_evictions") {
+        scenario.config.interference.evictions_per_pass = std::stoull(value);
+        if (scenario.config.interference.evictions_per_pass == 0) {
+          fail("itf_evictions must be >= 1");
+        }
       } else if (key == "fail" || key == "drain" || key == "repair") {
         FaultDirective event;
         event.kind = key == "fail"    ? FaultDirective::Kind::kFail
@@ -252,6 +291,14 @@ void write_scenario(const Scenario& scenario, std::ostream& output) {
   output << "mig_timeout_s " << migration.timeout << '\n';
   output << "mig_retries " << migration.max_retries << '\n';
   output << "mig_backoff_s " << migration.backoff_base << '\n';
+  const sched::InterferenceOptions& itf = scenario.config.interference;
+  output << "interference " << (itf.enabled ? "on" : "off") << '\n';
+  output << "heat_interval_s " << itf.heat_interval << '\n';
+  output << "heat_alpha " << itf.heat_alpha << '\n';
+  output << "heat_bucket " << itf.heat_bucket << '\n';
+  output << "heat_weight " << itf.heat_weight << '\n';
+  output << "itf_threshold " << itf.threshold << '\n';
+  output << "itf_evictions " << itf.evictions_per_pass << '\n';
   for (const FaultDirective& directive : faults.directives) {
     const char* kind = directive.kind == FaultDirective::Kind::kFail    ? "fail"
                        : directive.kind == FaultDirective::Kind::kDrain ? "drain"

@@ -58,6 +58,18 @@
 //   mig_retries     3                # rollback retry budget per VM
 //   mig_backoff_s   60               # base of the exponential retry backoff
 //
+// Interference loop (sched/rebalancer.hpp, needs rebalance_s > 0) — optional:
+//
+//   interference    on               # arm the heat EWMA + polluter pass
+//                                    # (and heat-aware shared-policy scoring)
+//   heat_interval_s 900              # seconds between heat EWMA refreshes
+//   heat_alpha      0.3              # EWMA smoothing factor in (0, 1]
+//   heat_bucket     0.25             # heat quantization bucket width
+//   heat_weight     4.0              # scorer penalty per unit quantized heat
+//   itf_threshold   1.25             # polluter pass fires above this
+//                                    # contention inflation (1.0 = none)
+//   itf_evictions   4                # polluter evictions per pass
+//
 // Every scalar key may appear at most once (duplicates are parse errors),
 // and takes exactly one value (trailing tokens are parse errors);
 // fail/drain/repair directives may repeat.

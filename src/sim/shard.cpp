@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "core/error.hpp"
+#include "perf/contention.hpp"
 #include "sched/rebalancer.hpp"
 #include "sim/audit.hpp"
 #include "sim/event_queue.hpp"
@@ -32,6 +33,9 @@ struct ShardState {
   std::optional<FaultInjector> injector;
   std::optional<MigrationEngine> engine;  ///< time-extended migration flights
   const sched::Rebalancer rebalancer{};
+  /// Default-calibrated contention curve for the polluter pass; stateless,
+  /// so per-shard instances answer identically to replay()'s single one.
+  const perf::ContentionModel contention{};
 };
 
 /// Streams merged samples into the single MetricsCollector. The global
@@ -247,7 +251,13 @@ RunResult replay_sharded(Datacenter& dc, EventSource& source,
     }
   };
 
+  const bool interference =
+      options.rebalance && options.rebalance->interference.enabled;
+  if (interference) {
+    options.rebalance->interference.validate();
+  }
   if (options.rebalance && horizon > 0) {
+    const sched::InterferenceOptions& itf = options.rebalance->interference;
     for (core::SimTime t = options.rebalance->interval; t < horizon;
          t += options.rebalance->interval) {
       for (const auto& shard_ptr : shards) {
@@ -258,10 +268,23 @@ RunResult replay_sharded(Datacenter& dc, EventSource& source,
         if (shard.engine.has_value()) {
           // Engine mode: hand each cluster's plan to the shard's engine as
           // intents (see replay()); request() pumps and observes itself.
+          // With interference on, the cluster's polluter pass goes first —
+          // the same per-cluster interleaving as the serial replay.
           shard.queue.schedule(
-              t, [&dc, &shard, budget = options.rebalance->budget_per_pass](
-                     core::SimTime now) {
+              t, [&dc, &shard, interference, &itf,
+                  budget = options.rebalance->budget_per_pass](core::SimTime now) {
                 for (const std::size_t c : shard.clusters) {
+                  if (interference) {
+                    const sched::MigrationPlan hot = shard.rebalancer.plan_interference(
+                        *dc.clusters()[c], shard.contention, itf);
+                    ++shard.partial.itf_passes;
+                    shard.partial.itf_hot_hosts += hot.hot_hosts;
+                    shard.partial.itf_evictions += hot.migrations.size();
+                    for (const sched::Migration& m : hot.migrations) {
+                      shard.engine->request(c, m, now);
+                      ++shard.partial.itf_requested;
+                    }
+                  }
                   const sched::MigrationPlan plan =
                       shard.rebalancer.plan(*dc.clusters()[c], budget);
                   for (const sched::Migration& m : plan.migrations) {
@@ -271,9 +294,21 @@ RunResult replay_sharded(Datacenter& dc, EventSource& source,
               });
         } else {
           shard.queue.schedule(
-              t, [&dc, &shard, budget = options.rebalance->budget_per_pass](
-                     core::SimTime now) {
+              t, [&dc, &shard, interference, &itf,
+                  budget = options.rebalance->budget_per_pass](core::SimTime now) {
                 for (const std::size_t c : shard.clusters) {
+                  if (interference) {
+                    const sched::MigrationPlan hot = shard.rebalancer.plan_interference(
+                        *dc.clusters()[c], shard.contention, itf);
+                    ++shard.partial.itf_passes;
+                    shard.partial.itf_hot_hosts += hot.hot_hosts;
+                    shard.partial.itf_evictions += hot.migrations.size();
+                    const std::size_t applied =
+                        sched::Rebalancer::apply_plan(dc.cluster(c), hot);
+                    shard.partial.itf_applied += applied;
+                    shard.partial.itf_skipped += hot.migrations.size() - applied;
+                    shard.partial.migrations += applied;
+                  }
                   const sched::MigrationPlan plan =
                       shard.rebalancer.plan(*dc.clusters()[c], budget);
                   shard.partial.migrations +=
@@ -282,6 +317,34 @@ RunResult replay_sharded(Datacenter& dc, EventSource& source,
                 shard.observe(now);
               });
         }
+      }
+    }
+  }
+  if (interference && horizon > 0) {
+    // Heat refresh schedule, per shard over its owned clusters. Scheduled
+    // after the rebalance events so a coincident tick resolves the same
+    // way as replay(): rebalance first (against the previous window's
+    // heat), then the EWMA refresh. Heat is cluster-local state, so the
+    // update is race-free while shards run in parallel, and no observe()
+    // fires — the sample stream matches a heat-free run exactly.
+    const sched::InterferenceOptions& itf = options.rebalance->interference;
+    for (core::SimTime t = itf.heat_interval; t < horizon; t += itf.heat_interval) {
+      for (const auto& shard_ptr : shards) {
+        ShardState& shard = *shard_ptr;
+        if (shard.clusters.empty()) {
+          continue;
+        }
+        shard.queue.schedule(t, [&dc, &shard, &itf](core::SimTime now) {
+          for (const std::size_t c : shard.clusters) {
+            shard.partial.heat_updates += update_cluster_heat(
+                dc.cluster(c), now, itf.heat_alpha, itf.heat_bucket);
+          }
+          if (debug_audit_enabled()) {
+            for (const std::size_t c : shard.clusters) {
+              debug_audit_check(*dc.clusters()[c]);
+            }
+          }
+        });
       }
     }
   }
@@ -387,6 +450,13 @@ RunResult replay_sharded(Datacenter& dc, EventSource& source,
     result.mig_timed_out += p.mig_timed_out;
     result.mig_degraded += p.mig_degraded;
     result.mig_retries += p.mig_retries;
+    result.heat_updates += p.heat_updates;
+    result.itf_passes += p.itf_passes;
+    result.itf_hot_hosts += p.itf_hot_hosts;
+    result.itf_evictions += p.itf_evictions;
+    result.itf_applied += p.itf_applied;
+    result.itf_requested += p.itf_requested;
+    result.itf_skipped += p.itf_skipped;
   }
   result.opened_pms = dc.opened_pms();
   result.opened_per_cluster = dc.opened_per_cluster();

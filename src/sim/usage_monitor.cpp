@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/error.hpp"
+#include "core/stats.hpp"
+#include "perf/contention.hpp"
 #include "workload/usage.hpp"
 
 namespace slackvm::sim {
@@ -21,12 +23,53 @@ UsageSample sample_usage(const Datacenter& dc, core::SimTime t) {
         host_demand += static_cast<double>(spec.vcpus) * signal.at(t);
       }
       sample.demand_cores += host_demand;
+      sample.host_q.push_back(host_demand /
+                              static_cast<double>(host.config().cores));
       if (host_demand > static_cast<double>(host.config().cores)) {
         ++sample.overloaded_hosts;
       }
     }
   }
   return sample;
+}
+
+std::vector<HostUsage> sample_host_usage(const sched::VCluster& cluster,
+                                         core::SimTime t) {
+  std::vector<HostUsage> out;
+  out.reserve(cluster.hosts().size());
+  std::vector<core::VmId> vms;
+  for (const sched::HostState& host : cluster.hosts()) {
+    HostUsage usage;
+    usage.capacity_cores = host.config().cores;
+    // Ascending-VmId summation: the heat this feeds steers placement, so
+    // the float result must not depend on unordered_map iteration order.
+    vms.clear();
+    for (const auto& [vm, spec] : host.vms()) {
+      vms.push_back(vm);
+    }
+    std::ranges::sort(vms);
+    for (const core::VmId vm : vms) {
+      const core::VmSpec& spec = host.spec_of(vm);
+      usage.demand_cores += static_cast<double>(spec.vcpus) *
+                            workload::UsageSignal(vm, spec.usage).at(t);
+    }
+    out.push_back(usage);
+  }
+  return out;
+}
+
+std::size_t update_cluster_heat(sched::VCluster& cluster, core::SimTime t,
+                                double alpha, double bucket_width) {
+  const std::vector<HostUsage> usage = sample_host_usage(cluster, t);
+  for (sched::HostId h = 0; h < usage.size(); ++h) {
+    const double q =
+        usage[h].capacity_cores > 0
+            ? usage[h].demand_cores / static_cast<double>(usage[h].capacity_cores)
+            : 0.0;
+    cluster.set_host_heat(
+        h, alpha * q + (1.0 - alpha) * cluster.host_heat(h), bucket_width);
+  }
+  return usage.size();
 }
 
 UsageMonitor::UsageMonitor(core::SimTime interval) : interval_(interval) {
@@ -47,6 +90,11 @@ void UsageMonitor::record(const UsageSample& sample) {
   }
   report_.overload_host_hours +=
       static_cast<double>(sample.overloaded_hosts) * interval_ / 3600.0;
+  if (model_ != nullptr) {
+    for (const double q : sample.host_q) {
+      inflations_.push_back(model_->contention_inflation(q));
+    }
+  }
 }
 
 UsageReport UsageMonitor::report() const {
@@ -56,6 +104,10 @@ UsageReport UsageMonitor::report() const {
   }
   if (heat_samples_ > 0) {
     out.avg_alloc_heat = heat_sum_ / static_cast<double>(heat_samples_);
+  }
+  out.inflation_samples = inflations_.size();
+  if (!inflations_.empty()) {
+    out.p90_inflation = core::percentile(inflations_, 90.0);
   }
   return out;
 }

@@ -7,12 +7,22 @@
 // aggregates: how hot allocated cores actually run, the whole fleet's
 // effective utilization, and overload exposure (a host whose demand exceeds
 // its physical capacity is time-slicing, the §II-A overload situation).
+//
+// The per-host breakdown (sample_host_usage) and the EWMA feeder
+// (update_cluster_heat) close the interference loop: they turn the same
+// usage signals into the per-host *heat* column that
+// sched::InterferenceScorer and the polluter pass consume.
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "core/units.hpp"
 #include "sim/datacenter.hpp"
+
+namespace slackvm::perf {
+class ContentionModel;
+}  // namespace slackvm::perf
 
 namespace slackvm::sim {
 
@@ -24,6 +34,16 @@ struct UsageSample {
   core::CoreCount capacity_cores = 0;  ///< cores of all opened PMs
   std::size_t overloaded_hosts = 0;    ///< hosts with demand > capacity
   std::size_t opened_hosts = 0;
+  /// Per-host runnable demand per physical core (q), in datacenter host
+  /// iteration order (clusters, then hosts) — the input of the perf::
+  /// contention curve per host.
+  std::vector<double> host_q;
+};
+
+/// Per-host instantaneous demand breakdown of one cluster.
+struct HostUsage {
+  double demand_cores = 0.0;  ///< sum over the host's VMs of vcpus * usage(t)
+  core::CoreCount capacity_cores = 0;  ///< physical cores of the PM
 };
 
 /// Aggregated usage statistics over a run.
@@ -38,10 +58,29 @@ struct UsageReport {
   double overload_host_hours = 0.0;
   /// Peak fleet utilization observed.
   double peak_fleet_utilization = 0.0;
+  /// p90 of per-host-sample response inflation (contention model applied to
+  /// every host_q of every sample); 0 unless track_inflation() was armed.
+  double p90_inflation = 0.0;
+  /// Host-samples behind p90_inflation.
+  std::size_t inflation_samples = 0;
 };
 
 /// Take one sample of the datacenter's demand at time `t`.
 [[nodiscard]] UsageSample sample_usage(const Datacenter& dc, core::SimTime t);
+
+/// Per-host demand breakdown of one cluster at time `t`, indexed by HostId.
+/// Each host's demand sums its VMs in ascending VmId order, so the
+/// floating-point result is independent of placement-map iteration order.
+[[nodiscard]] std::vector<HostUsage> sample_host_usage(
+    const sched::VCluster& cluster, core::SimTime t);
+
+/// Refresh every host's interference-heat EWMA from the instantaneous
+/// demand breakdown:  heat' = alpha * (demand / cores) + (1 - alpha) * heat,
+/// quantized into `bucket_width` buckets (sched::HostState::set_heat — the
+/// epoch, and with it the placement index, only reacts to bucket
+/// crossings). Returns the number of hosts refreshed.
+std::size_t update_cluster_heat(sched::VCluster& cluster, core::SimTime t,
+                                double alpha, double bucket_width);
 
 /// Accumulates samples into a report.
 class UsageMonitor {
@@ -50,6 +89,11 @@ class UsageMonitor {
   explicit UsageMonitor(core::SimTime interval);
 
   [[nodiscard]] core::SimTime interval() const noexcept { return interval_; }
+
+  /// Arm per-host response-inflation tracking: every recorded sample's
+  /// host_q values are mapped through `model` (borrowed, may not dangle)
+  /// and the report gains their p90. Pass nullptr to disarm.
+  void track_inflation(const perf::ContentionModel* model) { model_ = model; }
 
   void record(const UsageSample& sample);
 
@@ -61,6 +105,8 @@ class UsageMonitor {
   double fleet_sum_ = 0.0;
   double heat_sum_ = 0.0;
   std::size_t heat_samples_ = 0;
+  const perf::ContentionModel* model_ = nullptr;
+  std::vector<double> inflations_;
 };
 
 }  // namespace slackvm::sim

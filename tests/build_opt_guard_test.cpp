@@ -1,0 +1,19 @@
+// Build-tree optimization guard.
+//
+// Benchmarks have been recorded from trees that were silently configured
+// at -O0 (an empty CMAKE_BUILD_TYPE drops every optimization flag), which
+// skews any number by 5-20x and has caused documented bench results to
+// drift from the checked-in JSON artifacts. The top-level CMakeLists
+// defaults CMAKE_BUILD_TYPE to RelWithDebInfo and the asan/tsan presets
+// pin it explicitly, so every supported configuration compiles with
+// optimization on — this test fails fast on any tree where that default
+// was overridden away.
+#include <gtest/gtest.h>
+
+TEST(BuildOptGuard, TreeIsCompiledWithOptimization) {
+#ifndef __OPTIMIZE__
+  FAIL() << "this build tree is compiled without optimization (-O0); "
+            "configure with CMAKE_BUILD_TYPE=RelWithDebInfo (the default) "
+            "or a preset before trusting tests or benchmarks";
+#endif
+}

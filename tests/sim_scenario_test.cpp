@@ -204,6 +204,72 @@ mig_backoff_s 120
   EXPECT_THROW((void)parse_scenario(bad_interval), core::SlackError);
 }
 
+TEST(ScenarioParse, InterferenceKeysParsedValidatedAndRoundTripped) {
+  std::istringstream in(R"(population 100
+rebalance_s 7200
+interference on
+heat_interval_s 600
+heat_alpha 0.5
+heat_bucket 0.2
+heat_weight 2.5
+itf_threshold 1.1
+itf_evictions 3
+)");
+  const Scenario scenario = parse_scenario(in);
+  const sched::InterferenceOptions& itf = scenario.config.interference;
+  EXPECT_TRUE(itf.enabled);
+  EXPECT_DOUBLE_EQ(itf.heat_interval, 600.0);
+  EXPECT_DOUBLE_EQ(itf.heat_alpha, 0.5);
+  EXPECT_DOUBLE_EQ(itf.heat_bucket, 0.2);
+  EXPECT_DOUBLE_EQ(itf.heat_weight, 2.5);
+  EXPECT_DOUBLE_EQ(itf.threshold, 1.1);
+  EXPECT_EQ(itf.evictions_per_pass, 3U);
+
+  std::stringstream buffer;
+  write_scenario(scenario, buffer);
+  const Scenario restored = parse_scenario(buffer);
+  const sched::InterferenceOptions& rt = restored.config.interference;
+  EXPECT_TRUE(rt.enabled);
+  EXPECT_DOUBLE_EQ(rt.heat_interval, 600.0);
+  EXPECT_DOUBLE_EQ(rt.heat_alpha, 0.5);
+  EXPECT_DOUBLE_EQ(rt.heat_bucket, 0.2);
+  EXPECT_DOUBLE_EQ(rt.heat_weight, 2.5);
+  EXPECT_DOUBLE_EQ(rt.threshold, 1.1);
+  EXPECT_EQ(rt.evictions_per_pass, 3U);
+
+  // Off by default; "off" parses; every knob is range-checked.
+  std::istringstream plain("population 10\n");
+  EXPECT_FALSE(parse_scenario(plain).config.interference.enabled);
+  std::istringstream off("population 10\ninterference off\n");
+  EXPECT_FALSE(parse_scenario(off).config.interference.enabled);
+  std::istringstream bad_switch("population 10\ninterference maybe\n");
+  EXPECT_THROW((void)parse_scenario(bad_switch), core::SlackError);
+  std::istringstream bad_interval("population 10\nheat_interval_s 0\n");
+  EXPECT_THROW((void)parse_scenario(bad_interval), core::SlackError);
+  std::istringstream bad_alpha("population 10\nheat_alpha 1.5\n");
+  EXPECT_THROW((void)parse_scenario(bad_alpha), core::SlackError);
+  std::istringstream bad_bucket("population 10\nheat_bucket -0.1\n");
+  EXPECT_THROW((void)parse_scenario(bad_bucket), core::SlackError);
+  std::istringstream bad_weight("population 10\nheat_weight -1\n");
+  EXPECT_THROW((void)parse_scenario(bad_weight), core::SlackError);
+  std::istringstream bad_threshold("population 10\nitf_threshold 0.9\n");
+  EXPECT_THROW((void)parse_scenario(bad_threshold), core::SlackError);
+  std::istringstream bad_evictions("population 10\nitf_evictions 0\n");
+  EXPECT_THROW((void)parse_scenario(bad_evictions), core::SlackError);
+}
+
+TEST(ScenarioParse, DuplicateInterferenceKeyRejected) {
+  std::istringstream in("population 10\nheat_alpha 0.3\nheat_alpha 0.4\n");
+  try {
+    (void)parse_scenario(in);
+    FAIL() << "expected SlackError";
+  } catch (const core::SlackError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate key 'heat_alpha'"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  }
+}
+
 TEST(ScenarioRun, SmallScenarioExecutes) {
   std::istringstream in(R"(name smoke
 provider ovhcloud

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "core/error.hpp"
+#include "perf/contention.hpp"
 #include "sched/policy.hpp"
+#include "sched/vcluster.hpp"
 #include "sim/replay.hpp"
 #include "workload/generator.hpp"
 #include "workload/usage.hpp"
@@ -94,6 +96,88 @@ TEST(UsageMonitorTest, ZeroCapacitySamplesSkipped) {
 
 TEST(UsageMonitorTest, InvalidIntervalRejected) {
   EXPECT_THROW(UsageMonitor{0.0}, core::SlackError);
+  EXPECT_THROW(UsageMonitor{-60.0}, core::SlackError);
+}
+
+// --- per-host breakdown and the heat EWMA feeder ----------------------------
+
+TEST(HostUsageTest, EmptyAndIdleHostsSampleToZeroDemand) {
+  Datacenter dc = Datacenter::shared({32, gib(128)}, sched::make_progress_policy);
+  EXPECT_TRUE(sample_host_usage(*dc.clusters()[0], 100.0).empty());
+  dc.deploy(core::VmId{1}, make_vm(1, 4, gib(8), 1, core::UsageClass::kIdle).spec);
+  const auto usage = sample_host_usage(*dc.clusters()[0], 100.0);
+  ASSERT_EQ(usage.size(), 1U);
+  EXPECT_EQ(usage[0].capacity_cores, 32U);
+  EXPECT_LT(usage[0].demand_cores, 0.2);  // idle: 4 vcpus x ~0.01-0.04
+  EXPECT_GT(usage[0].demand_cores, 0.0);
+}
+
+TEST(HostUsageTest, BreakdownSumsToTheClusterSample) {
+  Datacenter dc = Datacenter::shared({32, gib(128)}, sched::make_progress_policy);
+  for (std::uint64_t i = 1; i <= 30; ++i) {
+    dc.deploy(core::VmId{i},
+              make_vm(i, 4, gib(2), 3, core::UsageClass::kSteady).spec);
+  }
+  const core::SimTime t = 1234.0;
+  const UsageSample sample = sample_usage(dc, t);
+  const auto usage = sample_host_usage(*dc.clusters()[0], t);
+  ASSERT_EQ(sample.host_q.size(), usage.size());
+  double total = 0.0;
+  for (std::size_t h = 0; h < usage.size(); ++h) {
+    EXPECT_NEAR(sample.host_q[h],
+                usage[h].demand_cores /
+                    static_cast<double>(usage[h].capacity_cores),
+                1e-12);
+    total += usage[h].demand_cores;
+  }
+  EXPECT_NEAR(total, sample.demand_cores, 1e-9);
+}
+
+TEST(HostUsageTest, HeatEwmaMatchesHandComputedReference) {
+  Datacenter dc = Datacenter::shared({32, gib(128)}, sched::make_progress_policy);
+  const core::VmInstance vm =
+      make_vm(1, 8, gib(16), 1, core::UsageClass::kSteady);
+  dc.deploy(vm.id, vm.spec);
+  sched::VCluster& cl = dc.cluster(0);
+  const double alpha = 0.25;
+  const double bucket = 0.25;
+  double expected = 0.0;
+  for (const core::SimTime t : {900.0, 1800.0, 2700.0, 3600.0}) {
+    EXPECT_EQ(update_cluster_heat(cl, t, alpha, bucket), 1U);
+    const double q =
+        8.0 * workload::UsageSignal(vm.id, vm.spec.usage).at(t) / 32.0;
+    expected = alpha * q + (1.0 - alpha) * expected;
+    EXPECT_DOUBLE_EQ(cl.host_heat(0), expected);
+  }
+  // The EWMA decays toward zero once the host empties.
+  dc.remove(vm.id);
+  const double before = cl.host_heat(0);
+  EXPECT_EQ(update_cluster_heat(cl, 4500.0, alpha, bucket), 1U);
+  EXPECT_DOUBLE_EQ(cl.host_heat(0), (1.0 - alpha) * before);
+}
+
+TEST(UsageMonitorTest, TrackedInflationReportsP90OfHostSamples) {
+  // 10 host-samples with q = 0.1 .. 1.0: the p90 must sit at the top of
+  // the distribution (this is a regression test for the percentile scale —
+  // core::percentile takes q in [0, 100], not [0, 1]).
+  const perf::ContentionModel model;
+  UsageMonitor monitor(60.0);
+  monitor.track_inflation(&model);
+  UsageSample sample;
+  sample.capacity_cores = 32;
+  for (int i = 1; i <= 10; ++i) {
+    sample.host_q.push_back(0.1 * i);
+  }
+  monitor.record(sample);
+  const UsageReport report = monitor.report();
+  EXPECT_EQ(report.inflation_samples, 10U);
+  EXPECT_GT(report.p90_inflation, model.contention_inflation(0.8));
+  EXPECT_LE(report.p90_inflation, model.contention_inflation(1.0));
+  // Disarmed monitors keep the report inflation-free.
+  UsageMonitor plain(60.0);
+  plain.record(sample);
+  EXPECT_EQ(plain.report().inflation_samples, 0U);
+  EXPECT_DOUBLE_EQ(plain.report().p90_inflation, 0.0);
 }
 
 TEST(UsageMonitorTest, ReplayIntegration) {

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "sched/offline.hpp"
+#include "sched/rebalancer.hpp"
 #include "sim/event_source.hpp"
 #include "sim/experiment.hpp"
 #include "sim/power.hpp"
@@ -61,6 +62,7 @@ struct Args {
   double watchdog_s = 0.0;
   sim::FaultConfig faults;
   sim::MigrationConfig migration;
+  sched::InterferenceOptions interference;
 };
 
 int usage() {
@@ -93,7 +95,18 @@ int usage() {
                "                            and per-cluster concurrency, deadline,\n"
                "                            retry budget, backoff base)\n"
                "         --watchdog-s X    (sharded replay: abort with a per-shard\n"
-               "                            progress dump after X seconds of stall)\n");
+               "                            progress dump after X seconds of stall)\n"
+               "         --interference on|off  (heat EWMA + polluter-eviction pass;\n"
+               "                            needs --rebalance > 0; sweep/heatmap also\n"
+               "                            switch the shared policy to interference-\n"
+               "                            aware scoring — replay keeps --policy, pass\n"
+               "                            --policy interference to match)\n"
+               "         --heat-interval-s X  --heat-alpha X  --heat-bucket X\n"
+               "         --heat-weight X   (heat EWMA cadence, smoothing factor,\n"
+               "                            quantization bucket, scorer penalty)\n"
+               "         --itf-threshold X --itf-evictions N  (polluter pass fires\n"
+               "                            above this contention inflation; evicts\n"
+               "                            at most N VMs per pass)\n");
   return 2;
 }
 
@@ -196,6 +209,45 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.migration.backoff_base = std::strtod(value(), nullptr);
     } else if (key == "--watchdog-s") {
       args.watchdog_s = std::strtod(value(), nullptr);
+    } else if (key == "--interference") {
+      const std::string v = value();
+      if (v == "on") {
+        args.interference.enabled = true;
+      } else if (v == "off") {
+        args.interference.enabled = false;
+      } else {
+        throw core::SlackError("--interference must be on|off");
+      }
+    } else if (key == "--heat-interval-s") {
+      args.interference.heat_interval = std::strtod(value(), nullptr);
+      if (!(args.interference.heat_interval > 0)) {
+        throw core::SlackError("--heat-interval-s must be > 0");
+      }
+    } else if (key == "--heat-alpha") {
+      args.interference.heat_alpha = std::strtod(value(), nullptr);
+      if (!(args.interference.heat_alpha > 0 && args.interference.heat_alpha <= 1)) {
+        throw core::SlackError("--heat-alpha must be in (0, 1]");
+      }
+    } else if (key == "--heat-bucket") {
+      args.interference.heat_bucket = std::strtod(value(), nullptr);
+      if (!(args.interference.heat_bucket > 0)) {
+        throw core::SlackError("--heat-bucket must be > 0");
+      }
+    } else if (key == "--heat-weight") {
+      args.interference.heat_weight = std::strtod(value(), nullptr);
+      if (!(args.interference.heat_weight >= 0)) {
+        throw core::SlackError("--heat-weight must be >= 0");
+      }
+    } else if (key == "--itf-threshold") {
+      args.interference.threshold = std::strtod(value(), nullptr);
+      if (!(args.interference.threshold >= 1)) {
+        throw core::SlackError("--itf-threshold must be >= 1");
+      }
+    } else if (key == "--itf-evictions") {
+      args.interference.evictions_per_pass = std::strtoull(value(), nullptr, 10);
+      if (args.interference.evictions_per_pass == 0) {
+        throw core::SlackError("--itf-evictions must be >= 1");
+      }
     } else {
       throw core::SlackError("unknown option " + key);
     }
@@ -218,6 +270,11 @@ sim::PolicyFactory policy_factory(const Args& args) {
   }
   if (args.policy == "progress") {
     return sched::make_progress_policy;
+  }
+  if (args.policy == "interference") {
+    return [weight = args.interference.heat_weight] {
+      return sched::make_interference_policy(weight);
+    };
   }
   if (args.policy == "slackvm") {
     return [] { return sched::make_slackvm_policy(); };
@@ -319,7 +376,9 @@ int cmd_replay(const Args& args) {
   std::optional<sim::RebalanceOptions> rebalance;
   if (args.rebalance_s > 0) {
     rebalance = sim::RebalanceOptions{args.rebalance_s, args.rebalance_budget,
-                                      args.migration};
+                                      args.migration, args.interference};
+  } else if (args.interference.enabled) {
+    throw core::SlackError("--interference needs --rebalance > 0");
   }
   const sim::FaultConfig faults = sim::resolve_fault_seed(args.faults, args.seed);
   const sim::FaultConfig* fault_ptr = faults.enabled() ? &faults : nullptr;
@@ -377,6 +436,13 @@ int cmd_replay(const Args& args) {
                 result.mig_rolled_back, result.mig_timed_out, result.mig_degraded,
                 result.mig_retries);
   }
+  if (args.interference.enabled) {
+    std::printf("interference   : %zu heat updates, %zu passes, %zu hot hosts, "
+                "%zu evictions (%zu applied, %zu requested, %zu skipped)\n",
+                result.heat_updates, result.itf_passes, result.itf_hot_hosts,
+                result.itf_evictions, result.itf_applied, result.itf_requested,
+                result.itf_skipped);
+  }
   if (faults.enabled()) {
     std::printf("faults         : %zu failures, %zu repairs, %zu drains\n",
                 result.host_failures, result.host_repairs, result.drained_hosts);
@@ -408,6 +474,7 @@ int cmd_sweep(const Args& args) {
   cfg.rebalance_interval = args.rebalance_s;
   cfg.rebalance_budget = args.rebalance_budget;
   cfg.migration = args.migration;
+  cfg.interference = args.interference;
   std::printf("dist,share1,share2,share3,baseline_pms,slackvm_pms,saving_pct,"
               "base_cpu_stranded,base_mem_stranded,slack_cpu_stranded,"
               "slack_mem_stranded\n");
@@ -436,6 +503,7 @@ int cmd_heatmap(const Args& args) {
   cfg.rebalance_interval = args.rebalance_s;
   cfg.rebalance_budget = args.rebalance_budget;
   cfg.migration = args.migration;
+  cfg.interference = args.interference;
   std::printf("pct_1to1,pct_2to1,pct_3to1,saving_pct\n");
   for (const auto& cell :
        sim::run_savings_heatmap(workload::catalog_by_name(args.provider), cfg)) {
@@ -473,6 +541,15 @@ int cmd_run_scenario(const Args& args) {
                 cmp.slackvm.mig_cancelled, cmp.slackvm.mig_rolled_back,
                 cmp.slackvm.mig_timed_out, cmp.slackvm.mig_degraded,
                 cmp.slackvm.mig_retries);
+  }
+  if (cmp.slackvm.heat_updates > 0 || cmp.slackvm.itf_passes > 0) {
+    std::printf("interference (slackvm):  %zu heat updates, %zu passes, "
+                "%zu hot hosts, %zu evictions (%zu applied, %zu requested, "
+                "%zu skipped)\n",
+                cmp.slackvm.heat_updates, cmp.slackvm.itf_passes,
+                cmp.slackvm.itf_hot_hosts, cmp.slackvm.itf_evictions,
+                cmp.slackvm.itf_applied, cmp.slackvm.itf_requested,
+                cmp.slackvm.itf_skipped);
   }
   std::printf("==> saving %.1f%%\n", cmp.pm_saving_pct());
   return 0;
