@@ -23,14 +23,26 @@
 //     + itf_requested + itf_skipped) is audited; the process exits
 //     non-zero on divergence.
 //
-//   micro_interference [--hosts N] [--iters N] [--vms N] [--json]
+//  4. *Plan throughput* — one consolidation pass (budget 16) on post-churn
+//     fleets of 1k/10k/100k hosts, the verbatim naive fleet-copy pass vs
+//     the incremental scratch-column pass (the plan() dispatch), with the
+//     plans checked identical and the scratch pass's allocation count
+//     probed flat across warm passes. The naive pass is skipped above
+//     10k hosts (its per-attempt fleet snapshots are quadratic there).
+//
+//   micro_interference [--hosts N] [--iters N] [--vms N] [--plan-max N]
+//                      [--json]
 //
 // --json emits the machine-readable report checked in as
 // BENCH_micro_interference.json.
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <optional>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/rng.hpp"
@@ -44,6 +56,38 @@
 #include "workload/catalog.hpp"
 #include "workload/generator.hpp"
 #include "workload/level_mix.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation probe (same idiom as micro_topology.cpp): counts every
+// operator-new so the plan-throughput section can demonstrate that a warm
+// scratch pass allocates a flat, constant amount (the returned plan), i.e.
+// the PlanScratch columns and undo log reuse their capacity.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+// GCC's mismatched-new-delete heuristic cannot see that this operator new
+// pairs with the matching free-based operator delete below.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* ptr = std::malloc(size)) {
+    return ptr;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+
+#pragma GCC diagnostic pop
 
 using namespace slackvm;
 
@@ -167,6 +211,108 @@ ReplayResult timed_replay(const workload::Trace& trace,
   return out;
 }
 
+// --- section 4: plan throughput ---------------------------------------------
+
+/// Post-churn fleet: three (8 vcpu, 2:1, 40 GiB) VMs fill a host by memory;
+/// removing every third VM afterwards leaves slack spread unevenly across
+/// the fleet, so a consolidation pass finds real drains — the shape the
+/// continuous loop actually plans against after arrival/departure churn.
+sched::VCluster plan_fleet(std::size_t hosts) {
+  sched::VCluster cl("plan", kWorker, sched::make_progress_policy());
+  cl.reserve(hosts * 3);
+  core::VmSpec spec;
+  spec.vcpus = 8;
+  spec.mem_mib = core::gib(40);
+  spec.level = core::OversubLevel{2};
+  spec.usage = core::UsageClass::kSteady;
+  for (std::uint64_t i = 1; i <= hosts * 3; ++i) {
+    cl.place(core::VmId{i}, spec);
+  }
+  for (std::uint64_t i = 3; i <= hosts * 3; i += 3) {
+    cl.remove(core::VmId{i});
+  }
+  return cl;
+}
+
+constexpr std::size_t kPlanBudget = 16;
+
+struct PlanCase {
+  std::size_t hosts = 0;
+  double scratch_ns = 0;      ///< wall ns per incremental pass (best of reps)
+  double naive_ns = 0;        ///< wall ns per naive pass; 0 when skipped
+  bool naive_measured = false;
+  bool plans_identical = true;
+  std::size_t migrations = 0;  ///< moves one pass plans on this fleet
+  std::uint64_t allocs_pass2 = 0;  ///< operator-new calls, 2nd warm pass
+  std::uint64_t allocs_pass3 = 0;  ///< ... 3rd warm pass (flat == equal)
+};
+
+bool same_plan(const sched::MigrationPlan& a, const sched::MigrationPlan& b) {
+  if (a.migrations.size() != b.migrations.size() ||
+      a.hosts_emptied != b.hosts_emptied) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.migrations.size(); ++i) {
+    if (a.migrations[i].vm != b.migrations[i].vm ||
+        a.migrations[i].from != b.migrations[i].from ||
+        a.migrations[i].to != b.migrations[i].to) {
+      return false;
+    }
+  }
+  return true;
+}
+
+PlanCase bench_plan(std::size_t hosts, std::size_t naive_cap, std::size_t reps) {
+  const sched::VCluster cl = plan_fleet(hosts);
+  const sched::Rebalancer rebalancer;
+  PlanCase out;
+  out.hosts = cl.opened_hosts();
+
+  // Warm pass: grows the scratch columns once and syncs the indexes.
+  const sched::MigrationPlan reference = rebalancer.plan(cl, kPlanBudget);
+  out.migrations = reference.migrations.size();
+
+  // Allocation flatness across consecutive warm passes: the only per-pass
+  // allocations left are the returned plan's own vectors.
+  const std::uint64_t a0 = g_alloc_count.load(std::memory_order_relaxed);
+  const sched::MigrationPlan warm2 = rebalancer.plan(cl, kPlanBudget);
+  const std::uint64_t a1 = g_alloc_count.load(std::memory_order_relaxed);
+  const sched::MigrationPlan warm3 = rebalancer.plan(cl, kPlanBudget);
+  const std::uint64_t a2 = g_alloc_count.load(std::memory_order_relaxed);
+  out.allocs_pass2 = a1 - a0;
+  out.allocs_pass3 = a2 - a1;
+  out.plans_identical =
+      same_plan(reference, warm2) && same_plan(reference, warm3);
+
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const auto start = Clock::now();
+    const sched::MigrationPlan plan = rebalancer.plan(cl, kPlanBudget);
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (rep == 0 || wall * 1e9 < out.scratch_ns) {
+      out.scratch_ns = wall * 1e9;
+    }
+    out.plans_identical = out.plans_identical && same_plan(reference, plan);
+  }
+
+  // The naive pass copies the whole HostState fleet once per call plus once
+  // per drain attempt — quadratic on big fleets, so it is capped.
+  if (hosts <= naive_cap) {
+    out.naive_measured = true;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const auto start = Clock::now();
+      const sched::MigrationPlan plan = rebalancer.plan_naive(cl, kPlanBudget);
+      const double wall =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (rep == 0 || wall * 1e9 < out.naive_ns) {
+        out.naive_ns = wall * 1e9;
+      }
+      out.plans_identical = out.plans_identical && same_plan(reference, plan);
+    }
+  }
+  return out;
+}
+
 bool identical(const sim::RunResult& a, const sim::RunResult& b) {
   return a.opened_pms == b.opened_pms && a.migrations == b.migrations &&
          a.placed_vms == b.placed_vms && a.peak_vms == b.peak_vms &&
@@ -184,7 +330,8 @@ bool identical(const sim::RunResult& a, const sim::RunResult& b) {
 int main(int argc, char** argv) {
   const std::size_t hosts = bench::arg_u64(argc, argv, "--hosts", 256);
   const std::size_t iters = bench::arg_u64(argc, argv, "--iters", 10000);
-  const std::size_t vms = bench::arg_u64(argc, argv, "--vms", 1500);
+  const std::size_t vms = bench::arg_u64(argc, argv, "--vms", 6000);
+  const std::size_t plan_max = bench::arg_u64(argc, argv, "--plan-max", 100000);
   const bool json = bench::arg_flag(argc, argv, "--json");
 
   // --- section 1: scorer overhead -----------------------------------------
@@ -209,9 +356,12 @@ int main(int argc, char** argv) {
           : 0;
 
   // --- section 3: interference-loop overhead ------------------------------
+  // Four simulated days over a few-thousand-VM population: big enough that
+  // the plain wall is tens of milliseconds (the loop overhead percentage is
+  // meaningless against sub-5ms walls on the shared VM).
   workload::GeneratorConfig gen;
   gen.target_population = vms / 2;
-  gen.horizon = 2.0 * 24 * 3600;
+  gen.horizon = 4.0 * 24 * 3600;
   gen.mean_lifetime = 1.0 * 24 * 3600;
   gen.seed = 42;
   const workload::Trace trace =
@@ -247,9 +397,27 @@ int main(int argc, char** argv) {
   const bool identity_holds =
       lr.itf_evictions == lr.itf_applied + lr.itf_requested + lr.itf_skipped;
 
+  // --- section 4: plan throughput -----------------------------------------
+  constexpr std::size_t kNaiveCap = 10000;  // naive is quadratic past this
+  std::vector<PlanCase> plan_cases;
+  for (const std::size_t n : {std::size_t{1000}, std::size_t{10000},
+                              std::size_t{100000}}) {
+    if (n <= plan_max) {
+      plan_cases.push_back(bench_plan(n, kNaiveCap, /*reps=*/5));
+    }
+  }
+  if (plan_cases.empty()) {
+    plan_cases.push_back(bench_plan(plan_max, kNaiveCap, /*reps=*/5));
+  }
+  bool plan_ok = true;
+  for (const PlanCase& pc : plan_cases) {
+    plan_ok = plan_ok && pc.plans_identical &&
+              pc.allocs_pass2 == pc.allocs_pass3;
+  }
+
   const bool ok = deterministic && identity_holds && lr.heat_updates > 0 &&
                   lr.itf_evictions > 0 && std::isfinite(prog.sink) &&
-                  std::isfinite(itf.sink);
+                  std::isfinite(itf.sink) && plan_ok;
 
   if (json) {
     std::printf("{\n");
@@ -288,6 +456,41 @@ int main(int argc, char** argv) {
     std::printf("    \"counter_identity_holds\": %s,\n",
                 identity_holds ? "true" : "false");
     std::printf("    \"deterministic\": %s\n", deterministic ? "true" : "false");
+    std::printf("  },\n");
+    std::printf("  \"plan_throughput\": {\n");
+    std::printf("    \"budget_per_pass\": %zu,\n", kPlanBudget);
+    std::printf(
+        "    \"note\": \"one consolidation pass on a post-churn fleet (every "
+        "host left with slack), verbatim naive fleet-copy pass vs the "
+        "incremental scratch-column pass; naive skipped past %zu hosts "
+        "(per-attempt fleet snapshots are quadratic); allocs_flat proves a "
+        "warm scratch pass allocates only the returned plan\",\n",
+        kNaiveCap);
+    std::printf("    \"sizes\": [\n");
+    for (std::size_t i = 0; i < plan_cases.size(); ++i) {
+      const PlanCase& pc = plan_cases[i];
+      std::printf("      {\n");
+      std::printf("        \"hosts\": %zu,\n", pc.hosts);
+      std::printf("        \"migrations_per_pass\": %zu,\n", pc.migrations);
+      std::printf("        \"scratch_ns_per_pass\": %.0f,\n", pc.scratch_ns);
+      if (pc.naive_measured) {
+        std::printf("        \"naive_ns_per_pass\": %.0f,\n", pc.naive_ns);
+        std::printf("        \"speedup\": %.1f,\n",
+                    pc.scratch_ns > 0 ? pc.naive_ns / pc.scratch_ns : 0.0);
+      } else {
+        std::printf("        \"naive_skipped\": true,\n");
+      }
+      std::printf("        \"scratch_allocs_pass2\": %llu,\n",
+                  static_cast<unsigned long long>(pc.allocs_pass2));
+      std::printf("        \"scratch_allocs_pass3\": %llu,\n",
+                  static_cast<unsigned long long>(pc.allocs_pass3));
+      std::printf("        \"allocs_flat\": %s,\n",
+                  pc.allocs_pass2 == pc.allocs_pass3 ? "true" : "false");
+      std::printf("        \"plans_identical\": %s\n",
+                  pc.plans_identical ? "true" : "false");
+      std::printf("      }%s\n", i + 1 < plan_cases.size() ? "," : "");
+    }
+    std::printf("    ]\n");
     std::printf("  }\n");
     std::printf("}\n");
     return ok ? 0 : 1;
@@ -313,8 +516,30 @@ int main(int argc, char** argv) {
               "%zu skipped\n",
               lr.itf_evictions, lr.itf_applied, lr.itf_requested,
               lr.itf_skipped);
-  std::printf("  counter identity: %s, deterministic: %s\n",
+  std::printf("  counter identity: %s, deterministic: %s\n\n",
               identity_holds ? "holds" : "BROKEN",
               deterministic ? "yes" : "NO — BUG");
+  std::printf("section 4: plan throughput, budget %zu per pass\n", kPlanBudget);
+  for (const PlanCase& pc : plan_cases) {
+    if (pc.naive_measured) {
+      std::printf(
+          "  %6zu hosts: scratch %.0f ns/pass, naive %.0f ns/pass "
+          "(%.1fx), %zu moves, allocs %llu/%llu %s, plans %s\n",
+          pc.hosts, pc.scratch_ns, pc.naive_ns,
+          pc.scratch_ns > 0 ? pc.naive_ns / pc.scratch_ns : 0.0, pc.migrations,
+          static_cast<unsigned long long>(pc.allocs_pass2),
+          static_cast<unsigned long long>(pc.allocs_pass3),
+          pc.allocs_pass2 == pc.allocs_pass3 ? "(flat)" : "(NOT FLAT)",
+          pc.plans_identical ? "identical" : "DIVERGED");
+    } else {
+      std::printf(
+          "  %6zu hosts: scratch %.0f ns/pass (naive skipped: quadratic), "
+          "%zu moves, allocs %llu/%llu %s\n",
+          pc.hosts, pc.scratch_ns, pc.migrations,
+          static_cast<unsigned long long>(pc.allocs_pass2),
+          static_cast<unsigned long long>(pc.allocs_pass3),
+          pc.allocs_pass2 == pc.allocs_pass3 ? "(flat)" : "(NOT FLAT)");
+    }
+  }
   return ok ? 0 : 1;
 }

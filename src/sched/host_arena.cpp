@@ -18,6 +18,7 @@ void HostArena::copy_row(const HostState& host) {
   vm_count_[id] = static_cast<std::uint32_t>(host.vm_count());
   heat_[id] = host.heat();
   heat_bucket_[id] = host.heat_bucket();
+  heat_bucket_width_[id] = host.heat_bucket_width();
   core::VcpuCount* levels = &vcpus_per_level_[std::size_t{id} * kLevels];
   levels[0] = 0;
   for (std::uint8_t ratio = 1; ratio <= core::OversubLevel::kMaxRatio; ++ratio) {
@@ -37,6 +38,7 @@ void HostArena::push_host(const HostState& host) {
   vm_count_.emplace_back();
   heat_.emplace_back();
   heat_bucket_.emplace_back();
+  heat_bucket_width_.emplace_back();
   vcpus_per_level_.resize(vcpus_per_level_.size() + kLevels);
   copy_row(host);
   total_alloc_ += host.alloc();
@@ -63,6 +65,7 @@ void HostArena::pop_host() {
   vm_count_.pop_back();
   heat_.pop_back();
   heat_bucket_.pop_back();
+  heat_bucket_width_.pop_back();
   vcpus_per_level_.resize(vcpus_per_level_.size() - kLevels);
 }
 
@@ -94,6 +97,7 @@ void HostArena::reserve(std::size_t hosts) {
   vm_count_.reserve(hosts);
   heat_.reserve(hosts);
   heat_bucket_.reserve(hosts);
+  heat_bucket_width_.reserve(hosts);
   vcpus_per_level_.reserve(hosts * kLevels);
 }
 
@@ -164,6 +168,10 @@ std::vector<std::string> HostArena::check(std::span<const HostState> hosts) cons
     if (heat_bucket_[id] != host.heat_bucket()) {
       fail(id, "heat bucket " + std::to_string(heat_bucket_[id]) + " != " +
                    std::to_string(host.heat_bucket()));
+    }
+    if (heat_bucket_width_[id] != host.heat_bucket_width()) {
+      fail(id, "heat bucket width " + std::to_string(heat_bucket_width_[id]) +
+                   " != " + std::to_string(host.heat_bucket_width()));
     }
     for (std::uint8_t ratio = 1; ratio <= core::OversubLevel::kMaxRatio; ++ratio) {
       const core::VcpuCount mirrored =

@@ -75,6 +75,39 @@ class HostArena {
   [[nodiscard]] std::uint32_t heat_bucket(HostId host) const noexcept {
     return heat_bucket_[host];
   }
+  /// HostState::quantized_heat() from the columns — the identical
+  /// bucket * width expression, so the double is bit-identical.
+  [[nodiscard]] double quantized_heat(HostId host) const noexcept {
+    return static_cast<double>(heat_bucket_[host]) * heat_bucket_width_[host];
+  }
+
+  // --- whole-column views (Rebalancer::PlanScratch copies these) -----------
+  [[nodiscard]] std::span<const std::uint8_t> phase_col() const noexcept {
+    return phase_;
+  }
+  [[nodiscard]] std::span<const core::CoreCount> alloc_cores_col() const noexcept {
+    return alloc_cores_;
+  }
+  [[nodiscard]] std::span<const core::MemMib> committed_mem_col() const noexcept {
+    return committed_mem_;
+  }
+  [[nodiscard]] std::span<const core::MemMib> mem_capacity_col() const noexcept {
+    return mem_capacity_;
+  }
+  [[nodiscard]] std::span<const core::CoreCount> config_cores_col() const noexcept {
+    return config_cores_;
+  }
+  [[nodiscard]] std::span<const core::MemMib> config_mem_col() const noexcept {
+    return config_mem_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> vm_count_col() const noexcept {
+    return vm_count_;
+  }
+  [[nodiscard]] std::span<const double> heat_col() const noexcept { return heat_; }
+  /// Flattened [host][ratio] vCPU commitments, kLevels entries per host.
+  [[nodiscard]] std::span<const core::VcpuCount> vcpus_per_level_col() const noexcept {
+    return vcpus_per_level_;
+  }
 
   /// Same admission answer as hosts[host].can_host(spec), computed from the
   /// columns: UP phase, memory within the (oversubscribed) bound, and the
@@ -86,9 +119,9 @@ class HostArena {
   [[nodiscard]] std::vector<std::string> check(
       std::span<const HostState> hosts) const;
 
- private:
   static constexpr std::size_t kLevels = core::OversubLevel::kMaxRatio + 1;
 
+ private:
   void copy_row(const HostState& host);
 
   std::vector<std::uint64_t> epoch_;
@@ -101,6 +134,7 @@ class HostArena {
   std::vector<std::uint32_t> vm_count_;
   std::vector<double> heat_;
   std::vector<std::uint32_t> heat_bucket_;
+  std::vector<double> heat_bucket_width_;
   /// Flattened [host][ratio] vCPU commitments, kLevels entries per host.
   std::vector<core::VcpuCount> vcpus_per_level_;
 

@@ -29,6 +29,17 @@ Rebalancer::Rebalancer(std::unique_ptr<Scorer> scorer) : scorer_(std::move(score
 
 MigrationPlan Rebalancer::plan(const VCluster& cluster,
                                std::size_t max_migrations) const {
+  // The incremental path needs columnar scores; a scorer that cannot provide
+  // them (or the --index=off escape hatch) falls back to the verbatim naive
+  // pass, keeping both differentially comparable.
+  if (cluster.index_enabled() && scorer_->supports_cols()) {
+    return plan_incremental(cluster, max_migrations);
+  }
+  return plan_naive(cluster, max_migrations);
+}
+
+MigrationPlan Rebalancer::plan_naive(const VCluster& cluster,
+                                     std::size_t max_migrations) const {
   MigrationPlan plan;
   // Work on a scratch copy of the host states. Each host is attempted as a
   // drain source at most once, and emptied hosts never receive migrations —
@@ -36,6 +47,9 @@ MigrationPlan Rebalancer::plan(const VCluster& cluster,
   std::vector<HostState> hosts = cluster.hosts();
   std::vector<bool> attempted(hosts.size(), false);
   std::vector<bool> emptied(hosts.size(), false);
+  // Deterministic VM order, collected once per drain attempt into a reused
+  // buffer (the map itself is unordered).
+  std::vector<core::VmId> vms;
 
   while (plan.migrations.size() < max_migrations) {
     // Pick the untried non-empty host with the fewest VMs — the cheapest
@@ -62,8 +76,7 @@ MigrationPlan Rebalancer::plan(const VCluster& cluster,
     std::vector<Migration> drain;
     std::vector<HostState> snapshot = hosts;  // rollback point
     bool drained = true;
-    // Deterministic VM order.
-    std::vector<core::VmId> vms;
+    vms.clear();
     for (const auto& [id, spec] : source.vms()) {
       vms.push_back(id);
     }
@@ -106,6 +119,22 @@ MigrationPlan Rebalancer::plan(const VCluster& cluster,
 MigrationPlan Rebalancer::plan_interference(const VCluster& cluster,
                                             const perf::ContentionModel& model,
                                             const InterferenceOptions& options) const {
+  if (!options.enabled) {
+    return MigrationPlan{};
+  }
+  // The cluster's heat index carries the --index escape hatch: nullptr
+  // means the verbatim naive scan must run. Mixed quantization widths void
+  // the cross-bucket ordering the incremental scans rely on.
+  const HeatIndex* index = cluster.synced_heat_index();
+  if (index != nullptr && index->uniform_width()) {
+    return plan_interference_incremental(cluster, *index, model, options);
+  }
+  return plan_interference_naive(cluster, model, options);
+}
+
+MigrationPlan Rebalancer::plan_interference_naive(
+    const VCluster& cluster, const perf::ContentionModel& model,
+    const InterferenceOptions& options) const {
   MigrationPlan plan;
   if (!options.enabled) {
     return plan;
@@ -115,6 +144,8 @@ MigrationPlan Rebalancer::plan_interference(const VCluster& cluster,
   // considered as a polluter source at most once per pass.
   std::vector<HostState> hosts = cluster.hosts();
   std::vector<bool> attempted(hosts.size(), false);
+  // Victim ranking order, collected once per source into a reused buffer.
+  std::vector<core::VmId> vms;
 
   while (plan.migrations.size() < options.evictions_per_pass) {
     // Hottest untried UP host with at least two VMs (evicting the only VM
@@ -146,7 +177,7 @@ MigrationPlan Rebalancer::plan_interference(const VCluster& cluster,
     // weighted by the VM's long-run mean usage. Deterministic: candidates
     // are ranked in ascending VmId order and replaced only on strictly
     // higher demand, so ties keep the lowest id.
-    std::vector<core::VmId> vms;
+    vms.clear();
     vms.reserve(src.vm_count());
     for (const auto& [id, spec] : src.vms()) {
       vms.push_back(id);
@@ -194,6 +225,338 @@ MigrationPlan Rebalancer::plan_interference(const VCluster& cluster,
                             options.heat_bucket);
     plan.migrations.push_back(Migration{*victim, static_cast<HostId>(*source),
                                         static_cast<HostId>(*target)});
+  }
+  return plan;
+}
+
+// --- PlanScratch: columnar planning state ----------------------------------
+
+void Rebalancer::PlanScratch::load(const HostArena& arena) {
+  const auto assign = [](auto& dst, auto src) { dst.assign(src.begin(), src.end()); };
+  assign(phase, arena.phase_col());
+  assign(alloc_cores, arena.alloc_cores_col());
+  assign(committed_mem, arena.committed_mem_col());
+  assign(mem_capacity, arena.mem_capacity_col());
+  assign(config_cores, arena.config_cores_col());
+  assign(config_mem, arena.config_mem_col());
+  assign(vm_count, arena.vm_count_col());
+  assign(heat, arena.heat_col());
+  assign(vcpus_per_level, arena.vcpus_per_level_col());
+  const std::size_t n = arena.size();
+  quantized_heat.resize(n);
+  for (HostId h = 0; h < n; ++h) {
+    quantized_heat[h] = arena.quantized_heat(h);
+  }
+  attempted.assign(n, 0);
+  emptied.assign(n, 0);
+  // Reset only what the previous pass touched; everything else is already
+  // clear, so a warm pass does no O(fleet) flag sweeps beyond the assigns.
+  for (const HostId h : shifted_list) {
+    if (h < shifted.size()) {
+      shifted[h] = 0;
+    }
+  }
+  shifted_list.clear();
+  shifted.resize(n, 0);
+  for (const HostId h : gained_list) {
+    if (h < gained.size()) {
+      gained[h].clear();
+    }
+  }
+  gained_list.clear();
+  gained.resize(n);
+  source_vms.clear();
+  drain.clear();
+  undo.clear();
+  count_heap.clear();
+}
+
+bool Rebalancer::PlanScratch::can_host(HostId host,
+                                       const core::VmSpec& spec) const noexcept {
+  if (static_cast<HostPhase>(phase[host]) != HostPhase::kUp) {
+    return false;
+  }
+  if (committed_mem[host] + spec.mem_mib > mem_capacity[host]) {
+    return false;
+  }
+  const std::uint8_t ratio = spec.level.ratio();
+  const core::VcpuCount committed =
+      vcpus_per_level[std::size_t{host} * kLevels + ratio];
+  const core::CoreCount cores =
+      alloc_cores[host] - core::ceil_div<core::CoreCount>(committed, ratio) +
+      core::ceil_div<core::CoreCount>(committed + spec.vcpus, ratio);
+  return cores <= config_cores[host];
+}
+
+HostCols Rebalancer::PlanScratch::cols(HostId host) const noexcept {
+  return HostCols{config_cores[host],
+                  config_mem[host],
+                  alloc_cores[host],
+                  committed_mem[host],
+                  quantized_heat[host],
+                  &vcpus_per_level[std::size_t{host} * kLevels]};
+}
+
+void Rebalancer::PlanScratch::apply_move_cols(const core::VmSpec& spec,
+                                              HostId from, HostId to) noexcept {
+  const std::uint8_t ratio = spec.level.ratio();
+  {
+    core::VcpuCount& level = vcpus_per_level[std::size_t{from} * kLevels + ratio];
+    const auto before = core::ceil_div<core::CoreCount>(level, ratio);
+    level -= spec.vcpus;
+    alloc_cores[from] += core::ceil_div<core::CoreCount>(level, ratio) - before;
+    committed_mem[from] -= spec.mem_mib;
+    --vm_count[from];
+  }
+  {
+    core::VcpuCount& level = vcpus_per_level[std::size_t{to} * kLevels + ratio];
+    const auto before = core::ceil_div<core::CoreCount>(level, ratio);
+    level += spec.vcpus;
+    alloc_cores[to] += core::ceil_div<core::CoreCount>(level, ratio) - before;
+    committed_mem[to] += spec.mem_mib;
+    ++vm_count[to];
+  }
+}
+
+void Rebalancer::PlanScratch::move_vm(core::VmId vm, const core::VmSpec& spec,
+                                      HostId from, HostId to) {
+  apply_move_cols(spec, from, to);
+  if (gained[to].empty()) {
+    gained_list.push_back(to);
+  }
+  gained[to].emplace_back(vm, spec);
+  undo.push_back(Undo{vm, spec, from, to});
+}
+
+void Rebalancer::PlanScratch::roll_back_to(std::size_t mark) {
+  while (undo.size() > mark) {
+    const Undo& last = undo.back();
+    apply_move_cols(last.spec, last.to, last.from);
+    gained[last.to].pop_back();  // LIFO: the entry this very move appended
+    undo.pop_back();
+  }
+}
+
+void Rebalancer::PlanScratch::collect_source_vms(const HostState& source) {
+  source_vms.clear();
+  for (const auto& [vm, spec] : source.vms()) {
+    source_vms.emplace_back(vm, spec);
+  }
+  const auto& extra = gained[source.id()];
+  source_vms.insert(source_vms.end(), extra.begin(), extra.end());
+  std::ranges::sort(source_vms, {},
+                    &std::pair<core::VmId, core::VmSpec>::first);
+}
+
+void Rebalancer::PlanScratch::mark_shifted(HostId host) {
+  if (!shifted[host]) {
+    shifted[host] = 1;
+    shifted_list.push_back(host);
+  }
+}
+
+// --- incremental passes -----------------------------------------------------
+
+MigrationPlan Rebalancer::plan_incremental(const VCluster& cluster,
+                                           std::size_t max_migrations) const {
+  MigrationPlan plan;
+  PlanScratch& s = scratch_;
+  s.load(cluster.arena());
+  const std::vector<HostState>& live = cluster.hosts();
+  const std::size_t n = s.size();
+
+  // Seed the lazy candidate min-heap with every non-empty host.
+  for (HostId h = 0; h < n; ++h) {
+    if (s.vm_count[h] > 0) {
+      s.count_heap.push_back(PlanScratch::CountEntry{s.vm_count[h], h});
+    }
+  }
+  std::ranges::make_heap(s.count_heap, PlanScratch::count_entry_after);
+
+  while (plan.migrations.size() < max_migrations) {
+    // Lazy-deletion pop: entries whose count moved on (or whose host was
+    // already tried) are dropped as they surface. Committed drains only ever
+    // *grow* a host's count — failed ones roll back to a count whose entry
+    // is still heaped — so every untried non-empty host keeps a live entry
+    // and the first valid top is exactly the naive scan's fewest-VMs
+    // candidate, ties to the lowest id.
+    std::optional<HostId> candidate;
+    while (!s.count_heap.empty()) {
+      const PlanScratch::CountEntry top = s.count_heap.front();
+      std::ranges::pop_heap(s.count_heap, PlanScratch::count_entry_after);
+      s.count_heap.pop_back();
+      if (s.attempted[top.host] || s.emptied[top.host] ||
+          s.vm_count[top.host] != top.count) {
+        continue;
+      }
+      candidate = top.host;
+      break;
+    }
+    if (!candidate) {
+      break;  // nothing left to try
+    }
+    const HostId source = *candidate;
+    s.attempted[source] = 1;
+    if (s.vm_count[source] > max_migrations - plan.migrations.size()) {
+      break;  // even the cheapest drain exceeds the budget
+    }
+
+    // A host drains as a source at most once and planning is the only
+    // writer, so its membership is the live map plus whatever this pass
+    // already moved in.
+    s.collect_source_vms(live[source]);
+    const std::size_t undo_mark = s.undo.size();
+    s.drain.clear();
+    bool drained = true;
+    for (const auto& [vm, spec] : s.source_vms) {
+      std::optional<HostId> best;
+      double best_score = 0.0;
+      for (HostId h = 0; h < static_cast<HostId>(n); ++h) {
+        if (h == source || s.emptied[h] || !s.can_host(h, spec)) {
+          continue;
+        }
+        const double score = scorer_->score(s.cols(h), spec);
+        if (!best || score > best_score) {
+          best = h;
+          best_score = score;
+        }
+      }
+      if (!best) {
+        drained = false;
+        break;
+      }
+      s.move_vm(vm, spec, source, *best);
+      s.count_heap.push_back(PlanScratch::CountEntry{s.vm_count[*best], *best});
+      std::ranges::push_heap(s.count_heap, PlanScratch::count_entry_after);
+      s.drain.push_back(Migration{vm, source, *best});
+    }
+    if (!drained) {
+      s.roll_back_to(undo_mark);  // undo the partial drain, try next host
+      continue;
+    }
+    s.emptied[source] = 1;
+    plan.migrations.insert(plan.migrations.end(), s.drain.begin(), s.drain.end());
+    ++plan.hosts_emptied;
+  }
+  return plan;
+}
+
+MigrationPlan Rebalancer::plan_interference_incremental(
+    const VCluster& cluster, const HeatIndex& index,
+    const perf::ContentionModel& model, const InterferenceOptions& options) const {
+  MigrationPlan plan;
+  PlanScratch& s = scratch_;
+  s.load(cluster.arena());
+  const std::vector<HostState>& live = cluster.hosts();
+  const auto& buckets = index.buckets();
+
+  while (plan.migrations.size() < options.evictions_per_pass) {
+    // Hottest untried UP host with >= 2 VMs. The few hosts this pass
+    // already mutated (`shifted`) are overlaid from the scratch columns;
+    // everyone else is streamed from the index, hottest bucket first. Raw
+    // heats in bucket b span [b*w, (b+1)*w) and equal heats share a bucket,
+    // so once some bucket yields an eligible unshifted host, no cooler
+    // bucket can beat the running best — the scan stops there. The
+    // comparators reproduce the naive ascending strict-> scan: higher heat
+    // wins, ties to the lower id.
+    std::optional<HostId> source;
+    const auto eligible_source = [&s](HostId h) {
+      return !s.attempted[h] && s.up(h) && s.vm_count[h] >= 2;
+    };
+    const auto hotter = [&s](HostId h, HostId best) {
+      return s.heat[h] != s.heat[best] ? s.heat[h] > s.heat[best] : h < best;
+    };
+    for (const HostId h : s.shifted_list) {
+      if (eligible_source(h) && (!source || hotter(h, *source))) {
+        source = h;
+      }
+    }
+    bool bucket_hit = false;
+    for (auto it = buckets.rbegin(); it != buckets.rend() && !bucket_hit; ++it) {
+      for (const HostId h : it->second) {
+        if (s.shifted[h] || !eligible_source(h)) {
+          continue;
+        }
+        bucket_hit = true;
+        if (!source || hotter(h, *source)) {
+          source = h;
+        }
+      }
+    }
+    if (!source) {
+      break;
+    }
+    // Hottest-first: once the hottest candidate sits below the threshold
+    // every other host does too.
+    if (model.contention_inflation(s.heat[*source]) <= options.threshold) {
+      break;
+    }
+    const HostId src = *source;
+    s.attempted[src] = 1;
+    ++plan.hot_hosts;
+
+    // Heaviest contributor: max vcpus x mean usage, ascending-VmId ranking
+    // keeps ties on the lowest id (collect_source_vms sorts).
+    s.collect_source_vms(live[src]);
+    std::optional<std::size_t> victim;
+    double victim_demand = 0.0;
+    for (std::size_t i = 0; i < s.source_vms.size(); ++i) {
+      const auto& [vm, spec] = s.source_vms[i];
+      const double demand = static_cast<double>(spec.vcpus) *
+                            workload::UsageSignal(vm, spec.usage).mean();
+      if (!victim || demand > victim_demand) {
+        victim = i;
+        victim_demand = demand;
+      }
+    }
+    const core::VmId victim_vm = s.source_vms[*victim].first;
+    const core::VmSpec victim_spec = s.source_vms[*victim].second;
+
+    // Coolest strictly-cooler UP host that fits the victim: same overlay,
+    // coolest bucket first, ties to the lowest id via the symmetric
+    // comparator; the stop rule mirrors the source scan (no hotter bucket
+    // can undercut a hit).
+    const double src_heat = s.heat[src];
+    std::optional<HostId> target;
+    const auto eligible_target = [&](HostId h) {
+      return h != src && s.heat[h] < src_heat && s.can_host(h, victim_spec);
+    };
+    const auto cooler = [&s](HostId h, HostId best) {
+      return s.heat[h] != s.heat[best] ? s.heat[h] < s.heat[best] : h < best;
+    };
+    for (const HostId h : s.shifted_list) {
+      if (eligible_target(h) && (!target || cooler(h, *target))) {
+        target = h;
+      }
+    }
+    bucket_hit = false;
+    for (auto it = buckets.begin(); it != buckets.end() && !bucket_hit; ++it) {
+      for (const HostId h : it->second) {
+        if (s.shifted[h] || !eligible_target(h)) {
+          continue;
+        }
+        bucket_hit = true;
+        if (!target || cooler(h, *target)) {
+          target = h;
+        }
+      }
+    }
+    if (!target) {
+      continue;  // hottest host is stuck; try the next-hottest
+    }
+
+    // Move the victim in the scratch columns and shift its expected demand
+    // share between the two heat entries (same clamp as HostState::set_heat;
+    // scratch buckets are not maintained — nothing in this pass reads them).
+    s.move_vm(victim_vm, victim_spec, src, *target);
+    const double src_cores = static_cast<double>(s.config_cores[src]);
+    const double dst_cores = static_cast<double>(s.config_cores[*target]);
+    s.heat[src] = std::max(s.heat[src] - victim_demand / src_cores, 0.0);
+    s.heat[*target] =
+        std::max(s.heat[*target] + victim_demand / dst_cores, 0.0);
+    s.mark_shifted(src);
+    s.mark_shifted(*target);
+    plan.migrations.push_back(Migration{victim_vm, src, *target});
   }
   return plan;
 }

@@ -78,8 +78,19 @@ class Rebalancer {
 
   /// Plan up to `max_migrations` migrations on the cluster's current state.
   /// The cluster is not modified.
+  ///
+  /// Runs the incremental PlanScratch path (columnar copy of the arena,
+  /// per-attempt undo logs, lazy vm-count min-heap — allocation-free once
+  /// warm) when the cluster's index machinery is enabled and the scorer
+  /// supports columnar scoring; otherwise the verbatim naive pass below.
+  /// Both produce the bit-identical plan (differential-tested).
   [[nodiscard]] MigrationPlan plan(const VCluster& cluster,
                                    std::size_t max_migrations) const;
+
+  /// The original O(fleet-copy) pass, kept verbatim as the differential
+  /// reference for plan() (the --index=off escape hatch also lands here).
+  [[nodiscard]] MigrationPlan plan_naive(const VCluster& cluster,
+                                         std::size_t max_migrations) const;
 
   /// Polluter-detection pass. Repeatedly picks the hottest untried UP host
   /// with >= 2 VMs whose contention inflation model(heat) exceeds
@@ -89,7 +100,18 @@ class Rebalancer {
   /// than the source (ties to the lowest HostId). Scratch heats are
   /// adjusted after each planned move so one pass does not dogpile a single
   /// cool target. The cluster is not modified; fully deterministic.
+  ///
+  /// Hottest/coolest selection streams the cluster's HeatIndex buckets when
+  /// available (hosts this pass already shifted are overlaid from the
+  /// scratch columns); with the index disabled the verbatim naive scan
+  /// below runs. Both produce the bit-identical plan.
   [[nodiscard]] MigrationPlan plan_interference(
+      const VCluster& cluster, const perf::ContentionModel& model,
+      const InterferenceOptions& options) const;
+
+  /// The original O(fleet-copy) polluter pass, kept verbatim as the
+  /// differential reference for plan_interference.
+  [[nodiscard]] MigrationPlan plan_interference_naive(
       const VCluster& cluster, const perf::ContentionModel& model,
       const InterferenceOptions& options) const;
 
@@ -98,7 +120,91 @@ class Rebalancer {
   static std::size_t apply_plan(VCluster& cluster, const MigrationPlan& plan);
 
  private:
+  /// Reusable columnar planning state. One pass copies the arena columns in
+  /// (vector assigns into retained capacity — no allocations once warm) and
+  /// plans against them; rollback replays a per-attempt undo log instead of
+  /// re-copying the fleet. `gained` tracks VMs planning moved *onto* a host
+  /// so source enumeration stays live-map ∪ gained (a host is drained as a
+  /// source at most once, so nothing ever needs to be subtracted).
+  struct PlanScratch {
+    static constexpr std::size_t kLevels = HostArena::kLevels;
+
+    /// One tentative move, reversed in LIFO order on a failed drain.
+    struct Undo {
+      core::VmId vm{};
+      core::VmSpec spec;
+      HostId from = 0;
+      HostId to = 0;
+    };
+    /// Lazy min-heap entry: valid while vm_count[host] == count.
+    struct CountEntry {
+      std::uint32_t count = 0;
+      HostId host = 0;
+    };
+
+    // Columns copied from the arena at the top of every pass.
+    std::vector<std::uint8_t> phase;
+    std::vector<core::CoreCount> alloc_cores;
+    std::vector<core::MemMib> committed_mem;
+    std::vector<core::MemMib> mem_capacity;
+    std::vector<core::CoreCount> config_cores;
+    std::vector<core::MemMib> config_mem;
+    std::vector<std::uint32_t> vm_count;
+    std::vector<double> heat;
+    std::vector<double> quantized_heat;
+    std::vector<core::VcpuCount> vcpus_per_level;  // flattened, kLevels/host
+
+    // Per-pass planning state (capacity reused across passes).
+    std::vector<std::uint8_t> attempted;
+    std::vector<std::uint8_t> emptied;
+    std::vector<std::uint8_t> shifted;  ///< heat/cols diverged from the index view
+    std::vector<HostId> shifted_list;
+    std::vector<std::vector<std::pair<core::VmId, core::VmSpec>>> gained;
+    std::vector<HostId> gained_list;  ///< hosts with non-empty gained entries
+    std::vector<std::pair<core::VmId, core::VmSpec>> source_vms;
+    std::vector<Migration> drain;
+    std::vector<Undo> undo;
+    std::vector<CountEntry> count_heap;
+
+    /// Min-heap "after" relation: lowest (count, host) surfaces first —
+    /// exactly the naive scan's fewest-VMs-ties-to-lowest-id candidate.
+    static bool count_entry_after(const CountEntry& a,
+                                  const CountEntry& b) noexcept {
+      return a.count != b.count ? a.count > b.count : a.host > b.host;
+    }
+
+    void load(const HostArena& arena);
+    [[nodiscard]] std::size_t size() const noexcept { return phase.size(); }
+    [[nodiscard]] bool up(HostId host) const noexcept {
+      return static_cast<HostPhase>(phase[host]) == HostPhase::kUp;
+    }
+    /// HostState::can_host from the columns (same rule as HostArena).
+    [[nodiscard]] bool can_host(HostId host, const core::VmSpec& spec) const noexcept;
+    [[nodiscard]] HostCols cols(HostId host) const noexcept;
+    /// Shift one spec between two hosts' columns (the exact incremental
+    /// integer-core arithmetic of HostState::add/remove).
+    void apply_move_cols(const core::VmSpec& spec, HostId from, HostId to) noexcept;
+    /// Apply one tentative move to the columns + gained lists; logs an Undo.
+    void move_vm(core::VmId vm, const core::VmSpec& spec, HostId from, HostId to);
+    /// Reverse every move logged past `mark`, restoring columns and gained.
+    void roll_back_to(std::size_t mark);
+    /// Live-map ∪ gained membership of `source`, ascending VmId.
+    void collect_source_vms(const HostState& source);
+    void mark_shifted(HostId host);
+  };
+
+  [[nodiscard]] MigrationPlan plan_incremental(const VCluster& cluster,
+                                               std::size_t max_migrations) const;
+  [[nodiscard]] MigrationPlan plan_interference_incremental(
+      const VCluster& cluster, const HeatIndex& index,
+      const perf::ContentionModel& model, const InterferenceOptions& options) const;
+
   std::unique_ptr<Scorer> scorer_;
+  /// Planning never mutates the cluster, so Rebalancer stays const at the
+  /// call sites; the scratch is a per-pass cache. Not synchronized: replay()
+  /// owns one serial Rebalancer and every shard owns its own, so a scratch
+  /// is only ever used by one thread.
+  mutable PlanScratch scratch_;
 };
 
 }  // namespace slackvm::sched

@@ -17,6 +17,32 @@
 
 namespace slackvm::sched {
 
+/// Columnar projection of one host: exactly the fields the in-tree scorers
+/// read, laid out as plain values so planners working on HostArena-style
+/// columns (Rebalancer::PlanScratch) can score candidates without
+/// materializing a HostState. Every field must be copied verbatim from the
+/// row it mirrors; then score(HostCols) is bit-identical to score(HostState).
+struct HostCols {
+  core::CoreCount config_cores = 0;
+  core::MemMib config_mem = 0;
+  core::CoreCount alloc_cores = 0;
+  core::MemMib committed_mem = 0;
+  /// HostState::quantized_heat() — bucket * width, never the raw EWMA.
+  double quantized_heat = 0.0;
+  /// Per-ratio vCPU commitments (OversubLevel::kMaxRatio + 1 entries,
+  /// index 0 unused), same layout as one HostArena row.
+  const core::VcpuCount* vcpus_per_level = nullptr;
+
+  /// HostState::cores_with computed from the columns: only the spec's own
+  /// vNode changes, same incremental integer-core rule.
+  [[nodiscard]] core::CoreCount cores_with(const core::VmSpec& spec) const noexcept {
+    const std::uint8_t ratio = spec.level.ratio();
+    const core::VcpuCount vcpus = vcpus_per_level[ratio];
+    return alloc_cores - core::ceil_div<core::CoreCount>(vcpus, ratio) +
+           core::ceil_div<core::CoreCount>(vcpus + spec.vcpus, ratio);
+  }
+};
+
 /// Interface of a soft-constraint scorer; higher is better. Implementations
 /// may assume the host already passed the capacity filter.
 class Scorer {
@@ -25,6 +51,16 @@ class Scorer {
   [[nodiscard]] virtual double score(const HostState& host,
                                      const core::VmSpec& spec) const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// True when the columnar overload below is implemented and returns the
+  /// bit-identical double score(HostState) would for the host the columns
+  /// mirror. Planners fall back to the naive HostState path otherwise
+  /// (the same discipline as the PlacementIndex bypass).
+  [[nodiscard]] virtual bool supports_cols() const noexcept { return false; }
+
+  /// Columnar twin of score(); only callable when supports_cols().
+  [[nodiscard]] virtual double score(const HostCols& host,
+                                     const core::VmSpec& spec) const;
 };
 
 /// Paper Algorithm 2. The candidate VM footprint is host-aware: the cores
@@ -35,6 +71,10 @@ class ProgressScorer final : public Scorer {
   [[nodiscard]] double score(const HostState& host,
                              const core::VmSpec& spec) const override;
   [[nodiscard]] std::string name() const override { return "progress-to-target-ratio"; }
+
+  [[nodiscard]] bool supports_cols() const noexcept override { return true; }
+  [[nodiscard]] double score(const HostCols& host,
+                             const core::VmSpec& spec) const override;
 };
 
 /// Classical best-fit: prefer the host with the least normalized residual
@@ -44,6 +84,10 @@ class BestFitScorer final : public Scorer {
   [[nodiscard]] double score(const HostState& host,
                              const core::VmSpec& spec) const override;
   [[nodiscard]] std::string name() const override { return "best-fit"; }
+
+  [[nodiscard]] bool supports_cols() const noexcept override { return true; }
+  [[nodiscard]] double score(const HostCols& host,
+                             const core::VmSpec& spec) const override;
 };
 
 /// Classical worst-fit: prefer the emptiest host (load spreading).
@@ -52,6 +96,10 @@ class WorstFitScorer final : public Scorer {
   [[nodiscard]] double score(const HostState& host,
                              const core::VmSpec& spec) const override;
   [[nodiscard]] std::string name() const override { return "worst-fit"; }
+
+  [[nodiscard]] bool supports_cols() const noexcept override { return true; }
+  [[nodiscard]] double score(const HostCols& host,
+                             const core::VmSpec& spec) const override;
 
  private:
   BestFitScorer best_;  ///< negated per call; held, not rebuilt per score
@@ -71,6 +119,10 @@ class InterferenceScorer final : public Scorer {
                              const core::VmSpec& spec) const override;
   [[nodiscard]] std::string name() const override;
 
+  [[nodiscard]] bool supports_cols() const noexcept override { return true; }
+  [[nodiscard]] double score(const HostCols& host,
+                             const core::VmSpec& spec) const override;
+
   [[nodiscard]] double heat_weight() const noexcept { return heat_weight_; }
 
  private:
@@ -87,6 +139,12 @@ class CompositeScorer final : public Scorer {
   [[nodiscard]] double score(const HostState& host,
                              const core::VmSpec& spec) const override;
   [[nodiscard]] std::string name() const override;
+
+  /// Columnar when every part is (the weighted sum runs in part order, so
+  /// the float result matches the HostState overload exactly).
+  [[nodiscard]] bool supports_cols() const noexcept override;
+  [[nodiscard]] double score(const HostCols& host,
+                             const core::VmSpec& spec) const override;
 
   [[nodiscard]] std::size_t size() const noexcept { return parts_.size(); }
 

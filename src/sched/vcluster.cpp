@@ -40,6 +40,22 @@ void VCluster::flush_index() {
   if (index_ != nullptr) {
     index_->sync_all(hosts_, &arena_);
   }
+  if (heat_index_ != nullptr) {
+    heat_index_->sync(hosts_);
+  }
+}
+
+const HeatIndex* VCluster::synced_heat_index() const {
+  if (!index_enabled_) {
+    return nullptr;
+  }
+  if (heat_index_ == nullptr) {
+    heat_index_ = std::make_unique<HeatIndex>();
+    heat_index_->rebuild(hosts_);
+  } else {
+    heat_index_->sync(hosts_);
+  }
+  return heat_index_.get();
 }
 
 PlacementIndex* VCluster::active_index() {
@@ -101,6 +117,7 @@ std::optional<HostId> VCluster::try_place(core::VmId id, const core::VmSpec& spe
     }
   }
   hosts_[*chosen].add(id, spec);
+  journal(MembershipDelta::Op::kAdd, *chosen, id, spec);
   note(*chosen);
   placements_.emplace(id, *chosen);
   return *chosen;
@@ -112,6 +129,7 @@ void VCluster::remove(core::VmId id) {
     SLACKVM_THROW("VCluster::remove: unknown VM");
   }
   hosts_[it->second].remove(id);
+  journal(MembershipDelta::Op::kRemove, it->second, id, core::VmSpec{});
   note(it->second);
   placements_.erase(it);
 }
@@ -139,6 +157,8 @@ bool VCluster::migrate(core::VmId vm, HostId to) {
     return false;
   }
   hosts_[to].add(vm, spec);
+  journal(MembershipDelta::Op::kRemove, from, vm, core::VmSpec{});
+  journal(MembershipDelta::Op::kAdd, to, vm, spec);
   note(from);
   note(to);
   it->second = to;
@@ -156,6 +176,7 @@ void VCluster::set_host_heat(HostId host, double heat, double bucket_width) {
   arena_.refresh(hosts_[host]);
   if (hosts_[host].epoch() != before) {
     touch(host);
+    bound_heat_log();
   }
 }
 
@@ -207,6 +228,8 @@ void VCluster::commit_migration(core::VmId vm, HostId to) {
   hosts_[from].remove(vm);
   SLACKVM_ASSERT(hosts_[to].fits(spec));
   hosts_[to].add(vm, spec);
+  journal(MembershipDelta::Op::kRemove, from, vm, core::VmSpec{});
+  journal(MembershipDelta::Op::kAdd, to, vm, spec);
   note(from);
   note(to);
   it->second = to;
@@ -246,6 +269,8 @@ std::vector<std::pair<core::VmId, core::VmSpec>> VCluster::fail_host(HostId host
     placements_.erase(vm);
   }
   state.set_phase(HostPhase::kFailed);
+  // One wipe record covers the whole eviction batch for journal consumers.
+  journal(MembershipDelta::Op::kWipe, host, core::VmId{0}, core::VmSpec{});
   // One dirty-log entry covers the whole eviction batch: sync() re-evaluates
   // the host at its latest epoch, and no select() can run mid-batch.
   note(host);
@@ -276,6 +301,7 @@ std::size_t VCluster::migrate_off(HostId host) {
     // Detach, then re-place through the regular policy/index path; the
     // draining source cannot be re-chosen (can_host is false off-UP).
     hosts_[host].remove(vm);
+    journal(MembershipDelta::Op::kRemove, host, vm, core::VmSpec{});
     placements_.erase(vm);
     note(host);
     if (try_place(vm, spec)) {
@@ -284,6 +310,7 @@ std::size_t VCluster::migrate_off(HostId host) {
       // No feasible target: restore in place (capacity trivially holds) and
       // leave the VM for a later fail_host eviction or natural departure.
       hosts_[host].add(vm, spec);
+      journal(MembershipDelta::Op::kAdd, host, vm, spec);
       placements_.emplace(vm, host);
       note(host);
     }

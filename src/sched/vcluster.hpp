@@ -17,12 +17,25 @@
 
 #include "sched/filter.hpp"
 #include "sched/fleet.hpp"
+#include "sched/heat_index.hpp"
 #include "sched/host_arena.hpp"
 #include "sched/host_state.hpp"
 #include "sched/placement_index.hpp"
 #include "sched/policy.hpp"
 
 namespace slackvm::sched {
+
+/// One journaled membership mutation (see VCluster::arm_membership_log).
+/// kAdd/kRemove carry the VM; kWipe marks a host whose whole population
+/// changed at once (fail_host evictions) — consumers drop their cached view
+/// of that host and re-derive it.
+struct MembershipDelta {
+  enum class Op : std::uint8_t { kAdd, kRemove, kWipe };
+  Op op = Op::kAdd;
+  HostId host = 0;
+  core::VmId vm{0};        ///< kAdd/kRemove
+  core::VmSpec spec;       ///< kAdd only
+};
 
 class VCluster {
  public:
@@ -52,6 +65,7 @@ class VCluster {
     index_enabled_ = enabled;
     if (!enabled) {
       index_.reset();
+      heat_index_.reset();
     }
   }
   [[nodiscard]] bool index_enabled() const noexcept { return index_enabled_; }
@@ -178,9 +192,37 @@ class VCluster {
   /// The struct-of-arrays mirror of the fleet (audits cross-check it).
   [[nodiscard]] const HostArena& arena() const noexcept { return arena_; }
 
+  /// The quantized-heat bucket index serving plan_interference, its dirty
+  /// log replayed, or nullptr while the index machinery is disabled
+  /// (--index=off escape hatch: the rebalancer then falls back to the
+  /// verbatim naive scans). Created lazily on first use, like the
+  /// placement index; logically const (the member is a mutable cache).
+  [[nodiscard]] const HeatIndex* synced_heat_index() const;
+
   /// Replay the placement index's whole dirty log now (batched at shard
   /// barriers so per-event touches stay O(1) appends). No-op while naive.
   void flush_index();
+
+  // --- membership journal (sim::DemandCache rides it) -----------------------
+
+  /// Start journaling every membership mutation (place/remove/migrate/
+  /// commit/fail) as MembershipDelta records. Idempotent; journaling stays
+  /// on for the cluster's lifetime. Records appended before arming are
+  /// reported as lost by the first take_membership_log.
+  void arm_membership_log() { membership_armed_ = true; }
+
+  /// Move the journaled deltas since the last take into `out` (replacing
+  /// its contents; capacities are swapped, so a reused `out` keeps the
+  /// steady state allocation-free). Returns false when records were dropped
+  /// (pre-arming mutations or journal overflow) — the deltas in `out` are
+  /// then incomplete and the consumer must fall back to full invalidation.
+  bool take_membership_log(std::vector<MembershipDelta>& out) {
+    out.swap(membership_log_);
+    membership_log_.clear();
+    const bool complete = !membership_lost_;
+    membership_lost_ = false;
+    return complete;
+  }
 
  private:
   /// The index serving the current placement path, or nullptr when the
@@ -188,18 +230,52 @@ class VCluster {
   /// the policy needs full candidate lists). Created lazily.
   [[nodiscard]] PlacementIndex* active_index();
 
-  /// Report a host epoch bump to the index (no-op while naive).
+  /// Report a host epoch bump to the indexes (no-op while naive).
   void touch(HostId host) {
     if (index_ != nullptr) {
       index_->touch(host);
     }
+    if (heat_index_ != nullptr) {
+      heat_index_->touch(host);
+    }
+  }
+
+  /// Bound the heat index's dirty log between polluter passes: touch() is an
+  /// O(1) append, but if plan_interference stops being called the log must
+  /// not grow with every mutation forever. Only called from settled contexts
+  /// (never inside try_place's opening-rollback window), so a sync here can
+  /// never file a host that is about to be popped.
+  void bound_heat_log() {
+    if (heat_index_ != nullptr &&
+        heat_index_->dirty_size() > 8 * hosts_.size() + 1024) {
+      heat_index_->sync(hosts_);
+    }
   }
 
   /// Every mutation of hosts_[host] funnels through here: re-mirror the row
-  /// into the arena, then report the epoch bump to the index.
+  /// into the arena, then report the epoch bump to the indexes.
   void note(HostId host) {
     arena_.refresh(hosts_[host]);
     touch(host);
+    bound_heat_log();
+  }
+
+  /// Append one membership record (no-op until armed). A full journal stops
+  /// recording and flags the loss instead of growing unboundedly — the next
+  /// take_membership_log then reports incompleteness and the consumer falls
+  /// back to epoch-based invalidation, so overflow only costs speed.
+  static constexpr std::size_t kMembershipLogCap = 4096;
+  void journal(MembershipDelta::Op op, HostId host, core::VmId vm,
+               const core::VmSpec& spec) {
+    if (!membership_armed_ || membership_lost_) {
+      return;
+    }
+    if (membership_log_.size() >= kMembershipLogCap) {
+      membership_log_.clear();
+      membership_lost_ = true;
+      return;
+    }
+    membership_log_.push_back(MembershipDelta{op, host, vm, spec});
   }
 
   std::string name_;
@@ -212,7 +288,14 @@ class VCluster {
   HostArena arena_;  ///< SoA mirror of hosts_, maintained by note()
   std::unordered_map<core::VmId, HostId> placements_;
   bool index_enabled_ = true;
+  /// Membership journal (arm_membership_log). lost_ starts true so the
+  /// first take after arming reports the pre-arming history as dropped.
+  std::vector<MembershipDelta> membership_log_;
+  bool membership_armed_ = false;
+  bool membership_lost_ = true;
   std::unique_ptr<PlacementIndex> index_;
+  /// Lazily created cache (see synced_heat_index); reset with the index.
+  mutable std::unique_ptr<HeatIndex> heat_index_;
 };
 
 }  // namespace slackvm::sched

@@ -124,6 +124,10 @@ RunResult replay(Datacenter& dc, EventSource& source,
   // Must outlive queue.run(): the periodic events below capture them.
   const sched::Rebalancer rebalancer;
   const perf::ContentionModel contention;
+  // Per-cluster demand caches for the heat ticks; handed to
+  // update_cluster_heat only when the cluster's index machinery is on, so
+  // --index=off keeps the naive sample as the live differential reference.
+  std::vector<DemandCache> heat_caches(dc.clusters().size());
   const bool interference = rebalance && rebalance->interference.enabled;
   if (interference) {
     rebalance->interference.validate();
@@ -199,10 +203,12 @@ RunResult replay(Datacenter& dc, EventSource& source,
     // only differs from a heat-free run through actual placement changes.
     const sched::InterferenceOptions& itf = rebalance->interference;
     for (core::SimTime t = itf.heat_interval; t < horizon; t += itf.heat_interval) {
-      queue.schedule(t, [&dc, &result, &itf](core::SimTime now) {
+      queue.schedule(t, [&dc, &result, &itf, &heat_caches](core::SimTime now) {
         for (std::size_t c = 0; c < dc.clusters().size(); ++c) {
-          result.heat_updates +=
-              update_cluster_heat(dc.cluster(c), now, itf.heat_alpha, itf.heat_bucket);
+          DemandCache* cache =
+              dc.cluster(c).index_enabled() ? &heat_caches[c] : nullptr;
+          result.heat_updates += update_cluster_heat(
+              dc.cluster(c), now, itf.heat_alpha, itf.heat_bucket, cache);
         }
         debug_audit_check(dc);
       });

@@ -36,6 +36,9 @@ struct ShardState {
   /// Default-calibrated contention curve for the polluter pass; stateless,
   /// so per-shard instances answer identically to replay()'s single one.
   const perf::ContentionModel contention{};
+  /// Demand caches for the heat ticks, indexed by *global* cluster index
+  /// (only owned entries are touched, so caches stay shard-local).
+  std::vector<DemandCache> heat_caches;
 };
 
 /// Streams merged samples into the single MetricsCollector. The global
@@ -334,10 +337,14 @@ RunResult replay_sharded(Datacenter& dc, EventSource& source,
         if (shard.clusters.empty()) {
           continue;
         }
+        shard.heat_caches.resize(dc.clusters().size());
         shard.queue.schedule(t, [&dc, &shard, &itf](core::SimTime now) {
           for (const std::size_t c : shard.clusters) {
+            DemandCache* cache = dc.cluster(c).index_enabled()
+                                     ? &shard.heat_caches[c]
+                                     : nullptr;
             shard.partial.heat_updates += update_cluster_heat(
-                dc.cluster(c), now, itf.heat_alpha, itf.heat_bucket);
+                dc.cluster(c), now, itf.heat_alpha, itf.heat_bucket, cache);
           }
           if (debug_audit_enabled()) {
             for (const std::size_t c : shard.clusters) {

@@ -35,10 +35,13 @@ UsageSample sample_usage(const Datacenter& dc, core::SimTime t) {
 
 std::vector<HostUsage> sample_host_usage(const sched::VCluster& cluster,
                                          core::SimTime t) {
+  // Take the host vector once; hosts() is not free and the loop below is
+  // the hot path of every heat tick.
+  const std::vector<sched::HostState>& hosts = cluster.hosts();
   std::vector<HostUsage> out;
-  out.reserve(cluster.hosts().size());
+  out.reserve(hosts.size());
   std::vector<core::VmId> vms;
-  for (const sched::HostState& host : cluster.hosts()) {
+  for (const sched::HostState& host : hosts) {
     HostUsage usage;
     usage.capacity_cores = host.config().cores;
     // Ascending-VmId summation: the heat this feeds steers placement, so
@@ -58,9 +61,115 @@ std::vector<HostUsage> sample_host_usage(const sched::VCluster& cluster,
   return out;
 }
 
+void DemandCache::apply(const sched::MembershipDelta& delta) {
+  if (delta.host >= entries_.size() || !entries_[delta.host].present) {
+    // No cached view to patch (fresh opening, post-wipe, or a rolled-back
+    // opening's id reused): the rebuild pass re-derives it from scratch.
+    return;
+  }
+  Entry& entry = entries_[delta.host];
+  switch (delta.op) {
+    case sched::MembershipDelta::Op::kAdd: {
+      const auto pos = std::ranges::lower_bound(entry.terms, delta.vm, {},
+                                                &Term::vm);
+      entry.terms.insert(
+          pos, Term{delta.vm, static_cast<double>(delta.spec.vcpus),
+                    workload::UsageSignal(delta.vm, delta.spec.usage)});
+      break;
+    }
+    case sched::MembershipDelta::Op::kRemove: {
+      const auto pos = std::ranges::lower_bound(entry.terms, delta.vm, {},
+                                                &Term::vm);
+      SLACKVM_ASSERT(pos != entry.terms.end() && pos->vm == delta.vm);
+      entry.terms.erase(pos);
+      break;
+    }
+    case sched::MembershipDelta::Op::kWipe:
+      entry.terms.clear();
+      entry.present = false;
+      break;
+  }
+}
+
+const std::vector<HostUsage>& DemandCache::sample(sched::VCluster& cluster,
+                                                  core::SimTime t) {
+  const std::vector<sched::HostState>& hosts = cluster.hosts();
+  // A shrink (rolled-back openings) destroys the tail entries, so a later
+  // regrow at the same ids starts present=false and rebuilds cleanly.
+  entries_.resize(hosts.size());
+  usage_.resize(hosts.size());
+  cluster.arm_membership_log();
+  // With a complete journal the term lists are patched in place and the
+  // epoch check is skipped entirely — membership epochs drifted since the
+  // last restamp exactly because those mutations were journaled. A lossy
+  // round (overflow, pre-arming history) degrades to the epoch protocol:
+  // rebuild every host whose epoch moved since the last tick.
+  const bool exact = cluster.take_membership_log(log_);
+  if (exact) {
+    for (const sched::MembershipDelta& delta : log_) {
+      apply(delta);
+    }
+  }
+  for (sched::HostId h = 0; h < hosts.size(); ++h) {
+    const sched::HostState& host = hosts[h];
+    Entry& entry = entries_[h];
+    if (!entry.present || (!exact && entry.epoch != host.epoch())) {
+      // Re-derive the term list exactly as the naive sample does —
+      // ascending-VmId — but with the specs captured in the same map walk
+      // that lists the ids (spec_of would be a second hash probe per VM).
+      entry.terms.clear();
+      vms_.clear();
+      for (const auto& [vm, spec] : host.vms()) {
+        vms_.emplace_back(vm, &spec);
+      }
+      std::ranges::sort(vms_, {},
+                        &std::pair<core::VmId, const core::VmSpec*>::first);
+      for (const auto& [vm, spec] : vms_) {
+        entry.terms.push_back(Term{vm, static_cast<double>(spec->vcpus),
+                                   workload::UsageSignal(vm, spec->usage)});
+      }
+      entry.present = true;
+      ++rebuilds_;
+    }
+    entry.epoch = host.epoch();
+    HostUsage usage;
+    usage.capacity_cores = host.config().cores;
+    // Same terms, same order, same ops as the naive sum: bit-identical.
+    for (const Term& term : entry.terms) {
+      usage.demand_cores += term.vcpus * term.signal.at(t);
+    }
+    usage_[h] = usage;
+  }
+  return usage_;
+}
+
+void DemandCache::restamp(const sched::VCluster& cluster) {
+  const std::vector<sched::HostState>& hosts = cluster.hosts();
+  const std::size_t n = std::min(entries_.size(), hosts.size());
+  for (sched::HostId h = 0; h < n; ++h) {
+    if (entries_[h].present) {
+      entries_[h].epoch = hosts[h].epoch();
+    }
+  }
+}
+
+
 std::size_t update_cluster_heat(sched::VCluster& cluster, core::SimTime t,
-                                double alpha, double bucket_width) {
-  const std::vector<HostUsage> usage = sample_host_usage(cluster, t);
+                                double alpha, double bucket_width,
+                                DemandCache* cache) {
+  if (cache == nullptr) {
+    const std::vector<HostUsage> usage = sample_host_usage(cluster, t);
+    for (sched::HostId h = 0; h < usage.size(); ++h) {
+      const double q =
+          usage[h].capacity_cores > 0
+              ? usage[h].demand_cores / static_cast<double>(usage[h].capacity_cores)
+              : 0.0;
+      cluster.set_host_heat(
+          h, alpha * q + (1.0 - alpha) * cluster.host_heat(h), bucket_width);
+    }
+    return usage.size();
+  }
+  const std::vector<HostUsage>& usage = cache->sample(cluster, t);
   for (sched::HostId h = 0; h < usage.size(); ++h) {
     const double q =
         usage[h].capacity_cores > 0
@@ -69,6 +178,10 @@ std::size_t update_cluster_heat(sched::VCluster& cluster, core::SimTime t,
     cluster.set_host_heat(
         h, alpha * q + (1.0 - alpha) * cluster.host_heat(h), bucket_width);
   }
+  // The EWMA writes bumped epochs on bucket crossings; adopt them now so a
+  // later lossy journal round does not mistake heat churn for membership
+  // churn.
+  cache->restamp(cluster);
   return usage.size();
 }
 

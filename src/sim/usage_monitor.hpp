@@ -15,10 +15,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/units.hpp"
 #include "sim/datacenter.hpp"
+#include "workload/usage.hpp"
 
 namespace slackvm::perf {
 class ContentionModel;
@@ -74,13 +76,80 @@ struct UsageReport {
 [[nodiscard]] std::vector<HostUsage> sample_host_usage(
     const sched::VCluster& cluster, core::SimTime t);
 
+/// Incremental demand terms behind update_cluster_heat: per host, the
+/// cached (ascending-VmId) list of vcpus x UsageSignal terms whose sum is
+/// exactly sample_host_usage's demand. A heat tick re-derives a host's term
+/// list — the unordered-map walk, sort, and spec lookups — only when its
+/// epoch moved since the last tick; every other host just replays its
+/// cached terms, in the same stored order and with the same float ops, so
+/// the result is bit-identical to the naive sample.
+///
+/// Epoch protocol: sample() rebuilds on epoch mismatch; restamp() adopts
+/// the post-set_heat epochs without rebuilding (the EWMA write itself bumps
+/// epochs on bucket crossings, which is heat churn, not membership churn).
+/// Ids dropped by a shrink of the hosts vector (rolled-back openings) are
+/// discarded with their entries, so a later regrow starts from a clean
+/// rebuild.
+class DemandCache {
+ public:
+  /// Per-host demand breakdown at `t`, bit-identical to sample_host_usage.
+  /// The reference is invalidated by the next sample() call.
+  ///
+  /// The first call arms the cluster's membership journal; from then on the
+  /// term lists are patched in place from the exact place/remove/migrate
+  /// deltas, so a churned host costs one sorted insert/erase instead of a
+  /// full re-derivation. Whenever the journal reports loss (overflow,
+  /// pre-arming history) the cache falls back to epoch-based invalidation
+  /// for that round — the same rebuild-on-dirty protocol, just coarser.
+  [[nodiscard]] const std::vector<HostUsage>& sample(sched::VCluster& cluster,
+                                                     core::SimTime t);
+
+  /// Adopt the hosts' current epochs without rebuilding. Only sound while
+  /// membership is unchanged since the last sample() — i.e. right after the
+  /// set_heat loop of a heat tick.
+  void restamp(const sched::VCluster& cluster);
+
+  /// Term-list re-derivations so far (differential/telemetry hook).
+  [[nodiscard]] std::size_t rebuilds() const noexcept { return rebuilds_; }
+
+ private:
+  struct Term {
+    core::VmId vm{0};    ///< sort/patch key (terms stay ascending-VmId)
+    double vcpus = 0.0;  ///< static_cast<double>(spec.vcpus), as the naive sum casts
+    workload::UsageSignal signal;
+  };
+  struct Entry {
+    std::uint64_t epoch = 0;
+    bool present = false;
+    std::vector<Term> terms;  ///< ascending VmId
+  };
+
+  /// Patch one journaled delta into the cached term lists; deltas for hosts
+  /// without a present entry are ignored (the rebuild re-derives them).
+  void apply(const sched::MembershipDelta& delta);
+
+  std::vector<Entry> entries_;
+  std::vector<HostUsage> usage_;
+  std::vector<sched::MembershipDelta> log_;  ///< journal drain buffer
+  /// Rebuild scratch: (id, spec) captured in one map walk, sorted by id.
+  std::vector<std::pair<core::VmId, const core::VmSpec*>> vms_;
+  std::size_t rebuilds_ = 0;
+};
+
 /// Refresh every host's interference-heat EWMA from the instantaneous
 /// demand breakdown:  heat' = alpha * (demand / cores) + (1 - alpha) * heat,
 /// quantized into `bucket_width` buckets (sched::HostState::set_heat — the
 /// epoch, and with it the placement index, only reacts to bucket
 /// crossings). Returns the number of hosts refreshed.
+///
+/// With a `cache`, the demand breakdown comes from DemandCache::sample —
+/// bit-identical, but only epoch-dirtied hosts re-derive their term lists —
+/// and the cache is restamped afterwards. Replay paths hand the cache over
+/// exactly when the cluster's index machinery is enabled, so the --index
+/// escape hatch keeps the naive sample differentially covered.
 std::size_t update_cluster_heat(sched::VCluster& cluster, core::SimTime t,
-                                double alpha, double bucket_width);
+                                double alpha, double bucket_width,
+                                DemandCache* cache = nullptr);
 
 /// Accumulates samples into a report.
 class UsageMonitor {

@@ -1,0 +1,253 @@
+// HeatIndex property suite, mirroring sched_placement_index_test.cpp for
+// the quantized-heat buckets: the epoch + dirty-log protocol (refile only
+// on bucket crossings, epoch-match short-circuit, rolled-back-opening
+// drops), the uniform-width soundness flag, the VCluster synced_heat_index
+// wiring behind the --index escape hatch, and a randomized churn whose
+// incrementally-synced index must match a from-scratch rebuild exactly.
+#include "sched/heat_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "sched/policy.hpp"
+#include "sched/vcluster.hpp"
+#include "sim/audit.hpp"
+
+namespace slackvm::sched {
+namespace {
+
+using core::gib;
+using core::OversubLevel;
+using core::VmId;
+using core::VmSpec;
+
+const core::Resources kWorker{32, gib(128)};
+
+VmSpec make_spec(core::VcpuCount vcpus, core::MemMib mem, std::uint8_t ratio) {
+  VmSpec s;
+  s.vcpus = vcpus;
+  s.mem_mib = mem;
+  s.level = OversubLevel{ratio};
+  return s;
+}
+
+std::vector<HostState> make_hosts(std::size_t n) {
+  std::vector<HostState> hosts;
+  hosts.reserve(n);
+  for (HostId h = 0; h < n; ++h) {
+    hosts.emplace_back(h, kWorker);
+  }
+  return hosts;
+}
+
+// --- bucket filing and the epoch protocol -----------------------------------
+
+TEST(HeatIndexProtocol, FilesHostsByBucketCoolestFirst) {
+  std::vector<HostState> hosts = make_hosts(4);
+  hosts[0].set_heat(0.1, 0.25);  // bucket 0
+  hosts[1].set_heat(0.6, 0.25);  // bucket 2
+  hosts[2].set_heat(0.3, 0.25);  // bucket 1
+  hosts[3].set_heat(0.7, 0.25);  // bucket 2
+
+  HeatIndex index;
+  index.rebuild(hosts);
+  EXPECT_EQ(index.size(), 4u);
+  EXPECT_TRUE(index.uniform_width());
+  EXPECT_TRUE(index.check(hosts).empty());
+
+  const auto& buckets = index.buckets();
+  ASSERT_EQ(buckets.size(), 3u);
+  auto it = buckets.begin();  // ascending == coolest first
+  EXPECT_EQ(it->first, 0u);
+  EXPECT_EQ(it->second, (std::set<HostId>{0}));
+  ++it;
+  EXPECT_EQ(it->first, 1u);
+  EXPECT_EQ(it->second, (std::set<HostId>{2}));
+  ++it;
+  EXPECT_EQ(it->first, 2u);
+  EXPECT_EQ(it->second, (std::set<HostId>{1, 3}));
+}
+
+TEST(HeatIndexProtocol, RefilesOnlyOnBucketCrossings) {
+  std::vector<HostState> hosts = make_hosts(2);
+  hosts[0].set_heat(0.1, 0.25);
+  hosts[1].set_heat(0.6, 0.25);
+  HeatIndex index;
+  index.rebuild(hosts);
+
+  // Within-bucket move: no epoch bump, nothing to sync.
+  hosts[0].set_heat(0.2, 0.25);
+  EXPECT_EQ(index.dirty_size(), 0u);
+  EXPECT_TRUE(index.check(hosts).empty());
+
+  // Crossing: epoch bumps, touch + sync refiles exactly that host.
+  hosts[0].set_heat(0.3, 0.25);
+  index.touch(hosts[0].id());
+  EXPECT_EQ(index.dirty_size(), 1u);
+  index.sync(hosts);
+  EXPECT_EQ(index.dirty_size(), 0u);
+  EXPECT_TRUE(index.check(hosts).empty());
+  EXPECT_TRUE(index.buckets().contains(1));
+  EXPECT_FALSE(index.buckets().contains(0));
+}
+
+TEST(HeatIndexProtocol, EpochMatchShortCircuitsStaleTouches) {
+  std::vector<HostState> hosts = make_hosts(1);
+  hosts[0].set_heat(0.6, 0.25);
+  HeatIndex index;
+  index.rebuild(hosts);
+  // A touch with an unchanged epoch must leave the filing untouched (the
+  // set_heat contract: the bucket cannot move without an epoch bump).
+  index.touch(0);
+  index.touch(0);
+  index.sync(hosts);
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_TRUE(index.check(hosts).empty());
+}
+
+TEST(HeatIndexProtocol, RolledBackOpeningsAreDropped) {
+  std::vector<HostState> hosts = make_hosts(2);
+  HeatIndex index;
+  index.rebuild(hosts);
+  // A touch that outlives its host (rolled-back opening): the id is beyond
+  // the vector, so sync must drop it, not file it.
+  index.touch(7);
+  index.sync(hosts);
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_TRUE(index.check(hosts).empty());
+
+  // The same id later re-opens for real: a fresh touch files it.
+  hosts = make_hosts(8);
+  for (HostId h = 0; h < hosts.size(); ++h) {
+    index.touch(h);
+  }
+  index.sync(hosts);
+  EXPECT_EQ(index.size(), 8u);
+  EXPECT_TRUE(index.check(hosts).empty());
+}
+
+// --- uniform-width soundness flag -------------------------------------------
+
+TEST(HeatIndexWidth, MixedWidthsTripTheFlagStickily) {
+  std::vector<HostState> hosts = make_hosts(2);
+  hosts[0].set_heat(0.6, 0.25);
+  hosts[1].set_heat(0.6, 0.5);  // different quantization: cross-bucket
+                                // comparisons are no longer ordered
+  HeatIndex index;
+  index.rebuild(hosts);
+  EXPECT_FALSE(index.uniform_width());
+
+  // Sticky: re-quantizing everything with one width does not un-trip it
+  // (conservative — only a rebuild re-evaluates).
+  hosts[0].set_heat(0.7, 0.25);
+  hosts[1].set_heat(0.7, 0.25);
+  index.touch(0);
+  index.touch(1);
+  index.sync(hosts);
+  EXPECT_FALSE(index.uniform_width());
+
+  index.rebuild(hosts);
+  EXPECT_TRUE(index.uniform_width());
+}
+
+TEST(HeatIndexWidth, UnquantizedNonzeroHeatTripsTheFlag) {
+  std::vector<HostState> hosts = make_hosts(1);
+  hosts[0].set_heat(0.6, 0.0);  // quantization disabled: bucket pinned at 0
+  HeatIndex index;
+  index.rebuild(hosts);
+  EXPECT_FALSE(index.uniform_width());
+}
+
+TEST(HeatIndexWidth, ColdHostsAreConsistentWithAnyWidth) {
+  std::vector<HostState> hosts = make_hosts(3);
+  hosts[1].set_heat(0.6, 0.25);  // the only heated host sets the width
+  HeatIndex index;
+  index.rebuild(hosts);
+  EXPECT_TRUE(index.uniform_width());
+}
+
+// --- VCluster wiring behind the escape hatch --------------------------------
+
+TEST(HeatIndexCluster, SyncedIndexTracksHeatWritesAndHonoursTheHatch) {
+  VCluster cluster("itf", kWorker, make_progress_policy());
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(cluster.try_place(VmId{static_cast<std::uint64_t>(i + 1)},
+                                  make_spec(8, gib(16), 2)));
+  }
+  const HeatIndex* index = cluster.synced_heat_index();
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->size(), cluster.opened_hosts());
+  EXPECT_TRUE(index->check(cluster.hosts()).empty());
+
+  for (HostId h = 0; h < cluster.opened_hosts(); ++h) {
+    cluster.set_host_heat(h, 0.3 * static_cast<double>(h + 1), 0.25);
+  }
+  index = cluster.synced_heat_index();
+  ASSERT_NE(index, nullptr);
+  EXPECT_TRUE(index->check(cluster.hosts()).empty());
+  EXPECT_TRUE(index->uniform_width());
+
+  // --index=off: the planner must fall back to the naive scan.
+  cluster.set_index_enabled(false);
+  EXPECT_EQ(cluster.synced_heat_index(), nullptr);
+}
+
+// --- randomized churn: synced index == from-scratch rebuild -----------------
+
+TEST(HeatIndexChurn, RandomizedChurnMatchesFreshRebuild) {
+  VCluster cluster("churn", kWorker, make_progress_policy());
+  core::SplitMix64 rng(0xbeefULL);
+  std::vector<VmId> live;
+  std::uint64_t next_id = 1;
+  for (int event = 0; event < 6000; ++event) {
+    const std::uint64_t roll = rng.below(10);
+    if (roll < 4 || live.empty()) {
+      const VmSpec spec = make_spec(
+          static_cast<core::VcpuCount>(1 + rng.below(8)),
+          gib(static_cast<std::int64_t>(1 + rng.below(16))),
+          static_cast<std::uint8_t>(1 + rng.below(3)));
+      const VmId id{next_id++};
+      if (cluster.try_place(id, spec)) {
+        live.push_back(id);
+      }
+    } else if (roll < 7) {
+      const std::size_t pick = rng.below(live.size());
+      const VmId id = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      cluster.remove(id);
+    } else if (roll < 8 && cluster.opened_hosts() > 0) {
+      // Fault churn: phase flips bump epochs without moving buckets — the
+      // index must survive them as refile-free syncs.
+      const HostId host = static_cast<HostId>(rng.below(cluster.opened_hosts()));
+      if (cluster.host_phase(host) == HostPhase::kUp) {
+        for (const auto& [vm, spec] : cluster.fail_host(host)) {
+          std::erase(live, vm);
+        }
+      } else {
+        cluster.repair_host(host);
+      }
+    } else if (cluster.opened_hosts() > 0) {
+      const HostId host = static_cast<HostId>(rng.below(cluster.opened_hosts()));
+      cluster.set_host_heat(host, rng.uniform(0.0, 3.0), 0.25);
+    }
+    if (event % 500 == 0) {
+      const HeatIndex* synced = cluster.synced_heat_index();
+      ASSERT_NE(synced, nullptr);
+      EXPECT_TRUE(synced->check(cluster.hosts()).empty()) << "event " << event;
+      HeatIndex fresh;
+      fresh.rebuild(cluster.hosts());
+      EXPECT_EQ(synced->buckets(), fresh.buckets()) << "event " << event;
+      EXPECT_TRUE(sim::audit(cluster).empty()) << "event " << event;
+    }
+  }
+  const HeatIndex* synced = cluster.synced_heat_index();
+  ASSERT_NE(synced, nullptr);
+  EXPECT_TRUE(synced->uniform_width());
+  EXPECT_TRUE(synced->check(cluster.hosts()).empty());
+}
+
+}  // namespace
+}  // namespace slackvm::sched

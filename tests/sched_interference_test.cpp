@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -401,6 +402,219 @@ TEST(InterferenceDifferential, TenThousandEventChurnMatchesNaiveScan) {
     EXPECT_TRUE(sim::audit(indexed).empty());
     EXPECT_TRUE(sim::audit(naive).empty());
   }
+}
+
+// --- differential churn: incremental planner passes vs the naive bodies ----
+
+void expect_same_plan(const sched::MigrationPlan& a,
+                      const sched::MigrationPlan& b) {
+  ASSERT_EQ(a.migrations.size(), b.migrations.size());
+  for (std::size_t i = 0; i < a.migrations.size(); ++i) {
+    EXPECT_EQ(a.migrations[i].vm, b.migrations[i].vm) << "migration " << i;
+    EXPECT_EQ(a.migrations[i].from, b.migrations[i].from) << "migration " << i;
+    EXPECT_EQ(a.migrations[i].to, b.migrations[i].to) << "migration " << i;
+  }
+  EXPECT_EQ(a.hosts_emptied, b.hosts_emptied);
+  EXPECT_EQ(a.hot_hosts, b.hot_hosts);
+}
+
+TEST(PlanDifferential, TenThousandEventChurnMatchesNaivePasses) {
+  // >= 10k randomized place/remove/fault/heat events on one indexed
+  // cluster; at every checkpoint both planner passes must reproduce their
+  // verbatim naive references move-for-move (same VMs, same sources, same
+  // targets, same order) — the scratch-column / heat-bucket-streaming
+  // stress for the incremental control plane.
+  struct ScorerCase {
+    const char* label;
+    std::function<std::unique_ptr<sched::Scorer>()> make;
+  };
+  const std::vector<ScorerCase> scorers = {
+      {"progress", [] { return std::unique_ptr<sched::Scorer>{}; }},
+      {"interference-w4",
+       [] { return std::make_unique<sched::InterferenceScorer>(4.0); }},
+  };
+  for (const ScorerCase& sc : scorers) {
+    SCOPED_TRACE(sc.label);
+    VCluster cluster("plan-churn", kWorker, sched::make_interference_policy(4.0));
+    const sched::Rebalancer rebalancer(sc.make());
+    const perf::ContentionModel contention;
+    InterferenceOptions itf = itf_options();
+    itf.threshold = 1.02;  // keep the polluter pass firing on mild heat
+    core::SplitMix64 rng(0x51acULL);
+    std::vector<VmId> live;
+    std::uint64_t next_id = 1;
+    for (int event = 0; event < 12000; ++event) {
+      const std::uint64_t roll = rng.below(20);
+      if (roll < 9 || live.empty()) {
+        const VmSpec spec = make_spec(
+            static_cast<core::VcpuCount>(1 + rng.below(8)),
+            gib(static_cast<std::int64_t>(1 + rng.below(16))),
+            static_cast<std::uint8_t>(1 + rng.below(3)));
+        const VmId id{next_id++};
+        if (cluster.try_place(id, spec)) {
+          live.push_back(id);
+        }
+      } else if (roll < 14) {
+        const std::size_t pick = rng.below(live.size());
+        const VmId id = live[pick];
+        live[pick] = live.back();
+        live.pop_back();
+        cluster.remove(id);
+      } else if (roll < 15 && cluster.opened_hosts() > 0) {
+        // Fault churn: DOWN hosts must be skipped as polluter sources and
+        // as drain targets in both paths.
+        const HostId host =
+            static_cast<HostId>(rng.below(cluster.opened_hosts()));
+        if (cluster.host_phase(host) == sched::HostPhase::kUp) {
+          for (const auto& [vm, spec] : cluster.fail_host(host)) {
+            std::erase(live, vm);
+          }
+        } else {
+          cluster.repair_host(host);
+        }
+      } else if (cluster.opened_hosts() > 0) {
+        const HostId host =
+            static_cast<HostId>(rng.below(cluster.opened_hosts()));
+        cluster.set_host_heat(host, rng.uniform(0.0, 3.0), 0.25);
+      }
+      if (event % 200 == 199) {
+        // The dispatch preconditions must hold, or this differential would
+        // silently compare naive against naive.
+        ASSERT_TRUE(cluster.index_enabled());
+        const sched::HeatIndex* index = cluster.synced_heat_index();
+        ASSERT_NE(index, nullptr);
+        ASSERT_TRUE(index->uniform_width());
+        expect_same_plan(rebalancer.plan(cluster, 16),
+                         rebalancer.plan_naive(cluster, 16));
+        expect_same_plan(rebalancer.plan_interference(cluster, contention, itf),
+                         rebalancer.plan_interference_naive(cluster, contention, itf));
+      }
+      if (event % 2000 == 0) {
+        EXPECT_TRUE(sim::audit(cluster).empty()) << "event " << event;
+      }
+    }
+    EXPECT_TRUE(sim::audit(cluster).empty());
+  }
+}
+
+TEST(HeatCacheDifferential, ChurnedHeatTicksMatchUncachedSampling) {
+  // Mirror-churned clusters, one refreshing heat through the DemandCache,
+  // one through the naive per-tick sampling: every host's raw heat must
+  // stay bit-identical through >= 10k events of place/remove/fault churn
+  // interleaved with heat ticks — and once the churn stops, a further tick
+  // must rebuild nothing (heat-crossing epoch bumps are restamped away).
+  VCluster cached_cl("cached", kWorker, sched::make_progress_policy());
+  VCluster plain_cl("plain", kWorker, sched::make_progress_policy());
+  sim::DemandCache cache;
+  core::SplitMix64 rng(0x6ea7ULL);
+  std::vector<VmId> live;
+  std::uint64_t next_id = 1;
+  double now = 0.0;
+  for (int event = 0; event < 12000; ++event) {
+    const std::uint64_t roll = rng.below(20);
+    if (roll < 10 || live.empty()) {
+      const VmSpec spec = make_spec(
+          static_cast<core::VcpuCount>(1 + rng.below(8)),
+          gib(static_cast<std::int64_t>(1 + rng.below(16))),
+          static_cast<std::uint8_t>(1 + rng.below(4)),
+          static_cast<UsageClass>(rng.below(3)));
+      const VmId id{next_id++};
+      const auto a = cached_cl.try_place(id, spec);
+      const auto b = plain_cl.try_place(id, spec);
+      ASSERT_EQ(a, b) << "event " << event;
+      if (a) {
+        live.push_back(id);
+      }
+    } else if (roll < 15) {
+      const std::size_t pick = rng.below(live.size());
+      const VmId id = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      cached_cl.remove(id);
+      plain_cl.remove(id);
+    } else if (roll < 16 && cached_cl.opened_hosts() > 0) {
+      const HostId host =
+          static_cast<HostId>(rng.below(cached_cl.opened_hosts()));
+      if (cached_cl.host_phase(host) == sched::HostPhase::kUp) {
+        const auto displaced = cached_cl.fail_host(host);
+        const auto mirrored = plain_cl.fail_host(host);
+        ASSERT_EQ(displaced.size(), mirrored.size());
+        for (const auto& [vm, spec] : displaced) {
+          std::erase(live, vm);
+        }
+      } else {
+        cached_cl.repair_host(host);
+        plain_cl.repair_host(host);
+      }
+    } else {
+      now += 30.0;
+      ASSERT_EQ(sim::update_cluster_heat(cached_cl, now, 0.5, 0.25, &cache),
+                sim::update_cluster_heat(plain_cl, now, 0.5, 0.25));
+      ASSERT_EQ(cached_cl.opened_hosts(), plain_cl.opened_hosts());
+      for (HostId h = 0; h < cached_cl.opened_hosts(); ++h) {
+        // Exact (not NEAR): bit-identical heat is the contract.
+        ASSERT_EQ(cached_cl.host_heat(h), plain_cl.host_heat(h))
+            << "event " << event << " host " << h;
+      }
+    }
+    if (event % 2000 == 0) {
+      EXPECT_TRUE(sim::audit(cached_cl).empty()) << "event " << event;
+    }
+  }
+  // Quiet ticks: with no membership churn since the last tick, the cache
+  // must replay every term list untouched.
+  now += 30.0;
+  sim::update_cluster_heat(cached_cl, now, 0.5, 0.25, &cache);
+  const std::size_t warm = cache.rebuilds();
+  now += 30.0;
+  sim::update_cluster_heat(cached_cl, now, 0.5, 0.25, &cache);
+  EXPECT_EQ(cache.rebuilds(), warm);
+  EXPECT_TRUE(sim::audit(cached_cl).empty());
+  EXPECT_TRUE(sim::audit(plain_cl).empty());
+}
+
+TEST(HeatCacheDifferential, JournalOverflowFallsBackToEpochRebuilds) {
+  // More membership deltas between two ticks than the journal holds: the
+  // lossy round must degrade to epoch-based rebuilds and still produce
+  // bit-identical heat. Then the converse: a journal-sized trickle of
+  // removals must be patched in place without a single rebuild.
+  VCluster cached_cl("cached", kWorker, sched::make_progress_policy());
+  VCluster plain_cl("plain", kWorker, sched::make_progress_policy());
+  sim::DemandCache cache;
+  std::vector<VmId> live;
+  std::uint64_t next_id = 1;
+  const auto churn = [&](std::size_t places, std::size_t removes) {
+    for (std::size_t i = 0; i < places; ++i) {
+      const VmSpec spec = make_spec(2, gib(4), 1, UsageClass::kBursty);
+      const VmId id{next_id++};
+      ASSERT_EQ(cached_cl.try_place(id, spec), plain_cl.try_place(id, spec));
+      live.push_back(id);
+    }
+    for (std::size_t i = 0; i < removes && !live.empty(); ++i) {
+      const VmId id = live[(i * 7) % live.size()];
+      std::erase(live, id);
+      cached_cl.remove(id);
+      plain_cl.remove(id);
+    }
+  };
+  const auto tick = [&](double now) {
+    ASSERT_EQ(sim::update_cluster_heat(cached_cl, now, 0.5, 0.25, &cache),
+              sim::update_cluster_heat(plain_cl, now, 0.5, 0.25));
+    for (HostId h = 0; h < cached_cl.opened_hosts(); ++h) {
+      ASSERT_EQ(cached_cl.host_heat(h), plain_cl.host_heat(h)) << "host " << h;
+    }
+  };
+  churn(3000, 1500);
+  tick(1800.0);  // first round: pre-arming history is reported lost
+  churn(3000, 3000);  // 6000 deltas > the 4096-record journal: overflow
+  tick(3600.0);
+  // Patch-in-place round: removals alone cannot open hosts, so an exact
+  // journal round must not rebuild any term list.
+  churn(0, 32);
+  const std::size_t warm = cache.rebuilds();
+  tick(5400.0);
+  EXPECT_EQ(cache.rebuilds(), warm);
+  EXPECT_TRUE(sim::audit(cached_cl).empty());
 }
 
 // --- acceptance matrix: shards x index x threads, instant and engine --------

@@ -11,7 +11,12 @@
 
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "core/rng.hpp"
+#include "sched/policy.hpp"
+#include "sched/rebalancer.hpp"
 #include "sched/vcluster.hpp"
 #include "sim/audit.hpp"
 #include "sim/fault.hpp"
@@ -495,6 +500,113 @@ TEST(MigrationReplay, DirectedFaultsAtEveryPhaseStayIdenticalAndAudited) {
       reference = result;
     }
   }
+}
+
+// --- differential churn: incremental consolidation vs the naive pass --------
+
+TEST(PlanDifferential, ReservationChurnMatchesNaiveConsolidation) {
+  // >= 10k randomized place/remove/fault/reserve/release/heat events; at
+  // every checkpoint the incremental scratch-column plan() must reproduce
+  // the verbatim naive drain-and-consolidate pass move-for-move. The
+  // reservation churn is the migrate-suite angle: in-flight bookings load
+  // the columns without appearing in the VM maps, and both passes must
+  // respect them identically when scoring drain targets.
+  VCluster cluster("resv-churn", kWorker, sched::make_slackvm_policy());
+  const sched::Rebalancer rebalancer;
+  core::SplitMix64 rng(0x2e5eULL);
+  std::vector<VmId> live;
+  std::vector<std::pair<HostId, VmId>> booked;
+  std::uint64_t next_id = 1;
+  for (int event = 0; event < 12000; ++event) {
+    const std::uint64_t roll = rng.below(20);
+    if (roll < 9 || live.empty()) {
+      VmSpec spec = make_spec(
+          static_cast<core::VcpuCount>(1 + rng.below(8)),
+          gib(static_cast<std::int64_t>(1 + rng.below(16))),
+          static_cast<std::uint8_t>(1 + rng.below(3)));
+      const VmId id{next_id++};
+      if (cluster.try_place(id, spec)) {
+        live.push_back(id);
+      }
+    } else if (roll < 13) {
+      const std::size_t pick = rng.below(live.size());
+      const VmId id = live[pick];
+      // Departing mid-flight is the engine's lifecycle to manage; here a
+      // booked VM just stays put.
+      bool has_booking = false;
+      for (const auto& [h, vm] : booked) {
+        has_booking = has_booking || vm == id;
+      }
+      if (!has_booking) {
+        live[pick] = live.back();
+        live.pop_back();
+        cluster.remove(id);
+      }
+    } else if (roll < 15 && cluster.opened_hosts() > 1) {
+      // Book a migration reservation for a live VM on another host; the
+      // booking loads the target's columns until released below.
+      const VmId vm = live[rng.below(live.size())];
+      bool already_booked = false;
+      for (const auto& [h, b] : booked) {
+        already_booked = already_booked || b == vm;
+      }
+      const HostId from = cluster.host_of(vm);
+      const HostId to = static_cast<HostId>(rng.below(cluster.opened_hosts()));
+      if (!already_booked && to != from &&
+          cluster.try_reserve(to, vm, cluster.hosts()[from].spec_of(vm))) {
+        booked.emplace_back(to, vm);
+      }
+    } else if (roll < 17 && !booked.empty()) {
+      const std::size_t pick = rng.below(booked.size());
+      const auto [host, vm] = booked[pick];
+      booked[pick] = booked.back();
+      booked.pop_back();
+      cluster.release_reservation(host, vm);
+    } else if (roll < 18 && cluster.opened_hosts() > 0) {
+      const HostId host = static_cast<HostId>(rng.below(cluster.opened_hosts()));
+      if (cluster.host_phase(host) == HostPhase::kUp) {
+        // Skip hosts holding live bookings: failing them would strand the
+        // reservation (a lifecycle the engine tests own); keep this churn
+        // about planning against booked columns.
+        bool holds_booking = false;
+        for (const auto& [h, vm] : booked) {
+          holds_booking = holds_booking || h == host;
+        }
+        for (const auto& [h, vm] : booked) {
+          holds_booking = holds_booking || cluster.host_of(vm) == host;
+        }
+        if (!holds_booking) {
+          for (const auto& [vm, spec] : cluster.fail_host(host)) {
+            std::erase(live, vm);
+          }
+        }
+      } else {
+        cluster.repair_host(host);
+      }
+    } else if (cluster.opened_hosts() > 0) {
+      const HostId host = static_cast<HostId>(rng.below(cluster.opened_hosts()));
+      cluster.set_host_heat(host, rng.uniform(0.0, 2.0), 0.25);
+    }
+    if (event % 200 == 199) {
+      ASSERT_TRUE(cluster.index_enabled());
+      const sched::MigrationPlan a = rebalancer.plan(cluster, 16);
+      const sched::MigrationPlan b = rebalancer.plan_naive(cluster, 16);
+      ASSERT_EQ(a.migrations.size(), b.migrations.size()) << "event " << event;
+      for (std::size_t i = 0; i < a.migrations.size(); ++i) {
+        EXPECT_EQ(a.migrations[i].vm, b.migrations[i].vm);
+        EXPECT_EQ(a.migrations[i].from, b.migrations[i].from);
+        EXPECT_EQ(a.migrations[i].to, b.migrations[i].to);
+      }
+      EXPECT_EQ(a.hosts_emptied, b.hosts_emptied);
+    }
+    if (event % 2000 == 0) {
+      EXPECT_TRUE(audit(cluster).empty()) << "event " << event;
+    }
+  }
+  for (const auto& [host, vm] : booked) {
+    cluster.release_reservation(host, vm);
+  }
+  EXPECT_TRUE(audit(cluster).empty());
 }
 
 // --- acceptance: >= 100 failures, bit-identical across the matrix -----------

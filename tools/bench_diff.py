@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json reports produced by the bench/ binaries.
+
+Usage:
+    tools/bench_diff.py OLD.json NEW.json [--threshold PCT]
+
+Walks both reports recursively and prints, for every shared numeric leaf,
+the old value, the new value, and the relative change; non-numeric leaves
+are reported only when they differ (a determinism or identity flag flipping
+is worth more attention than any wall-clock delta). Keys present on one
+side only are listed as added/removed.
+
+Exit status: 0 when every shared numeric leaf moved by less than
+--threshold percent (default 20 — the documented noise band of the shared
+VM) and no flag changed; 1 otherwise. The bench-smoke ctest entry runs this
+tool against the checked-in report and itself, so CI only proves the tool
+stays runnable; comparing a fresh run against the checked-in baseline is a
+manual (non-gating) step:
+
+    build/bench/micro_interference --json > /tmp/new.json
+    tools/bench_diff.py BENCH_micro_interference.json /tmp/new.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def flatten(node, prefix=""):
+    """Yield (dotted-path, leaf) pairs; list indices become path segments."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from flatten(value, f"{prefix}{key}.")
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from flatten(value, f"{prefix}{i}.")
+    else:
+        yield prefix.rstrip("."), node
+
+
+def flatten_map(node):
+    out = {}
+    for path, leaf in flatten(node):
+        out[path] = leaf
+    return out
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=20.0,
+        help="relative change (percent) above which a numeric leaf fails "
+        "(default: 20, the shared VM's noise band)",
+    )
+    args = parser.parse_args()
+
+    with open(args.old, encoding="utf-8") as f:
+        old = flatten_map(json.load(f))
+    with open(args.new, encoding="utf-8") as f:
+        new = flatten_map(json.load(f))
+
+    failures = 0
+    for path in sorted(old.keys() | new.keys()):
+        if path not in new:
+            print(f"- {path}: removed (was {old[path]!r})")
+            continue
+        if path not in old:
+            print(f"+ {path}: added ({new[path]!r})")
+            continue
+        a, b = old[path], new[path]
+        if is_number(a) and is_number(b):
+            if a == b:
+                continue
+            if a == 0:
+                delta = float("inf")
+            else:
+                delta = 100.0 * (b - a) / abs(a)
+            marker = "!" if abs(delta) >= args.threshold else " "
+            if marker == "!":
+                failures += 1
+            print(f"{marker} {path}: {a} -> {b} ({delta:+.1f}%)")
+        elif a != b:
+            failures += 1
+            print(f"! {path}: {a!r} -> {b!r}")
+
+    if failures:
+        print(f"{failures} leaves moved past the threshold", file=sys.stderr)
+        return 1
+    print("no changes past the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
